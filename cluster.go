@@ -1,0 +1,87 @@
+package bandjoin
+
+import (
+	"fmt"
+
+	"bandjoin/internal/cluster"
+	"bandjoin/internal/costmodel"
+	"bandjoin/internal/sample"
+)
+
+// Cluster is a connection to a set of band-join workers reachable over RPC.
+type Cluster struct {
+	coord *cluster.Coordinator
+	local *cluster.LocalCluster
+}
+
+// ConnectCluster connects to already-running workers (see cmd/recpartd) at the
+// given TCP addresses.
+func ConnectCluster(addrs []string) (*Cluster, error) {
+	coord, err := cluster.Dial(addrs)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{coord: coord}, nil
+}
+
+// StartLocalCluster starts n in-process workers on loopback ports and connects
+// to them. It exercises the real RPC data path without separate processes.
+func StartLocalCluster(n int) (*Cluster, error) {
+	lc, err := cluster.StartLocal(n)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := cluster.Dial(lc.Addrs())
+	if err != nil {
+		lc.Stop()
+		return nil, err
+	}
+	return &Cluster{coord: coord, local: lc}, nil
+}
+
+// Workers returns the number of connected workers.
+func (c *Cluster) Workers() int { return c.coord.Workers() }
+
+// Close disconnects from the workers and, for a local cluster, shuts them
+// down.
+func (c *Cluster) Close() {
+	if c.coord != nil {
+		c.coord.Close()
+	}
+	if c.local != nil {
+		c.local.Stop()
+	}
+}
+
+// Join runs the band-join of s and t across the cluster's workers.
+func (c *Cluster) Join(s, t *Relation, band Band, opts Options) (*Result, error) {
+	if s == nil || t == nil {
+		return nil, fmt.Errorf("bandjoin: nil input relation")
+	}
+	if err := band.Validate(); err != nil {
+		return nil, err
+	}
+	pt := opts.Partitioner
+	if pt == nil {
+		pt = RecPart()
+	}
+	copts := cluster.Options{
+		Algorithm:    opts.LocalAlgorithm,
+		Model:        opts.Model,
+		CollectPairs: opts.CollectPairs,
+		Seed:         opts.Seed,
+		Sampling: sample.Options{
+			InputSampleSize:  opts.InputSampleSize,
+			OutputSampleSize: opts.OutputSampleSize,
+			Seed:             opts.Seed + 1,
+		},
+	}
+	if (copts.Model == costmodel.Model{}) {
+		copts.Model = costmodel.Default()
+	}
+	if copts.Sampling.InputSampleSize == 0 {
+		copts.Sampling = sample.DefaultOptions()
+		copts.Sampling.Seed = opts.Seed + 1
+	}
+	return c.coord.Run(pt, s, t, band, copts)
+}

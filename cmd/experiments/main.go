@@ -1,0 +1,101 @@
+// Command experiments regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -table 2b
+//	experiments -table all -workers 30 -tuples 40000 -csv results.csv
+//
+// Each table identifier corresponds to one paper artifact (see DESIGN.md for
+// the full index). Output is an aligned text table; -csv additionally exports
+// the raw per-method measurements.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bandjoin/internal/bench"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "", "experiment id to run (e.g. 2a, 3, fig4) or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		workers = flag.Int("workers", 0, "number of simulated workers (default 30)")
+		tuples  = flag.Int("tuples", 0, "per-relation input size of the baseline configuration (default 40000)")
+		sample  = flag.Int("sample", 0, "optimization-phase input sample size (default 6000)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		csvPath = flag.String("csv", "", "also export raw measurements to this CSV file")
+		quick   = flag.Bool("quick", false, "use a very small configuration (smoke test)")
+	)
+	flag.Parse()
+
+	if *list || *table == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		if *table == "" && !*list {
+			fmt.Println("\nrun with -table <id> or -table all")
+		}
+		return
+	}
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	if *tuples > 0 {
+		cfg.BaseTuples = *tuples
+	}
+	if *sample > 0 {
+		cfg.SampleSize = *sample
+	}
+	cfg.Seed = *seed
+
+	var selected []bench.Experiment
+	if *table == "all" {
+		selected = bench.All()
+	} else {
+		e, ok := bench.ByID(*table)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *table)
+			os.Exit(2)
+		}
+		selected = []bench.Experiment{e}
+	}
+
+	var csvFile *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *csvPath, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvFile = f
+	}
+
+	for _, e := range selected {
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if err := bench.Render(os.Stdout, tbl); err != nil {
+			fmt.Fprintf(os.Stderr, "rendering %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if csvFile != nil {
+			if err := bench.WriteCSV(csvFile, tbl); err != nil {
+				fmt.Fprintf(os.Stderr, "exporting %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Command recpartd runs a band-join worker: it listens for RPC connections
+// from a coordinator (cmd/bandjoin -workers host:port,...), receives partition
+// data, executes local band-joins, and reports the results.
+//
+// Usage:
+//
+//	recpartd -listen :7070 -name worker-1
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"bandjoin/internal/cluster"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":7070", "TCP address to listen on")
+		name   = flag.String("name", "", "worker name reported to the coordinator (default: hostname)")
+	)
+	flag.Parse()
+
+	workerName := *name
+	if workerName == "" {
+		hn, err := os.Hostname()
+		if err != nil {
+			hn = "worker"
+		}
+		workerName = hn
+	}
+	if err := cluster.ListenAndServe(workerName, *listen); err != nil {
+		log.Fatalf("recpartd: %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: run a 3-dimensional band-join on skewed synthetic data with
+// RecPart and compare it against the 1-Bucket and Grid-ε baselines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bandjoin"
+)
+
+func main() {
+	// Two relations of 50,000 tuples whose three join attributes follow a
+	// skewed Pareto distribution (the paper's pareto-1.5 workload, scaled
+	// down). High-frequency values coincide in S and T, which is exactly the
+	// case where naive partitioning either duplicates heavily or overloads
+	// one worker.
+	s, t := bandjoin.Pareto(3, 1.5, 50_000, 42)
+
+	// Band-join condition: |S.Ai − T.Ai| ≤ 0.03 in every dimension.
+	band := bandjoin.Uniform(3, 0.03)
+
+	for _, p := range []struct {
+		name string
+		pt   bandjoin.Partitioner
+	}{
+		{"RecPart", bandjoin.RecPart()},
+		{"1-Bucket", bandjoin.OneBucket()},
+		{"Grid-eps", bandjoin.GridEps()},
+	} {
+		res, err := bandjoin.Join(s, t, band, bandjoin.Options{
+			Workers:     16,
+			Partitioner: p.pt,
+			Seed:        1,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", p.name, err)
+		}
+		fmt.Printf("%-9s output=%-8d I=%-8d dup=%6.1f%%  max-worker load overhead=%6.1f%%  opt=%v\n",
+			p.name, res.Output, res.TotalInput, 100*res.DupOverhead, 100*res.LoadOverhead,
+			res.OptimizationTime.Round(1e6))
+	}
+
+	fmt.Println()
+	fmt.Println("RecPart should show near-zero duplication and a max worker load close")
+	fmt.Println("to the lower bound, while 1-Bucket duplicates ~sqrt(w)x and Grid-eps ~3^d x.")
+}

@@ -1,0 +1,46 @@
+package bandjoin
+
+import (
+	"io"
+	"math/rand"
+
+	"bandjoin/internal/data"
+)
+
+// Pareto generates the paper's pareto-z workload: two relations of n tuples
+// each whose d join attributes follow a Pareto distribution with shape z over
+// [1, ∞); high-frequency values coincide in S and T.
+func Pareto(d int, z float64, n int, seed int64) (*Relation, *Relation) {
+	return data.ParetoPair(d, z, n, seed)
+}
+
+// ReversePareto generates the paper's rv-pareto-z workload: S follows
+// Pareto(z) and T a mirrored Pareto descending from 10^6, so dense regions of
+// the two inputs do not coincide.
+func ReversePareto(d int, z float64, n int, seed int64) (*Relation, *Relation) {
+	return data.ReverseParetoPair(d, z, n, seed)
+}
+
+// EBirdCloud generates the surrogate for the paper's real ebird ⋈ cloud
+// workload: two clustered spatio-temporal relations (time, latitude,
+// longitude) with correlated hotspots.
+func EBirdCloud(nS, nT int, seed int64) (*Relation, *Relation) {
+	return data.EBirdCloudPair(nS, nT, seed)
+}
+
+// PTF generates the surrogate for the paper's Palomar Transient Factory
+// workload: two 2-dimensional (right ascension, declination) catalogs of
+// repeat observations of clustered celestial objects.
+func PTF(n int, seed int64) (*Relation, *Relation) {
+	return data.PTFPair(n, seed)
+}
+
+// UniformRelation generates one relation with n tuples drawn uniformly from
+// the box [lo, hi).
+func UniformRelation(name string, n int, lo, hi []float64, seed int64) *Relation {
+	return data.NewUniform(lo, hi).Generate(name, n, rand.New(rand.NewSource(seed)))
+}
+
+// ReadCSV reads a relation from CSV (header row followed by one row of join
+// attributes per tuple).
+func ReadCSV(name string, r io.Reader) (*Relation, error) { return data.ReadCSV(name, r) }

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Render writes a table as aligned text, one line per row, with the same
+// column structure as the paper's tables: the parameter columns followed by,
+// per method, the runtime split (optimization + model-predicted join time)
+// and the I / Im / Om sizes.
+func Render(w io.Writer, t *Table) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s — %s (reproduces %s)\n", t.ID, t.Title, t.Paper)
+
+	// Header.
+	var header []string
+	if len(t.Rows) > 0 {
+		for _, l := range t.Rows[0].Labels {
+			header = append(header, l.Name)
+		}
+	}
+	// Name the method columns from the row with the most cells (some rows
+	// skip methods that are undefined for their configuration, e.g. Grid-ε at
+	// band width zero).
+	var widest *Row
+	for i := range t.Rows {
+		if widest == nil || len(t.Rows[i].Cells) > len(widest.Cells) {
+			widest = &t.Rows[i]
+		}
+	}
+	methodCols := 0
+	if widest != nil {
+		methodCols = len(widest.Cells)
+	}
+	for i := 0; i < methodCols; i++ {
+		name := fmt.Sprintf("method%d", i+1)
+		if i < len(widest.Cells) {
+			name = widest.Cells[i].Method
+		}
+		header = append(header, name+" runtime[s](opt+join)", name+" I", name+" Im", name+" Om", name+" dup%", name+" load%")
+	}
+
+	rows := make([][]string, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		var cols []string
+		for _, l := range row.Labels {
+			cols = append(cols, l.Value)
+		}
+		for _, cell := range row.Cells {
+			cols = append(cols, cellColumns(cell)...)
+		}
+		rows = append(rows, cols)
+	}
+
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeLine := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", max(pad, 0)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeLine(header)
+	for _, r := range rows {
+		writeLine(r)
+	}
+	fmt.Fprintf(&sb, "(generated in %s)\n\n", t.Elapsed.Round(10*time.Millisecond))
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// cellColumns formats one method's measurements.
+func cellColumns(c Cell) []string {
+	if c.Err != nil {
+		return []string{"failed: " + c.Err.Error(), "-", "-", "-", "-", "-"}
+	}
+	if c.Result == nil {
+		return []string{"-", "-", "-", "-", "-", "-"}
+	}
+	r := c.Result
+	runtime := fmt.Sprintf("%.2f (%.2f+%.2f)",
+		r.OptimizationTime.Seconds()+r.PredictedTime, r.OptimizationTime.Seconds(), r.PredictedTime)
+	return []string{
+		runtime,
+		humanCount(r.TotalInput),
+		humanCount(r.Im),
+		humanCount(r.Om),
+		fmt.Sprintf("%.1f%%", 100*r.DupOverhead),
+		fmt.Sprintf("%.1f%%", 100*r.LoadOverhead),
+	}
+}
+
+// humanCount renders a tuple count compactly (k / M suffixes).
+func humanCount(v int64) string {
+	switch {
+	case v >= 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(v)/1e3)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteCSV exports a table's raw measurements, one line per (row, method),
+// suitable for plotting Figure 4 style scatters.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := []string{"table", "labels", "method", "workers", "partitions",
+		"optimization_seconds", "predicted_join_seconds", "makespan_seconds",
+		"total_input", "im", "om", "output", "dup_overhead", "load_overhead"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		var lbl []string
+		for _, l := range row.Labels {
+			lbl = append(lbl, l.Name+"="+l.Value)
+		}
+		for _, cell := range row.Cells {
+			rec := []string{t.ID, strings.Join(lbl, ";"), cell.Method}
+			if cell.Err != nil || cell.Result == nil {
+				rec = append(rec, "", "", "", "", "", "", "", "", "", "", "")
+			} else {
+				r := cell.Result
+				rec = append(rec,
+					fmt.Sprint(r.Workers), fmt.Sprint(r.Partitions),
+					fmt.Sprintf("%.6f", r.OptimizationTime.Seconds()),
+					fmt.Sprintf("%.6f", r.PredictedTime),
+					fmt.Sprintf("%.6f", r.Makespan.Seconds()),
+					fmt.Sprint(r.TotalInput), fmt.Sprint(r.Im), fmt.Sprint(r.Om), fmt.Sprint(r.Output),
+					fmt.Sprintf("%.6f", r.DupOverhead), fmt.Sprintf("%.6f", r.LoadOverhead))
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		if len(row.Cells) == 0 {
+			rec := []string{t.ID, strings.Join(lbl, ";"), "", "", "", "", "", "", "", "", "", "", "", ""}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summarize returns a compact single-line summary per method of a table,
+// averaging duplication and load overheads across rows — the quantities the
+// paper's Figure 4 visualizes.
+func Summarize(t *Table) map[string]struct{ DupOverhead, LoadOverhead float64 } {
+	type acc struct {
+		dup, load float64
+		n         int
+	}
+	accs := make(map[string]*acc)
+	for _, row := range t.Rows {
+		for _, cell := range row.Cells {
+			if cell.Err != nil || cell.Result == nil {
+				continue
+			}
+			a, ok := accs[cell.Method]
+			if !ok {
+				a = &acc{}
+				accs[cell.Method] = a
+			}
+			a.dup += cell.Result.DupOverhead
+			a.load += cell.Result.LoadOverhead
+			a.n++
+		}
+	}
+	out := make(map[string]struct{ DupOverhead, LoadOverhead float64 })
+	for m, a := range accs {
+		if a.n == 0 {
+			continue
+		}
+		out[m] = struct{ DupOverhead, LoadOverhead float64 }{a.dup / float64(a.n), a.load / float64(a.n)}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"bandjoin/internal/exec"
+)
+
+func sampleTable() *Table {
+	ok := Cell{Method: "RecPart", Result: &exec.Result{
+		Partitioner: "RecPart", Workers: 4, Partitions: 8,
+		TotalInput: 12345678, Im: 4321, Om: 99,
+		DupOverhead: 0.034, LoadOverhead: 0.118,
+		OptimizationTime: 12 * time.Millisecond, PredictedTime: 0.5,
+	}}
+	failed := Cell{Method: "Grid-eps", Err: errors.New("band width is zero")}
+	return &Table{
+		ID: "demo", Title: "demo table", Paper: "Table X",
+		Methods: []string{"RecPart", "Grid-eps"},
+		Rows: []Row{
+			{Labels: labels("band width", "(1,1)"), Cells: []Cell{ok, failed}},
+			{Labels: labels("band width", "(2,2)"), Cells: []Cell{ok}},
+		},
+	}
+}
+
+func TestRenderHandlesFailuresAndAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table X") || !strings.Contains(out, "failed: band width is zero") {
+		t.Errorf("render output incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "12.3M") {
+		t.Errorf("large counts should use the M suffix:\n%s", out)
+	}
+	if !strings.Contains(out, "3.4%") || !strings.Contains(out, "11.8%") {
+		t.Errorf("overheads missing:\n%s", out)
+	}
+}
+
+func TestWriteCSVSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV does not parse: %v", err)
+	}
+	if len(records) != 4 { // header + 3 cells
+		t.Fatalf("expected 4 CSV records, got %d", len(records))
+	}
+	if records[0][0] != "table" || records[0][2] != "method" {
+		t.Errorf("unexpected CSV header %v", records[0])
+	}
+	for i, rec := range records[1:] {
+		if len(rec) != len(records[0]) {
+			t.Errorf("record %d has %d fields, header has %d", i+1, len(rec), len(records[0]))
+		}
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{{5, "5"}, {9999, "9999"}, {10000, "10.0k"}, {2500000, "2500.0k"}, {10000000, "10.0M"}}
+	for _, c := range cases {
+		if got := humanCount(c.in); got != c.want {
+			t.Errorf("humanCount(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCellColumnsNilResult(t *testing.T) {
+	cols := cellColumns(Cell{Method: "x"})
+	if len(cols) != 6 {
+		t.Fatalf("expected 6 columns, got %d", len(cols))
+	}
+	for _, c := range cols {
+		if c != "-" {
+			t.Errorf("nil result should render as '-', got %q", c)
+		}
+	}
+}
+
+func TestSummarizeSkipsFailures(t *testing.T) {
+	sum := Summarize(sampleTable())
+	if _, ok := sum["Grid-eps"]; ok {
+		t.Error("failed cells should not contribute to the summary")
+	}
+	if got := sum["RecPart"]; got.DupOverhead != 0.034 {
+		t.Errorf("summary dup = %g", got.DupOverhead)
+	}
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"testing"
+
+	"bandjoin/internal/core"
+	"bandjoin/internal/data"
+	"bandjoin/internal/exec"
+	"bandjoin/internal/onebucket"
+	"bandjoin/internal/partition"
+)
+
+func bruteForce(s, t *data.Relation, band data.Band) map[exec.Pair]bool {
+	out := make(map[exec.Pair]bool)
+	for i := 0; i < s.Len(); i++ {
+		for j := 0; j < t.Len(); j++ {
+			if band.Matches(s.Key(i), t.Key(j)) {
+				out[exec.Pair{S: int64(i), T: int64(j)}] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestDistributedJoinMatchesBruteForce(t *testing.T) {
+	lc, err := StartLocal(3)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer lc.Stop()
+	coord, err := Dial(lc.Addrs())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer coord.Close()
+	if coord.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", coord.Workers())
+	}
+
+	s, tt := data.ParetoPair(2, 1.2, 400, 17)
+	band := data.Symmetric(0.5, 0.5)
+	want := bruteForce(s, tt, band)
+	if len(want) == 0 {
+		t.Fatal("test workload produced no results")
+	}
+
+	for _, pt := range []partition.Partitioner{core.NewDefault(), onebucket.New()} {
+		res, err := coord.Run(pt, s, tt, band, Options{CollectPairs: true, ChunkSize: 64})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", pt.Name(), err)
+		}
+		if int(res.Output) != len(want) {
+			t.Fatalf("%s: output = %d, want %d", pt.Name(), res.Output, len(want))
+		}
+		seen := make(map[exec.Pair]int)
+		for _, p := range res.Pairs {
+			seen[p]++
+			if seen[p] > 1 {
+				t.Fatalf("%s: pair %v produced more than once", pt.Name(), p)
+			}
+			if !want[p] {
+				t.Fatalf("%s: pair %v is not a real result", pt.Name(), p)
+			}
+		}
+		if len(seen) != len(want) {
+			t.Fatalf("%s: produced %d distinct pairs, want %d", pt.Name(), len(seen), len(want))
+		}
+		if res.TotalInput < int64(s.Len()+tt.Len()) {
+			t.Errorf("%s: total input %d below |S|+|T| = %d", pt.Name(), res.TotalInput, s.Len()+tt.Len())
+		}
+	}
+}
+
+func TestDistributedAgreesWithSimulator(t *testing.T) {
+	lc, err := StartLocal(4)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer lc.Stop()
+	coord, err := Dial(lc.Addrs())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer coord.Close()
+
+	s, tt := data.ParetoPair(3, 1.5, 1500, 99)
+	band := data.Symmetric(0.3, 0.3, 0.3)
+
+	simOpts := exec.DefaultOptions(4)
+	simOpts.Seed = 5
+	sim, err := exec.Run(core.NewRecPartS(), s, tt, band, simOpts)
+	if err != nil {
+		t.Fatalf("simulator run: %v", err)
+	}
+	dist, err := coord.Run(core.NewRecPartS(), s, tt, band, Options{Seed: 5})
+	if err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	if sim.Output != dist.Output {
+		t.Errorf("output differs: simulator %d, distributed %d", sim.Output, dist.Output)
+	}
+	if sim.TotalInput != dist.TotalInput {
+		t.Errorf("total input differs: simulator %d, distributed %d", sim.TotalInput, dist.TotalInput)
+	}
+}
+
+func TestWorkerRejectsBadRequests(t *testing.T) {
+	w := NewWorker("w0")
+	var lr LoadReply
+	if err := w.Load(&LoadArgs{JobID: "j", Partition: 0, Side: "S", Chunk: nil}, &lr); err == nil {
+		t.Error("Load accepted a nil chunk")
+	}
+	chunk := data.NewRelation("c", 1)
+	chunk.Append(1)
+	if err := w.Load(&LoadArgs{JobID: "j", Partition: 0, Side: "X", Chunk: chunk, IDs: []int64{0}}, &lr); err == nil {
+		t.Error("Load accepted an unknown relation side")
+	}
+	if err := w.Load(&LoadArgs{JobID: "j", Partition: 0, Side: "S", Chunk: chunk, IDs: nil}, &lr); err == nil {
+		t.Error("Load accepted mismatched id count")
+	}
+	var jr JoinReply
+	if err := w.Join(&JoinArgs{JobID: "j", Band: data.Symmetric(1), Algorithm: "nope"}, &jr); err == nil {
+		t.Error("Join accepted an unknown algorithm")
+	}
+}

@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"fmt"
+	"net/rpc"
+	"sort"
+	"sync"
+	"time"
+
+	"bandjoin/internal/costmodel"
+	"bandjoin/internal/data"
+	"bandjoin/internal/exec"
+	"bandjoin/internal/partition"
+	"bandjoin/internal/sample"
+)
+
+// Coordinator drives a distributed band-join over a set of RPC workers: it
+// runs the optimization phase locally (on samples), shuffles the inputs to
+// the workers according to the plan, triggers the local joins, and aggregates
+// the results into the same Result structure the in-process simulator
+// produces.
+type Coordinator struct {
+	clients []*rpc.Client
+	names   []string
+}
+
+// Dial connects to the given worker addresses.
+func Dial(addrs []string) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no worker addresses")
+	}
+	c := &Coordinator{}
+	for _, addr := range addrs {
+		client, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: dialing worker %s: %w", addr, err)
+		}
+		var pong PingReply
+		if err := client.Call(ServiceName+".Ping", &PingArgs{}, &pong); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: pinging worker %s: %w", addr, err)
+		}
+		c.clients = append(c.clients, client)
+		c.names = append(c.names, pong.Worker)
+	}
+	return c, nil
+}
+
+// Close closes all worker connections.
+func (c *Coordinator) Close() {
+	for _, cl := range c.clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+}
+
+// Workers returns the number of connected workers.
+func (c *Coordinator) Workers() int { return len(c.clients) }
+
+// Options configures a distributed run.
+type Options struct {
+	// JobID names the job on the workers; empty generates one from the clock.
+	JobID string
+	// Algorithm is the local join algorithm name (localjoin.ByName).
+	Algorithm string
+	// Model supplies β coefficients for planning and load accounting.
+	Model costmodel.Model
+	// Sampling configures the optimization-phase samples.
+	Sampling sample.Options
+	// CollectPairs returns the result pairs for verification (small inputs
+	// only).
+	CollectPairs bool
+	// ChunkSize is the number of tuples per Load RPC; zero means 4096.
+	ChunkSize int
+	// Seed drives randomized plan decisions.
+	Seed int64
+}
+
+// Run executes the band-join of s and t with the given partitioner across the
+// connected workers.
+func (c *Coordinator) Run(pt partition.Partitioner, s, t *data.Relation, band data.Band, opts Options) (*exec.Result, error) {
+	if len(c.clients) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator has no workers")
+	}
+	if (opts.Model == costmodel.Model{}) {
+		opts.Model = costmodel.Default()
+	}
+	if opts.Sampling.InputSampleSize == 0 {
+		opts.Sampling = sample.DefaultOptions()
+	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = 4096
+	}
+	if opts.JobID == "" {
+		opts.JobID = fmt.Sprintf("job-%d", time.Now().UnixNano())
+	}
+
+	smp, err := sample.Draw(s, t, band, opts.Sampling)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: sampling: %w", err)
+	}
+	ctx := &partition.Context{Band: band, Workers: len(c.clients), Sample: smp, Model: opts.Model, Seed: opts.Seed}
+
+	optStart := time.Now()
+	plan, err := pt.Plan(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s optimization failed: %w", pt.Name(), err)
+	}
+	optTime := time.Since(optStart)
+
+	res, err := c.execute(plan, ctx, s, t, band, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Partitioner = pt.Name()
+	res.OptimizationTime = optTime
+	return res, nil
+}
+
+// shuffleBuffer accumulates tuples of one (partition, side) destined for a
+// worker and flushes them in chunks.
+type shuffleBuffer struct {
+	chunk *data.Relation
+	ids   []int64
+}
+
+// execute shuffles the inputs to workers per the plan and runs the joins.
+func (c *Coordinator) execute(plan partition.Plan, ctx *partition.Context, s, t *data.Relation, band data.Band, opts Options) (*exec.Result, error) {
+	workers := len(c.clients)
+
+	// The shuffle requires a partition→worker placement up front. Plans that
+	// place their own partitions (Grid-ε) are honored; otherwise partition
+	// loads are estimated from the samples and placed with greedy LPT — the
+	// stand-in for the load-aware scheduling a cluster scheduler performs.
+	var lptSched partition.Schedule
+	if _, ok := plan.(partition.WorkerPlacer); !ok {
+		lptSched = partition.LPT(exec.EstimatePartitionLoads(plan, ctx), workers)
+	}
+	place := func(pid int) int {
+		if placer, ok := plan.(partition.WorkerPlacer); ok {
+			w := placer.PlaceWorker(pid, workers)
+			if w >= 0 && w < workers {
+				return w
+			}
+		}
+		if pid < len(lptSched) {
+			return lptSched[pid]
+		}
+		return int(partition.HashID(int64(pid), 0xc0ffee) % uint64(workers))
+	}
+
+	type bufKey struct {
+		pid  int
+		side string
+	}
+	shuffleStart := time.Now()
+	buffers := make(map[bufKey]*shuffleBuffer)
+	var totalInput int64
+
+	flush := func(pid int, side string, buf *shuffleBuffer) error {
+		if buf.chunk.Len() == 0 {
+			return nil
+		}
+		w := place(pid)
+		args := &LoadArgs{JobID: opts.JobID, Partition: pid, Side: side, Chunk: buf.chunk, IDs: buf.ids}
+		var reply LoadReply
+		if err := c.clients[w].Call(ServiceName+".Load", args, &reply); err != nil {
+			return fmt.Errorf("cluster: shipping partition %d to worker %d: %w", pid, w, err)
+		}
+		dims := buf.chunk.Dims()
+		buf.chunk = data.NewRelation(side+"-chunk", dims)
+		buf.ids = buf.ids[:0]
+		return nil
+	}
+	add := func(pid int, side string, key []float64, id int64, dims int) error {
+		k := bufKey{pid: pid, side: side}
+		buf, ok := buffers[k]
+		if !ok {
+			buf = &shuffleBuffer{chunk: data.NewRelation(side+"-chunk", dims)}
+			buffers[k] = buf
+		}
+		buf.chunk.AppendKey(key)
+		buf.ids = append(buf.ids, id)
+		if buf.chunk.Len() >= opts.ChunkSize {
+			return flush(pid, side, buf)
+		}
+		return nil
+	}
+
+	var dst []int
+	for i := 0; i < s.Len(); i++ {
+		key := s.Key(i)
+		dst = plan.AssignS(int64(i), key, dst[:0])
+		totalInput += int64(len(dst))
+		for _, pid := range dst {
+			if err := add(pid, "S", key, int64(i), s.Dims()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < t.Len(); i++ {
+		key := t.Key(i)
+		dst = plan.AssignT(int64(i), key, dst[:0])
+		totalInput += int64(len(dst))
+		for _, pid := range dst {
+			if err := add(pid, "T", key, int64(i), t.Dims()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for k, buf := range buffers {
+		if err := flush(k.pid, k.side, buf); err != nil {
+			return nil, err
+		}
+	}
+	shuffleTime := time.Since(shuffleStart)
+
+	// Run local joins on all workers in parallel.
+	joinStart := time.Now()
+	replies := make([]JoinReply, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := range c.clients {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			args := &JoinArgs{JobID: opts.JobID, Band: band, Algorithm: opts.Algorithm, CollectPairs: opts.CollectPairs}
+			errs[w] = c.clients[w].Call(ServiceName+".Join", args, &replies[w])
+		}(w)
+	}
+	wg.Wait()
+	joinWall := time.Since(joinStart)
+	for w, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: local joins on worker %d failed: %w", w, err)
+		}
+	}
+
+	// Aggregate.
+	res := &exec.Result{
+		Workers:      workers,
+		ShuffleTime:  shuffleTime,
+		JoinWallTime: joinWall,
+		InputS:       s.Len(),
+		InputT:       t.Len(),
+		TotalInput:   totalInput,
+		WorkerInput:  make([]int64, workers),
+		WorkerOutput: make([]int64, workers),
+	}
+	workerBusy := make([]time.Duration, workers)
+	for w, reply := range replies {
+		for _, ps := range reply.Partitions {
+			res.Partitions++
+			res.WorkerInput[w] += int64(ps.InputS + ps.InputT)
+			res.WorkerOutput[w] += ps.Output
+			res.Output += ps.Output
+			workerBusy[w] += time.Duration(ps.JoinNanos)
+			if opts.CollectPairs {
+				for i := range ps.PairS {
+					res.Pairs = append(res.Pairs, exec.Pair{S: ps.PairS[i], T: ps.PairT[i]})
+				}
+			}
+		}
+	}
+	maxW := 0
+	for w := 1; w < workers; w++ {
+		lw := opts.Model.Load(float64(res.WorkerInput[w]), float64(res.WorkerOutput[w]))
+		lm := opts.Model.Load(float64(res.WorkerInput[maxW]), float64(res.WorkerOutput[maxW]))
+		if lw > lm {
+			maxW = w
+		}
+	}
+	res.Im = res.WorkerInput[maxW]
+	res.Om = res.WorkerOutput[maxW]
+	res.MaxLoad = opts.Model.Load(float64(res.Im), float64(res.Om))
+	res.LowerBoundLoad = opts.Model.LowerBoundLoad(float64(res.InputS+res.InputT), float64(res.Output), workers)
+	if res.InputS+res.InputT > 0 {
+		res.DupOverhead = float64(res.TotalInput)/float64(res.InputS+res.InputT) - 1
+	}
+	if res.LowerBoundLoad > 0 {
+		res.LoadOverhead = res.MaxLoad/res.LowerBoundLoad - 1
+	}
+	res.PredictedTime = opts.Model.Predict(float64(res.TotalInput), float64(res.Im), float64(res.Om))
+	for _, busy := range workerBusy {
+		if busy > res.Makespan {
+			res.Makespan = busy
+		}
+	}
+	if opts.CollectPairs {
+		sort.Slice(res.Pairs, func(a, b int) bool {
+			if res.Pairs[a].S != res.Pairs[b].S {
+				return res.Pairs[a].S < res.Pairs[b].S
+			}
+			return res.Pairs[a].T < res.Pairs[b].T
+		})
+	}
+
+	// Best-effort cleanup of the job state on the workers.
+	for _, cl := range c.clients {
+		var rr ResetReply
+		_ = cl.Call(ServiceName+".Reset", &ResetArgs{JobID: opts.JobID}, &rr)
+	}
+	return res, nil
+}

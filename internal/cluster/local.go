@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+)
+
+// LocalCluster is a set of in-process workers listening on loopback TCP
+// ports. It exists so that tests, examples, and the quickstart can exercise
+// the real RPC data path without deploying separate processes.
+type LocalCluster struct {
+	listeners []net.Listener
+	addrs     []string
+}
+
+// StartLocal starts n in-process workers on ephemeral loopback ports.
+func StartLocal(n int) (*LocalCluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least one worker, got %d", n)
+	}
+	lc := &LocalCluster{}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			lc.Stop()
+			return nil, fmt.Errorf("cluster: starting local worker %d: %w", i, err)
+		}
+		w := NewWorker(fmt.Sprintf("local-%d", i))
+		go func() {
+			// Serve returns when the listener is closed by Stop.
+			_ = Serve(w, ln)
+		}()
+		lc.listeners = append(lc.listeners, ln)
+		lc.addrs = append(lc.addrs, ln.Addr().String())
+	}
+	return lc, nil
+}
+
+// Addrs returns the worker addresses, suitable for Dial.
+func (lc *LocalCluster) Addrs() []string { return lc.addrs }
+
+// Stop shuts down all workers.
+func (lc *LocalCluster) Stop() {
+	for _, ln := range lc.listeners {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package cluster provides a genuinely distributed execution path for
+// band-joins: a coordinator ships partitioned input to worker processes over
+// net/rpc (gob encoding) and collects the local-join results. It plays the
+// role of the paper's Hadoop/MapReduce cluster in a minimal, dependency-free
+// form: the partitioning plans are exactly the same as in the in-process
+// simulator (internal/exec); only the transport differs. Workers can run in
+// separate processes (cmd/recpartd) or in-process for tests.
+package cluster
+
+import (
+	"bandjoin/internal/data"
+)
+
+// ServiceName is the name the worker RPC service is registered under.
+const ServiceName = "BandJoinWorker"
+
+// LoadArgs ships one batch of partition input to a worker. Batches for the
+// same partition accumulate on the worker.
+type LoadArgs struct {
+	JobID     string
+	Partition int
+	// Side is "S" or "T".
+	Side  string
+	Chunk *data.Relation
+	// IDs are the original tuple indices of the chunk, used to report result
+	// pairs for verification.
+	IDs []int64
+}
+
+// LoadReply acknowledges a batch.
+type LoadReply struct {
+	Received int
+}
+
+// JoinArgs starts the local joins of one job on a worker.
+type JoinArgs struct {
+	JobID string
+	Band  data.Band
+	// Algorithm is the local join algorithm name (see localjoin.ByName);
+	// empty selects the default.
+	Algorithm string
+	// CollectPairs requests the result pairs (original tuple index pairs) in
+	// the reply; otherwise only counts are returned.
+	CollectPairs bool
+}
+
+// PartitionStats reports one partition's local-join outcome.
+type PartitionStats struct {
+	Partition int
+	InputS    int
+	InputT    int
+	Output    int64
+	// JoinNanos is the local join's measured duration.
+	JoinNanos int64
+	// PairS/PairT are parallel slices of result pairs when requested.
+	PairS []int64
+	PairT []int64
+}
+
+// JoinReply aggregates a worker's local joins for one job.
+type JoinReply struct {
+	Worker     string
+	Partitions []PartitionStats
+}
+
+// ResetArgs clears a job's state on a worker.
+type ResetArgs struct {
+	JobID string
+}
+
+// ResetReply acknowledges a reset.
+type ResetReply struct{}
+
+// PingArgs checks worker liveness.
+type PingArgs struct{}
+
+// PingReply reports worker identity and currently loaded jobs.
+type PingReply struct {
+	Worker string
+	Jobs   int
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"bandjoin/internal/data"
+	"bandjoin/internal/localjoin"
+)
+
+// Worker is the RPC service a worker machine runs. It accumulates partition
+// input shipped by the coordinator and executes local band-joins on request.
+// A single worker can hold several jobs concurrently (keyed by job ID), like
+// a node-manager running several reduce tasks.
+type Worker struct {
+	name string
+
+	mu   sync.Mutex
+	jobs map[string]*jobState
+}
+
+type jobState struct {
+	partitions map[int]*partitionData
+}
+
+type partitionData struct {
+	s    *data.Relation
+	sIDs []int64
+	t    *data.Relation
+	tIDs []int64
+}
+
+// NewWorker returns a worker service with the given display name.
+func NewWorker(name string) *Worker {
+	return &Worker{name: name, jobs: make(map[string]*jobState)}
+}
+
+// Load implements the RPC method receiving partition input.
+func (w *Worker) Load(args *LoadArgs, reply *LoadReply) error {
+	if args.Chunk == nil {
+		return fmt.Errorf("cluster: worker %s received nil chunk", w.name)
+	}
+	if len(args.IDs) != args.Chunk.Len() {
+		return fmt.Errorf("cluster: worker %s received %d ids for %d tuples", w.name, len(args.IDs), args.Chunk.Len())
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	job, ok := w.jobs[args.JobID]
+	if !ok {
+		job = &jobState{partitions: make(map[int]*partitionData)}
+		w.jobs[args.JobID] = job
+	}
+	p, ok := job.partitions[args.Partition]
+	if !ok {
+		p = &partitionData{
+			s: data.NewRelation("S-part", args.Chunk.Dims()),
+			t: data.NewRelation("T-part", args.Chunk.Dims()),
+		}
+		job.partitions[args.Partition] = p
+	}
+	switch args.Side {
+	case "S":
+		for i := 0; i < args.Chunk.Len(); i++ {
+			p.s.AppendKey(args.Chunk.Key(i))
+		}
+		p.sIDs = append(p.sIDs, args.IDs...)
+	case "T":
+		for i := 0; i < args.Chunk.Len(); i++ {
+			p.t.AppendKey(args.Chunk.Key(i))
+		}
+		p.tIDs = append(p.tIDs, args.IDs...)
+	default:
+		return fmt.Errorf("cluster: unknown relation side %q", args.Side)
+	}
+	reply.Received = args.Chunk.Len()
+	return nil
+}
+
+// Join implements the RPC method running all local joins of a job.
+func (w *Worker) Join(args *JoinArgs, reply *JoinReply) error {
+	alg := localjoin.Default()
+	if args.Algorithm != "" {
+		a, ok := localjoin.ByName(args.Algorithm)
+		if !ok {
+			return fmt.Errorf("cluster: unknown local join algorithm %q", args.Algorithm)
+		}
+		alg = a
+	}
+	if err := args.Band.Validate(); err != nil {
+		return fmt.Errorf("cluster: invalid band condition: %w", err)
+	}
+
+	w.mu.Lock()
+	job := w.jobs[args.JobID]
+	w.mu.Unlock()
+	reply.Worker = w.name
+	if job == nil {
+		return nil // no partitions were shipped here
+	}
+
+	for pid, p := range job.partitions {
+		start := time.Now()
+		stats := PartitionStats{Partition: pid, InputS: p.s.Len(), InputT: p.t.Len()}
+		var emit localjoin.Emit
+		if args.CollectPairs {
+			emit = func(si, ti int, _, _ []float64) {
+				stats.PairS = append(stats.PairS, p.sIDs[si])
+				stats.PairT = append(stats.PairT, p.tIDs[ti])
+			}
+		}
+		stats.Output = alg.Join(p.s, p.t, args.Band, emit)
+		stats.JoinNanos = time.Since(start).Nanoseconds()
+		reply.Partitions = append(reply.Partitions, stats)
+	}
+	return nil
+}
+
+// Reset implements the RPC method discarding a job's state.
+func (w *Worker) Reset(args *ResetArgs, _ *ResetReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.jobs, args.JobID)
+	return nil
+}
+
+// Ping implements the liveness RPC.
+func (w *Worker) Ping(_ *PingArgs, reply *PingReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	reply.Worker = w.name
+	reply.Jobs = len(w.jobs)
+	return nil
+}
+
+// Serve registers the worker on a fresh RPC server and serves connections on
+// the listener until it is closed. It is intended to be run in a goroutine or
+// as the body of cmd/recpartd.
+func Serve(w *Worker, ln net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(ServiceName, w); err != nil {
+		return fmt.Errorf("cluster: registering worker service: %w", err)
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Listener closed: normal shutdown.
+			return nil
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// ListenAndServe starts a worker on the given TCP address and blocks.
+func ListenAndServe(name, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: listening on %s: %w", addr, err)
+	}
+	log.Printf("band-join worker %s listening on %s", name, ln.Addr())
+	return Serve(NewWorker(name), ln)
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"bandjoin/internal/costmodel"
+	"bandjoin/internal/data"
+	"bandjoin/internal/partition"
+	"bandjoin/internal/sample"
+)
+
+// TestDebugGrowth prints the growth history for a representative skewed
+// workload when run with -v; it asserts only basic sanity so it can stay in
+// the suite as a smoke test.
+func TestDebugGrowth(t *testing.T) {
+	s, tt := data.ParetoPair(3, 1.5, 40000, 1)
+	band := data.Uniform(3, 0.03)
+	smp, err := sample.Draw(s, tt, band, sample.Options{InputSampleSize: 6000, OutputSampleSize: 3000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &partition.Context{Band: band, Workers: 30, Sample: smp, Model: costmodel.Default(), Seed: 1}
+	rp := NewRecPartS()
+	plan, err := rp.PlanDetailed(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("iterations=%d chosen=%d leaves=%d partitions=%d", len(plan.History)-1, plan.Chosen, plan.Leaves, plan.NumPartitions())
+	for i, h := range plan.History {
+		if i%10 == 0 || i == plan.Chosen || i == len(plan.History)-1 {
+			t.Logf("iter=%3d parts=%3d I=%8.0f dup=%6.2f%% Lm=%8.4g Im=%8.0f Om=%8.0f load=%7.2f%% pred=%.5f",
+				h.Iteration, h.Partitions, h.EstTotalInput, 100*h.DupOverhead, h.EstMaxLoad, h.EstIm, h.EstOm, 100*h.LoadOverhead, h.PredictedTime)
+		}
+	}
+	if plan.NumPartitions() < 1 {
+		t.Fatal("plan has no partitions")
+	}
+}

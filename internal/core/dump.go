@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DumpTree writes a human-readable rendering of the split tree to w, one node
+// per line, indented by depth. Inner nodes show the split predicate and which
+// relation is duplicated across it; leaves show their partition numbers and,
+// for small leaves, their internal 1-Bucket grid. It is meant for debugging
+// and for inspecting what RecPart decided on a workload (the paper's Figure 3
+// and Figure 7, as text).
+func (p *Plan) DumpTree(w io.Writer) error {
+	var sb strings.Builder
+	p.dumpNode(&sb, p.root, 0)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func (p *Plan) dumpNode(sb *strings.Builder, n *node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.isLeaf {
+		if n.small && (n.rows > 1 || n.cols > 1) {
+			fmt.Fprintf(sb, "%sleaf #%d: small, 1-Bucket %dx%d, partitions %d..%d, region %s\n",
+				indent, n.id, n.rows, n.cols, n.partBase, n.partBase+n.rows*n.cols-1, n.region)
+			return
+		}
+		kind := "regular"
+		if n.small {
+			kind = "small"
+		}
+		fmt.Fprintf(sb, "%sleaf #%d: %s, partition %d, region %s\n", indent, n.id, kind, n.partBase, n.region)
+		return
+	}
+	fmt.Fprintf(sb, "%snode #%d: A%d < %g (%s: duplicate %s near the boundary)\n",
+		indent, n.id, n.dim+1, n.val, n.kind, duplicatedSide(n.kind))
+	p.dumpNode(sb, n.left, depth+1)
+	p.dumpNode(sb, n.right, depth+1)
+}
+
+// duplicatedSide names the relation a split duplicates.
+func duplicatedSide(k splitKind) string {
+	if k == splitT {
+		return "T"
+	}
+	return "S"
+}

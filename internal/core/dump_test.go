@@ -1,0 +1,32 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bandjoin/internal/data"
+)
+
+func TestDumpTree(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.5, 2000, 3)
+	band := data.Symmetric(0.1, 0.1)
+	ctx := buildContext(t, s, tt, band, 6)
+	plan, err := NewDefault().PlanDetailed(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := plan.DumpTree(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "leaf") {
+		t.Error("dump contains no leaves")
+	}
+	if plan.Leaves > 1 && !strings.Contains(out, "node #0") {
+		t.Error("dump misses the root split")
+	}
+	if strings.Count(out, "leaf") != plan.Leaves {
+		t.Errorf("dump shows %d leaves, plan has %d", strings.Count(out, "leaf"), plan.Leaves)
+	}
+}

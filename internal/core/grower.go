@@ -1,0 +1,563 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"bandjoin/internal/data"
+	"bandjoin/internal/partition"
+)
+
+// action is one applied step of the repeat loop: either a regular split of a
+// leaf or an increment of a small leaf's internal 1-Bucket grid. The action
+// log, together with the deterministic node-ID numbering, lets RecPart replay
+// the prefix of actions that produced the best partitioning found (the
+// "winning partitioning P*" of Algorithm 1) without snapshotting the tree at
+// every iteration.
+type action struct {
+	nodeID int
+	// Regular split.
+	dim  int
+	val  float64
+	kind splitKind
+	// Small-leaf action.
+	smallAction bool
+	addRow      bool
+}
+
+// grower runs Algorithm 1 on the samples and records per-iteration statistics.
+type grower struct {
+	ctx  *partition.Context
+	opts Options
+	band data.Band
+	w    int
+
+	beta2, beta3 float64
+	varFactor    float64 // (w−1)/w²
+	smoothing    float64 // δ of the split score ΔVar/(ΔDup+δ)
+
+	nodes   []*node
+	root    *node
+	leaves  leafHeap
+	actions []action
+	history []IterationStats
+
+	// Lower bounds (Lemma 1) used for overhead computation.
+	inputLowerBound float64
+	estTotalOutput  float64
+	loadLowerBound  float64
+}
+
+func newGrower(ctx *partition.Context, opts Options) *grower {
+	w := ctx.Workers
+	g := &grower{
+		ctx:       ctx,
+		opts:      opts.withDefaults(w),
+		band:      ctx.Band,
+		w:         w,
+		beta2:     ctx.Model.Beta2,
+		beta3:     ctx.Model.Beta3,
+		varFactor: float64(w-1) / float64(w*w),
+	}
+	g.inputLowerBound = float64(ctx.Sample.TotalS + ctx.Sample.TotalT)
+	g.estTotalOutput = ctx.Sample.EstimatedOutput()
+	g.loadLowerBound = ctx.Model.LowerBoundLoad(g.inputLowerBound, g.estTotalOutput, w)
+	g.smoothing = g.opts.DupSmoothingFraction * g.inputLowerBound
+	if g.smoothing < 1 {
+		g.smoothing = 1
+	}
+	return g
+}
+
+// rootRegion bounds the split tree's root by the bounding box of the samples,
+// expanded by one band width. The assignment of real tuples never depends on
+// region containment (only on split predicates), so tuples outside the sample
+// bounding box are still routed correctly; the finite box only serves the
+// "small partition" detection and candidate-split filtering.
+func (g *grower) rootRegion() data.Region {
+	d := g.band.Dims()
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := 0; i < d; i++ {
+		lo[i] = math.Inf(1)
+		hi[i] = math.Inf(-1)
+	}
+	expand := func(r *data.Relation) {
+		for i := 0; i < r.Len(); i++ {
+			k := r.Key(i)
+			for dim, v := range k {
+				if v < lo[dim] {
+					lo[dim] = v
+				}
+				if v > hi[dim] {
+					hi[dim] = v
+				}
+			}
+		}
+	}
+	expand(g.ctx.Sample.S)
+	expand(g.ctx.Sample.T)
+	for i := 0; i < d; i++ {
+		if math.IsInf(lo[i], 0) || math.IsInf(hi[i], 0) {
+			lo[i], hi[i] = 0, 0
+		}
+		lo[i] -= g.band.MaxWidth(i)
+		hi[i] += g.band.MaxWidth(i) + 1e-9
+	}
+	return data.Region{Lo: lo, Hi: hi}
+}
+
+// initialize builds the root leaf holding all samples (lines 1-4 of
+// Algorithm 1).
+func (g *grower) initialize() {
+	smp := g.ctx.Sample
+	root := &node{
+		id:      0,
+		region:  g.rootRegion(),
+		isLeaf:  true,
+		rows:    1,
+		cols:    1,
+		heapIdx: -1,
+	}
+	root.sIdx = make([]int32, smp.S.Len())
+	for i := range root.sIdx {
+		root.sIdx[i] = int32(i)
+	}
+	root.tIdx = make([]int32, smp.T.Len())
+	for i := range root.tIdx {
+		root.tIdx[i] = int32(i)
+	}
+	root.outIdx = make([]int32, smp.OutS.Len())
+	for i := range root.outIdx {
+		root.outIdx[i] = int32(i)
+	}
+	g.updateEstimates(root)
+	root.small = root.region.IsSmall(g.band)
+	root.best = g.bestSplit(root)
+
+	g.root = root
+	g.nodes = []*node{root}
+	g.leaves = leafHeap{}
+	heap.Push(&g.leaves, root)
+	g.history = append(g.history, g.snapshot(0))
+}
+
+// updateEstimates refreshes the leaf's scaled input/output estimates from its
+// sample membership.
+func (g *grower) updateEstimates(n *node) {
+	smp := g.ctx.Sample
+	n.estS = smp.ScaleS(len(n.sIdx))
+	n.estT = smp.ScaleT(len(n.tIdx))
+	n.estOut = smp.ScaleOut(len(n.outIdx))
+}
+
+// grow runs the repeat loop until a termination condition fires and returns
+// the index (into the action log) of the winning partitioning.
+func (g *grower) grow() int {
+	for iter := 1; iter <= g.opts.MaxIterations; iter++ {
+		top := g.leaves.peek()
+		if top == nil || !top.best.sc.valid {
+			break
+		}
+		top = heap.Pop(&g.leaves).(*node)
+		g.apply(top)
+		g.history = append(g.history, g.snapshot(len(g.actions)))
+		if g.shouldStop() {
+			break
+		}
+	}
+	return g.bestIteration()
+}
+
+// apply performs the leaf's best action and re-inserts the affected leaves
+// with fresh best-split scores (lines 7-9 of Algorithm 1).
+func (g *grower) apply(n *node) {
+	c := n.best
+	if c.smallAction {
+		if c.addRow {
+			n.rows++
+		} else {
+			n.cols++
+		}
+		n.best = g.bestSplit(n)
+		heap.Push(&g.leaves, n)
+		g.actions = append(g.actions, action{nodeID: n.id, smallAction: true, addRow: c.addRow})
+		return
+	}
+
+	leftRegion, rightRegion := n.region.SplitAt(c.dim, c.val)
+	left := &node{id: len(g.nodes), region: leftRegion, isLeaf: true, rows: 1, cols: 1, heapIdx: -1}
+	right := &node{id: len(g.nodes) + 1, region: rightRegion, isLeaf: true, rows: 1, cols: 1, heapIdx: -1}
+	g.nodes = append(g.nodes, left, right)
+
+	g.distribute(n, c, left, right)
+	g.updateEstimates(left)
+	g.updateEstimates(right)
+	left.small = left.region.IsSmall(g.band)
+	right.small = right.region.IsSmall(g.band)
+	left.best = g.bestSplit(left)
+	right.best = g.bestSplit(right)
+
+	n.isLeaf = false
+	n.dim, n.val, n.kind = c.dim, c.val, c.kind
+	n.left, n.right = left, right
+	n.sIdx, n.tIdx, n.outIdx = nil, nil, nil
+
+	heap.Push(&g.leaves, left)
+	heap.Push(&g.leaves, right)
+	g.actions = append(g.actions, action{nodeID: n.id, dim: c.dim, val: c.val, kind: c.kind})
+}
+
+// distribute assigns the leaf's sample tuples to the two children of the given
+// split, duplicating tuples of the duplicated relation whose ε-range crosses
+// the split boundary, exactly as the real shuffle will (Algorithm 3).
+func (g *grower) distribute(n *node, c candidate, left, right *node) {
+	smp := g.ctx.Sample
+	dim, x := c.dim, c.val
+	low, high := g.band.Low[dim], g.band.High[dim]
+
+	if c.kind == splitT {
+		for _, i := range n.sIdx {
+			if smp.S.Key(int(i))[dim] < x {
+				left.sIdx = append(left.sIdx, i)
+			} else {
+				right.sIdx = append(right.sIdx, i)
+			}
+		}
+		for _, i := range n.tIdx {
+			v := smp.T.Key(int(i))[dim]
+			if v < x+high {
+				left.tIdx = append(left.tIdx, i)
+			}
+			if v >= x-low {
+				right.tIdx = append(right.tIdx, i)
+			}
+		}
+		for _, i := range n.outIdx {
+			if smp.OutS.Key(int(i))[dim] < x {
+				left.outIdx = append(left.outIdx, i)
+			} else {
+				right.outIdx = append(right.outIdx, i)
+			}
+		}
+		return
+	}
+	// S-split: partition T, duplicate S near the boundary.
+	for _, i := range n.tIdx {
+		if smp.T.Key(int(i))[dim] < x {
+			left.tIdx = append(left.tIdx, i)
+		} else {
+			right.tIdx = append(right.tIdx, i)
+		}
+	}
+	for _, i := range n.sIdx {
+		v := smp.S.Key(int(i))[dim]
+		if v < x+low {
+			left.sIdx = append(left.sIdx, i)
+		}
+		if v >= x-high {
+			right.sIdx = append(right.sIdx, i)
+		}
+	}
+	for _, i := range n.outIdx {
+		if smp.OutT.Key(int(i))[dim] < x {
+			left.outIdx = append(left.outIdx, i)
+		} else {
+			right.outIdx = append(right.outIdx, i)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// best_split (Algorithm 2)
+
+// bestSplit returns the best available action for the leaf.
+func (g *grower) bestSplit(n *node) candidate {
+	if n.small {
+		return g.evalSmall(n)
+	}
+	return g.evalRegular(n)
+}
+
+// evalSmall scores incrementing the row or column count of a small leaf's
+// internal 1-Bucket grid. Adding a row duplicates every T-tuple in the leaf
+// once more (each T-tuple is replicated to all rows of its column); adding a
+// column duplicates every S-tuple once more.
+func (g *grower) evalSmall(n *node) candidate {
+	cur := n.sumSquaredLoads(g.beta2, g.beta3)
+
+	rowLoad := n.subLoad(g.beta2, g.beta3, n.rows+1, n.cols)
+	rowSq := float64((n.rows+1)*n.cols) * rowLoad * rowLoad
+	scoreRow := newScore(g.varFactor*(cur-rowSq), n.estT, g.smoothing)
+
+	colLoad := n.subLoad(g.beta2, g.beta3, n.rows, n.cols+1)
+	colSq := float64(n.rows*(n.cols+1)) * colLoad * colLoad
+	scoreCol := newScore(g.varFactor*(cur-colSq), n.estS, g.smoothing)
+
+	if scoreRow.better(scoreCol) {
+		return candidate{sc: scoreRow, smallAction: true, addRow: true}
+	}
+	if scoreCol.valid {
+		return candidate{sc: scoreCol, smallAction: true, addRow: false}
+	}
+	return candidate{sc: invalidScore()}
+}
+
+// evalRegular finds the best decision-tree style split of a regular leaf: for
+// every dimension in which the leaf is not yet small, it sorts the sample and
+// sweeps all mid-points between consecutive values, scoring each as a T-split
+// and (if symmetric partitioning is enabled) as an S-split.
+func (g *grower) evalRegular(n *node) candidate {
+	best := candidate{sc: invalidScore()}
+	smp := g.ctx.Sample
+	lp := n.load(g.beta2, g.beta3)
+	lpSq := lp * lp
+	if lp <= 0 {
+		return best
+	}
+	nS, nT, nOut := len(n.sIdx), len(n.tIdx), len(n.outIdx)
+
+	for dim := 0; dim < g.band.Dims(); dim++ {
+		if n.region.SmallInDim(dim, g.band) {
+			continue
+		}
+		sv := sortedVals(smp.S, n.sIdx, dim)
+		tv := sortedVals(smp.T, n.tIdx, dim)
+		ovS := sortedVals(smp.OutS, n.outIdx, dim)
+		ovT := sortedVals(smp.OutT, n.outIdx, dim)
+		cands := candidatePoints(sv, tv, n.region.Lo[dim], n.region.Hi[dim])
+		if len(cands) == 0 {
+			continue
+		}
+		low, high := g.band.Low[dim], g.band.High[dim]
+
+		// Monotone pointers into the sorted value arrays; every threshold is
+		// a non-decreasing function of the candidate x, so one sweep suffices.
+		var pS, pTHigh, pTLow, pOS int // T-split pointers
+		var pT, pSLow, pSHigh, pOT int // S-split pointers
+		for _, x := range cands {
+			// --- T-split: partition S at x, duplicate T within the band.
+			pS = advance(sv, pS, x)
+			pTHigh = advance(tv, pTHigh, x+high)
+			pTLow = advance(tv, pTLow, x-low)
+			pOS = advance(ovS, pOS, x)
+
+			sLeft, sRight := pS, nS-pS
+			tLeft, tRight := pTHigh, nT-pTLow
+			outLeft, outRight := pOS, nOut-pOS
+			dup := float64(tLeft + tRight - nT)
+			lL := g.beta2*(smp.ScaleS(sLeft)+smp.ScaleT(tLeft)) + g.beta3*smp.ScaleOut(outLeft)
+			lR := g.beta2*(smp.ScaleS(sRight)+smp.ScaleT(tRight)) + g.beta3*smp.ScaleOut(outRight)
+			sc := newScore(g.varFactor*(lpSq-lL*lL-lR*lR), smp.ScaleT(int(dup)), g.smoothing)
+			if sc.better(best.sc) {
+				best = candidate{sc: sc, dim: dim, val: x, kind: splitT}
+			}
+
+			if !g.opts.Symmetric {
+				continue
+			}
+			// --- S-split: partition T at x, duplicate S within the band.
+			pT = advance(tv, pT, x)
+			pSLow = advance(sv, pSLow, x+low)
+			pSHigh = advance(sv, pSHigh, x-high)
+			pOT = advance(ovT, pOT, x)
+
+			tL, tR := pT, nT-pT
+			sL, sR := pSLow, nS-pSHigh
+			oL, oR := pOT, nOut-pOT
+			dupS := float64(sL + sR - nS)
+			lL = g.beta2*(smp.ScaleS(sL)+smp.ScaleT(tL)) + g.beta3*smp.ScaleOut(oL)
+			lR = g.beta2*(smp.ScaleS(sR)+smp.ScaleT(tR)) + g.beta3*smp.ScaleOut(oR)
+			sc = newScore(g.varFactor*(lpSq-lL*lL-lR*lR), smp.ScaleS(int(dupS)), g.smoothing)
+			if sc.better(best.sc) {
+				best = candidate{sc: sc, dim: dim, val: x, kind: splitS}
+			}
+		}
+	}
+	return best
+}
+
+// sortedVals extracts dimension dim of the referenced sample tuples, sorted
+// ascending.
+func sortedVals(r *data.Relation, idx []int32, dim int) []float64 {
+	out := make([]float64, len(idx))
+	for i, id := range idx {
+		out[i] = r.Key(int(id))[dim]
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// advance moves pointer p forward until vals[p] >= threshold and returns the
+// new position, i.e. the count of values strictly below the threshold.
+func advance(vals []float64, p int, threshold float64) int {
+	for p < len(vals) && vals[p] < threshold {
+		p++
+	}
+	return p
+}
+
+// candidatePoints returns the mid-points between consecutive distinct values
+// of the combined sample, restricted to the open interval (lo, hi).
+func candidatePoints(sv, tv []float64, lo, hi float64) []float64 {
+	merged := make([]float64, 0, len(sv)+len(tv))
+	merged = append(merged, sv...)
+	merged = append(merged, tv...)
+	sort.Float64s(merged)
+	out := make([]float64, 0, len(merged))
+	for i := 1; i < len(merged); i++ {
+		a, b := merged[i-1], merged[i]
+		if a == b {
+			continue
+		}
+		mid := a + (b-a)/2
+		if mid > lo && mid < hi && mid > a {
+			out = append(out, mid)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Per-iteration statistics and termination
+
+// snapshot estimates the quality of the current partitioning: total input
+// including duplicates, and max worker load / input / output under LPT
+// placement of all (sub-)partitions.
+func (g *grower) snapshot(iteration int) IterationStats {
+	var inputs, outputs, loads []float64
+	totalInput := 0.0
+	parts := 0
+	for _, leaf := range g.leaves {
+		inputs, outputs, loads = leaf.subPartitionLoads(g.beta2, g.beta3, inputs, outputs, loads)
+		totalInput += leaf.assignedInput()
+		parts += leaf.numPartitions()
+	}
+	sched := partition.LPT(loads, g.w)
+	workerLoad := make([]float64, g.w)
+	workerIn := make([]float64, g.w)
+	workerOut := make([]float64, g.w)
+	for p, wk := range sched {
+		workerLoad[wk] += loads[p]
+		workerIn[wk] += inputs[p]
+		workerOut[wk] += outputs[p]
+	}
+	maxW := 0
+	for wk := 1; wk < g.w; wk++ {
+		if workerLoad[wk] > workerLoad[maxW] {
+			maxW = wk
+		}
+	}
+
+	st := IterationStats{
+		Iteration:     iteration,
+		Partitions:    parts,
+		EstTotalInput: totalInput,
+		EstMaxLoad:    workerLoad[maxW],
+		EstIm:         workerIn[maxW],
+		EstOm:         workerOut[maxW],
+	}
+	if g.inputLowerBound > 0 {
+		st.DupOverhead = math.Max(0, (totalInput-g.inputLowerBound)/g.inputLowerBound)
+	}
+	if g.loadLowerBound > 0 {
+		st.LoadOverhead = math.Max(0, (st.EstMaxLoad-g.loadLowerBound)/g.loadLowerBound)
+	}
+	st.PredictedTime = g.ctx.Model.Predict(totalInput, st.EstIm, st.EstOm)
+	return st
+}
+
+// shouldStop evaluates the configured termination condition against the
+// recorded history.
+func (g *grower) shouldStop() bool {
+	last := g.history[len(g.history)-1]
+	switch g.opts.Termination {
+	case TerminateTheoretical:
+		// Input duplication grows monotonically; once it exceeds the best
+		// load overhead seen, no later partitioning can improve the
+		// max{dup, load} objective.
+		minLoad := math.Inf(1)
+		for _, h := range g.history {
+			if h.LoadOverhead < minLoad {
+				minLoad = h.LoadOverhead
+			}
+		}
+		return last.DupOverhead > minLoad
+	default:
+		window := g.opts.ImprovementWindow
+		n := len(g.history)
+		if n <= window {
+			return false
+		}
+		bestOld := math.Inf(1)
+		for _, h := range g.history[:n-window] {
+			if h.PredictedTime < bestOld {
+				bestOld = h.PredictedTime
+			}
+		}
+		bestNow := bestOld
+		for _, h := range g.history[n-window:] {
+			if h.PredictedTime < bestNow {
+				bestNow = h.PredictedTime
+			}
+		}
+		return bestNow > bestOld*(1-g.opts.MinImprovement)
+	}
+}
+
+// bestIteration returns the index into the action log whose prefix produced
+// the best objective value.
+func (g *grower) bestIteration() int {
+	best := 0
+	bestObj := math.Inf(1)
+	for _, h := range g.history {
+		obj := h.objective(g.opts.Termination)
+		if obj < bestObj {
+			bestObj = obj
+			best = h.Iteration
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Structural replay of an action prefix
+
+// replay rebuilds the split tree produced by the first k actions without
+// recomputing any scores; node IDs are assigned in creation order, so they
+// coincide with the IDs recorded in the action log.
+func (g *grower) replay(k int) (*node, error) {
+	root := &node{id: 0, region: g.rootRegion(), isLeaf: true, rows: 1, cols: 1, heapIdx: -1}
+	root.small = root.region.IsSmall(g.band)
+	nodes := []*node{root}
+	for i := 0; i < k; i++ {
+		a := g.actions[i]
+		if a.nodeID >= len(nodes) {
+			return nil, fmt.Errorf("core: replay action %d references unknown node %d", i, a.nodeID)
+		}
+		n := nodes[a.nodeID]
+		if !n.isLeaf {
+			return nil, fmt.Errorf("core: replay action %d targets inner node %d", i, a.nodeID)
+		}
+		if a.smallAction {
+			if a.addRow {
+				n.rows++
+			} else {
+				n.cols++
+			}
+			continue
+		}
+		leftRegion, rightRegion := n.region.SplitAt(a.dim, a.val)
+		left := &node{id: len(nodes), region: leftRegion, isLeaf: true, rows: 1, cols: 1, heapIdx: -1}
+		right := &node{id: len(nodes) + 1, region: rightRegion, isLeaf: true, rows: 1, cols: 1, heapIdx: -1}
+		left.small = left.region.IsSmall(g.band)
+		right.small = right.region.IsSmall(g.band)
+		nodes = append(nodes, left, right)
+		n.isLeaf = false
+		n.dim, n.val, n.kind = a.dim, a.val, a.kind
+		n.left, n.right = left, right
+	}
+	return root, nil
+}

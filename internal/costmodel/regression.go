@@ -1,0 +1,168 @@
+package costmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the regression design matrix is rank deficient
+// and the coefficients cannot be determined.
+var ErrSingular = errors.New("costmodel: singular design matrix")
+
+// LeastSquares solves min_b ||X·b − y||² via the normal equations
+// (XᵀX)·b = Xᵀy with Gaussian elimination and partial pivoting. X is given
+// row-wise; every row must have the same number of features.
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, errors.New("costmodel: no observations")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("costmodel: %d feature rows but %d targets", len(x), len(y))
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("costmodel: empty feature rows")
+	}
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("costmodel: row %d has %d features, want %d", i, len(row), p)
+		}
+	}
+
+	// Build XᵀX (p×p) and Xᵀy (p).
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for r, row := range x {
+		for i := 0; i < p; i++ {
+			xty[i] += row[i] * y[r]
+			for j := 0; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	return solve(xtx, xty)
+}
+
+// NonNegativeLeastSquares solves the least-squares problem and clamps negative
+// coefficients to zero, re-solving with those columns removed. The running
+// time model's coefficients are physically non-negative (a tuple cannot have
+// negative cost), and small benchmarks occasionally produce slightly negative
+// estimates for near-collinear features; this keeps the fitted model valid.
+func NonNegativeLeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, errors.New("costmodel: no observations")
+	}
+	p := len(x[0])
+	active := make([]bool, p)
+	for i := range active {
+		active[i] = true
+	}
+	for iter := 0; iter <= p; iter++ {
+		cols := make([]int, 0, p)
+		for j := 0; j < p; j++ {
+			if active[j] {
+				cols = append(cols, j)
+			}
+		}
+		if len(cols) == 0 {
+			return make([]float64, p), nil
+		}
+		sub := make([][]float64, len(x))
+		for i, row := range x {
+			r := make([]float64, len(cols))
+			for k, j := range cols {
+				r[k] = row[j]
+			}
+			sub[i] = r
+		}
+		b, err := LeastSquares(sub, y)
+		if err != nil {
+			return nil, err
+		}
+		anyNegative := false
+		full := make([]float64, p)
+		for k, j := range cols {
+			if b[k] < 0 {
+				active[j] = false
+				anyNegative = true
+			} else {
+				full[j] = b[k]
+			}
+		}
+		if !anyNegative {
+			return full, nil
+		}
+	}
+	return nil, errors.New("costmodel: non-negative least squares did not converge")
+}
+
+// solve performs Gaussian elimination with partial pivoting on the square
+// system a·x = b, modifying a and b in place.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// RSquared returns the coefficient of determination of predictions pred
+// against observations y, a standard goodness-of-fit measure for the
+// calibrated model.
+func RSquared(y, pred []float64) float64 {
+	if len(y) == 0 || len(y) != len(pred) {
+		return math.NaN()
+	}
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		d := y[i] - pred[i]
+		ssRes += d * d
+		t := y[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}

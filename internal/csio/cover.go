@@ -1,0 +1,220 @@
+package csio
+
+import (
+	"math"
+	"sort"
+)
+
+// rect is one region of the join-matrix cover: a contiguous range of rows and
+// columns. Every candidate cell is covered by exactly one rect; rects never
+// overlap geometrically, which guarantees that every join result is produced
+// by exactly one worker.
+type rect struct {
+	rowLo, rowHi int // inclusive
+	colLo, colHi int // inclusive
+	load         float64
+}
+
+// coverMatrix finds a cover of all candidate cells with at most `workers`
+// rectangles, minimizing the maximum rectangle load (β2·input + β3·output).
+// It binary-searches the max load and uses an M-Bucket-I style feasibility
+// check: rows are grouped into contiguous blocks, and within each block the
+// candidate columns are covered left to right with rectangles whose load stays
+// below the bound. This is the coarsened-matrix covering step of CSIO; the
+// search over block heights is what makes its optimization cost grow quickly
+// with the matrix granularity.
+func coverMatrix(m *matrix, workers int, beta2, beta3 float64) []rect {
+	// Candidate load values: binary search between the largest single-cell
+	// load and the load of one rectangle covering everything.
+	low := maxCellLoad(m, beta2, beta3)
+	high := totalLoad(m, beta2, beta3)
+	if high <= 0 {
+		// Degenerate: no candidate cells. A single rectangle covering the
+		// whole matrix keeps the plan well-formed.
+		return []rect{{rowLo: 0, rowHi: m.rows - 1, colLo: 0, colHi: m.cols - 1}}
+	}
+
+	best := buildCover(m, high*1.0001, workers, beta2, beta3)
+	for iter := 0; iter < 40 && high-low > 1e-9*(1+high); iter++ {
+		mid := (low + high) / 2
+		cover := buildCover(m, mid, workers, beta2, beta3)
+		if cover != nil {
+			best = cover
+			high = mid
+		} else {
+			low = mid
+		}
+	}
+	if best == nil {
+		best = []rect{{rowLo: 0, rowHi: m.rows - 1, colLo: 0, colHi: m.cols - 1, load: high}}
+	}
+	return best
+}
+
+// buildCover attempts to cover all candidate cells with rectangles of load at
+// most bound, using at most `workers` rectangles. It returns nil when it
+// cannot.
+func buildCover(m *matrix, bound float64, workers int, beta2, beta3 float64) []rect {
+	var rects []rect
+	row := 0
+	for row < m.rows {
+		bestHeight, bestScore := 1, math.Inf(-1)
+		var bestBlock []rect
+		// Try all block heights starting at this row and keep the one with
+		// the best covered-cells-per-rectangle ratio (the M-Bucket-I score).
+		for h := 1; row+h <= m.rows; h++ {
+			block, cells, ok := coverBlock(m, row, row+h-1, bound, beta2, beta3)
+			if !ok {
+				break
+			}
+			if len(block) == 0 {
+				// No candidate cells in this block; extending is free.
+				if h == m.rows-row {
+					bestHeight, bestBlock = h, block
+					bestScore = math.Inf(1)
+				}
+				continue
+			}
+			score := float64(cells) / float64(len(block))
+			if score > bestScore {
+				bestScore, bestHeight, bestBlock = score, h, block
+			}
+		}
+		if bestBlock == nil && bestScore == math.Inf(-1) {
+			// Not even a single row fits under the bound.
+			if blk, _, ok := coverBlock(m, row, row, bound, beta2, beta3); ok {
+				bestHeight, bestBlock = 1, blk
+			} else {
+				return nil
+			}
+		}
+		rects = append(rects, bestBlock...)
+		if len(rects) > workers {
+			return nil
+		}
+		row += bestHeight
+	}
+	if len(rects) == 0 {
+		rects = append(rects, rect{rowLo: 0, rowHi: m.rows - 1, colLo: 0, colHi: m.cols - 1})
+	}
+	return rects
+}
+
+// coverBlock covers the candidate cells of rows [rowLo, rowHi] with
+// rectangles spanning those rows and contiguous column ranges, each of load at
+// most bound. It returns the rectangles, the number of candidate cells
+// covered, and whether the bound could be respected.
+func coverBlock(m *matrix, rowLo, rowHi int, bound float64, beta2, beta3 float64) ([]rect, int, bool) {
+	rowIn := 0.0
+	for r := rowLo; r <= rowHi; r++ {
+		rowIn += m.rowInput[r]
+	}
+	var rects []rect
+	cells := 0
+	col := 0
+	for col < m.cols {
+		// Skip columns with no candidate cell in this row block.
+		if !blockColumnCandidate(m, rowLo, rowHi, col) {
+			col++
+			continue
+		}
+		// Grow a rectangle starting at col while the load stays under bound.
+		load := rowIn * beta2
+		out := 0.0
+		colIn := 0.0
+		end := col
+		for end < m.cols {
+			if !blockColumnCandidate(m, rowLo, rowHi, end) {
+				// Including a candidate-free column costs its input but covers
+				// nothing; stop the rectangle before it.
+				break
+			}
+			addIn := m.colInput[end]
+			addOut := 0.0
+			for r := rowLo; r <= rowHi; r++ {
+				if m.candidate[m.at(r, end)] {
+					addOut += m.cellOutput[m.at(r, end)]
+				}
+			}
+			newLoad := (rowIn+colIn+addIn)*beta2 + (out+addOut)*beta3
+			if end > col && newLoad > bound {
+				break
+			}
+			colIn += addIn
+			out += addOut
+			load = newLoad
+			end++
+		}
+		if end == col {
+			end = col + 1 // a single column always forms a rectangle
+		}
+		if load > bound && !(rowLo == rowHi && end-col == 1) {
+			return nil, 0, false
+		}
+		if load > bound {
+			return nil, 0, false
+		}
+		for r := rowLo; r <= rowHi; r++ {
+			for c := col; c < end; c++ {
+				if m.candidate[m.at(r, c)] {
+					cells++
+				}
+			}
+		}
+		rects = append(rects, rect{rowLo: rowLo, rowHi: rowHi, colLo: col, colHi: end - 1, load: load})
+		col = end
+	}
+	return rects, cells, true
+}
+
+// blockColumnCandidate reports whether column c has any candidate cell within
+// rows [rowLo, rowHi].
+func blockColumnCandidate(m *matrix, rowLo, rowHi, c int) bool {
+	for r := rowLo; r <= rowHi; r++ {
+		if m.candidate[m.at(r, c)] {
+			return true
+		}
+	}
+	return false
+}
+
+func maxCellLoad(m *matrix, beta2, beta3 float64) float64 {
+	max := 0.0
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if !m.candidate[m.at(i, j)] {
+				continue
+			}
+			l := (m.rowInput[i]+m.colInput[j])*beta2 + m.cellOutput[m.at(i, j)]*beta3
+			if l > max {
+				max = l
+			}
+		}
+	}
+	return max
+}
+
+func totalLoad(m *matrix, beta2, beta3 float64) float64 {
+	in := 0.0
+	for _, v := range m.rowInput {
+		in += v
+	}
+	for _, v := range m.colInput {
+		in += v
+	}
+	out := 0.0
+	for _, v := range m.cellOutput {
+		out += v
+	}
+	return in*beta2 + out*beta3
+}
+
+// sortRects orders rectangles by (rowLo, colLo) for deterministic plans.
+func sortRects(rects []rect) {
+	sort.Slice(rects, func(a, b int) bool {
+		if rects[a].rowLo != rects[b].rowLo {
+			return rects[a].rowLo < rects[b].rowLo
+		}
+		return rects[a].colLo < rects[b].colLo
+	})
+}

@@ -1,0 +1,203 @@
+// Package csio implements the CSIO baseline (Vitorovic et al., ICDE 2016),
+// the state of the art for distributed theta-joins that the paper compares
+// against. CSIO range-partitions both inputs on a total order of the
+// join-attribute space using approximate quantiles (row-major order per
+// Section 5.2 of the paper), marks the join-matrix cells that may contain
+// results, and covers those candidate cells with at most w rectangles while
+// minimizing the maximum rectangle load. The covering search dominates its
+// optimization time, which grows quickly with the statistics granularity and
+// with join dimensionality — the weakness the paper's experiments expose.
+package csio
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bandjoin/internal/data"
+	"bandjoin/internal/partition"
+)
+
+// CSIO is the partitioner. Granularity is the number of quantile ranges per
+// input; zero selects 4·w bounded to [16, 192]. Higher granularity finds
+// better coverings but optimization cost grows roughly cubically with it.
+type CSIO struct {
+	Granularity int
+}
+
+// New returns CSIO with automatic granularity.
+func New() *CSIO { return &CSIO{} }
+
+// NewWithGranularity returns CSIO using the given number of quantile ranges
+// per input.
+func NewWithGranularity(g int) *CSIO { return &CSIO{Granularity: g} }
+
+// Name implements partition.Partitioner.
+func (*CSIO) Name() string { return "CSIO" }
+
+// Plan implements partition.Partitioner.
+func (c *CSIO) Plan(ctx *partition.Context) (partition.Plan, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, fmt.Errorf("csio: invalid context: %w", err)
+	}
+	g := c.Granularity
+	if g <= 0 {
+		g = 4 * ctx.Workers
+		if g < 16 {
+			g = 16
+		}
+		if g > 192 {
+			g = 192
+		}
+	}
+
+	smp := ctx.Sample
+	sBounds := quantileBoundaries(smp.S, g)
+	tBounds := quantileBoundaries(smp.T, g)
+	rows := len(sBounds) + 1
+	cols := len(tBounds) + 1
+
+	m := buildMatrix(ctx, sBounds, tBounds, rows, cols)
+	rects := coverMatrix(m, ctx.Workers, ctx.Model.Beta2, ctx.Model.Beta3)
+	return newPlan(ctx.Band, sBounds, tBounds, m, rects), nil
+}
+
+// ---------------------------------------------------------------------------
+// Row-major linearization and quantiles
+
+// lessKey is the row-major (lexicographic, most-significant dimension first)
+// total order on join-attribute keys that CSIO's range partitioning uses.
+func lessKey(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// quantileBoundaries returns g−1 boundary keys splitting the sample into g
+// approximately equal ranges under the row-major order.
+func quantileBoundaries(r *data.Relation, g int) [][]float64 {
+	n := r.Len()
+	if n == 0 || g <= 1 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return lessKey(r.Key(idx[a]), r.Key(idx[b])) })
+	bounds := make([][]float64, 0, g-1)
+	for q := 1; q < g; q++ {
+		pos := q * n / g
+		if pos >= n {
+			pos = n - 1
+		}
+		key := make([]float64, r.Dims())
+		copy(key, r.Key(idx[pos]))
+		if len(bounds) > 0 && !lessKey(bounds[len(bounds)-1], key) {
+			continue // skip duplicate boundaries caused by repeated keys
+		}
+		bounds = append(bounds, key)
+	}
+	return bounds
+}
+
+// rangeOf returns the index of the range containing the key: the number of
+// boundaries that are <= key.
+func rangeOf(bounds [][]float64, key []float64) int {
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if lessKey(key, bounds[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// ---------------------------------------------------------------------------
+// Candidate matrix
+
+// matrix holds the candidate cells of the (coarsened) join matrix together
+// with per-row input, per-column input, and per-cell output estimates.
+type matrix struct {
+	rows, cols int
+	candidate  []bool    // rows*cols, row-major
+	rowInput   []float64 // estimated S-tuples per row range
+	colInput   []float64 // estimated T-tuples per column range
+	cellOutput []float64 // estimated output per candidate cell
+}
+
+func (m *matrix) at(i, j int) int { return i*m.cols + j }
+
+// buildMatrix marks candidate cells and estimates their weights from the
+// samples. A cell (i, j) is a candidate when the most-significant-dimension
+// intervals of S-range i and T-range j are within band width of each other
+// (conservative, as required for correctness) — output-sample hits are a
+// subset of those cells.
+func buildMatrix(ctx *partition.Context, sBounds, tBounds [][]float64, rows, cols int) *matrix {
+	smp := ctx.Sample
+	band := ctx.Band
+	m := &matrix{
+		rows:       rows,
+		cols:       cols,
+		candidate:  make([]bool, rows*cols),
+		rowInput:   make([]float64, rows),
+		colInput:   make([]float64, cols),
+		cellOutput: make([]float64, rows*cols),
+	}
+
+	// Interval of the most significant dimension covered by each range.
+	sLo, sHi := rangeIntervals(sBounds, rows)
+	tLo, tHi := rangeIntervals(tBounds, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			// Ranges can contain a match when some s0 in [sLo, sHi] and t0 in
+			// [tLo, tHi] satisfy s0−Low ≤ t0 ≤ s0+High.
+			if tLo[j] <= sHi[i]+band.High[0] && tHi[j] >= sLo[i]-band.Low[0] {
+				m.candidate[m.at(i, j)] = true
+			}
+		}
+	}
+
+	for i := 0; i < smp.S.Len(); i++ {
+		m.rowInput[rangeOf(sBounds, smp.S.Key(i))] += 1 / smp.SRate
+	}
+	for i := 0; i < smp.T.Len(); i++ {
+		m.colInput[rangeOf(tBounds, smp.T.Key(i))] += 1 / smp.TRate
+	}
+	for i := 0; i < smp.OutS.Len(); i++ {
+		r := rangeOf(sBounds, smp.OutS.Key(i))
+		c := rangeOf(tBounds, smp.OutT.Key(i))
+		cell := m.at(r, c)
+		m.candidate[cell] = true
+		m.cellOutput[cell] += smp.OutWeight
+	}
+	return m
+}
+
+// rangeIntervals returns, per range, the interval of the most significant
+// dimension it can contain under the row-major order. Range q covers keys in
+// [bounds[q-1], bounds[q]), so its first-dimension values lie between the
+// first components of the two boundary keys (unbounded at the ends).
+func rangeIntervals(bounds [][]float64, n int) (lo, hi []float64) {
+	lo = make([]float64, n)
+	hi = make([]float64, n)
+	for q := 0; q < n; q++ {
+		if q == 0 {
+			lo[q] = math.Inf(-1)
+		} else {
+			lo[q] = bounds[q-1][0]
+		}
+		if q == n-1 {
+			hi[q] = math.Inf(1)
+		} else {
+			hi[q] = bounds[q][0]
+		}
+	}
+	return lo, hi
+}

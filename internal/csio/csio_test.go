@@ -1,0 +1,169 @@
+package csio
+
+import (
+	"testing"
+
+	"bandjoin/internal/costmodel"
+	"bandjoin/internal/data"
+	"bandjoin/internal/partition"
+	"bandjoin/internal/sample"
+)
+
+func testContext(t *testing.T, workers int, band data.Band, s, tt *data.Relation) *partition.Context {
+	t.Helper()
+	smp, err := sample.Draw(s, tt, band, sample.Options{InputSampleSize: 1200, OutputSampleSize: 600, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &partition.Context{Band: band, Workers: workers, Sample: smp, Model: costmodel.Default(), Seed: 3}
+}
+
+func TestLessKeyRowMajor(t *testing.T) {
+	if !lessKey([]float64{1, 9}, []float64{2, 0}) {
+		t.Error("most significant dimension must dominate")
+	}
+	if !lessKey([]float64{1, 1}, []float64{1, 2}) {
+		t.Error("ties broken by later dimensions")
+	}
+	if lessKey([]float64{1, 2}, []float64{1, 2}) {
+		t.Error("equal keys are not less")
+	}
+}
+
+func TestQuantileBoundaries(t *testing.T) {
+	r := data.NewRelation("r", 1)
+	for i := 0; i < 100; i++ {
+		r.Append(float64(i))
+	}
+	bounds := quantileBoundaries(r, 4)
+	if len(bounds) != 3 {
+		t.Fatalf("expected 3 boundaries, got %d", len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !lessKey(bounds[i-1], bounds[i]) {
+			t.Error("boundaries not strictly increasing")
+		}
+	}
+	// Duplicate-heavy input collapses boundaries instead of repeating them.
+	dup := data.NewRelation("d", 1)
+	for i := 0; i < 100; i++ {
+		dup.Append(5)
+	}
+	if got := quantileBoundaries(dup, 4); len(got) > 1 {
+		t.Errorf("duplicate values produced %d boundaries", len(got))
+	}
+	if quantileBoundaries(data.NewRelation("e", 1), 4) != nil {
+		t.Error("empty relation should have no boundaries")
+	}
+}
+
+func TestRangeOf(t *testing.T) {
+	bounds := [][]float64{{10}, {20}, {30}}
+	cases := []struct {
+		v    float64
+		want int
+	}{{5, 0}, {10, 1}, {15, 1}, {29, 2}, {30, 3}, {1000, 3}}
+	for _, c := range cases {
+		if got := rangeOf(bounds, []float64{c.v}); got != c.want {
+			t.Errorf("rangeOf(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestPlanDefinitionOne(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.5, 2500, 5)
+	band := data.Symmetric(0.1, 0.1)
+	ctx := testContext(t, 10, band, s, tt)
+	plan, err := New().Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumPartitions() < 1 || plan.NumPartitions() > 10 {
+		t.Fatalf("CSIO produced %d rectangles for 10 workers", plan.NumPartitions())
+	}
+	checked := 0
+	for i := 0; i < s.Len(); i += 13 {
+		for j := 0; j < tt.Len(); j += 19 {
+			sParts := plan.AssignS(int64(i), s.Key(i), nil)
+			tParts := plan.AssignT(int64(j), tt.Key(j), nil)
+			if len(sParts) == 0 || len(tParts) == 0 {
+				t.Fatal("a tuple was assigned nowhere")
+			}
+			common := 0
+			for _, a := range sParts {
+				for _, b := range tParts {
+					if a == b {
+						common++
+					}
+				}
+			}
+			if band.Matches(s.Key(i), tt.Key(j)) {
+				checked++
+				if common != 1 {
+					t.Fatalf("matching pair covered by %d rectangles, want 1", common)
+				}
+			} else if common > 1 {
+				t.Fatalf("non-matching pair covered by %d rectangles", common)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no matching pairs checked")
+	}
+}
+
+func TestCoverRespectsWorkerBudgetAndBalances(t *testing.T) {
+	s, tt := data.ParetoPair(1, 2.0, 4000, 7)
+	band := data.Symmetric(0.01)
+	for _, w := range []int{2, 8, 24} {
+		ctx := testContext(t, w, band, s, tt)
+		plan, err := New().Plan(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := plan.(*Plan)
+		if p.Rectangles() > w {
+			t.Errorf("w=%d: cover uses %d rectangles", w, p.Rectangles())
+		}
+		loads := p.EstimatedLoads()
+		if len(loads) != p.Rectangles() {
+			t.Errorf("w=%d: %d load estimates for %d rectangles", w, len(loads), p.Rectangles())
+		}
+	}
+}
+
+func TestGranularityIncreasesOptimizationWork(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.5, 3000, 9)
+	band := data.Symmetric(0.05, 0.05)
+	ctxCoarse := testContext(t, 8, band, s, tt)
+	coarse, err := NewWithGranularity(16).Plan(ctxCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxFine := testContext(t, 8, band, s, tt)
+	fine, err := NewWithGranularity(96).Plan(ctxFine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.NumPartitions() > 8 || fine.NumPartitions() > 8 {
+		t.Error("rectangle budget exceeded")
+	}
+}
+
+func TestPlanRejectsInvalidContext(t *testing.T) {
+	if _, err := New().Plan(&partition.Context{}); err == nil {
+		t.Error("invalid context accepted")
+	}
+	if New().Name() != "CSIO" {
+		t.Error("name wrong")
+	}
+}
+
+func TestBuildCoverDegenerateMatrix(t *testing.T) {
+	// A matrix with no candidate cells still yields a well-formed cover.
+	m := &matrix{rows: 3, cols: 3, candidate: make([]bool, 9), rowInput: make([]float64, 3), colInput: make([]float64, 3), cellOutput: make([]float64, 9)}
+	rects := coverMatrix(m, 4, 1, 1)
+	if len(rects) == 0 {
+		t.Fatal("degenerate matrix produced no cover")
+	}
+}

@@ -1,0 +1,160 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymmetricMatches(t *testing.T) {
+	b := Symmetric(1, 2)
+	cases := []struct {
+		s, tt []float64
+		want  bool
+	}{
+		{[]float64{0, 0}, []float64{1, 2}, true},
+		{[]float64{0, 0}, []float64{1.0001, 0}, false},
+		{[]float64{0, 0}, []float64{0, -2}, true},
+		{[]float64{0, 0}, []float64{0, -2.5}, false},
+		{[]float64{5, 5}, []float64{5, 5}, true},
+	}
+	for _, c := range cases {
+		if got := b.Matches(c.s, c.tt); got != c.want {
+			t.Errorf("Matches(%v, %v) = %v, want %v", c.s, c.tt, got, c.want)
+		}
+	}
+}
+
+func TestAsymmetricMatches(t *testing.T) {
+	// s - 2 <= t <= s + 1
+	b := Asymmetric([]float64{2}, []float64{1})
+	if !b.Matches([]float64{10}, []float64{8}) {
+		t.Error("t = s-2 should match")
+	}
+	if b.Matches([]float64{10}, []float64{7.9}) {
+		t.Error("t = s-2.1 should not match")
+	}
+	if !b.Matches([]float64{10}, []float64{11}) {
+		t.Error("t = s+1 should match")
+	}
+	if b.Matches([]float64{10}, []float64{11.1}) {
+		t.Error("t = s+1.1 should not match")
+	}
+}
+
+func TestAsymmetricPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Asymmetric accepted mismatched widths")
+		}
+	}()
+	Asymmetric([]float64{1}, []float64{1, 2})
+}
+
+func TestUniform(t *testing.T) {
+	b := Uniform(3, 2.5)
+	if b.Dims() != 3 {
+		t.Fatalf("Dims = %d", b.Dims())
+	}
+	for i := 0; i < 3; i++ {
+		if b.Low[i] != 2.5 || b.High[i] != 2.5 {
+			t.Errorf("dimension %d widths = %g/%g", i, b.Low[i], b.High[i])
+		}
+	}
+}
+
+func TestBandValidate(t *testing.T) {
+	if err := Symmetric(1, 2).Validate(); err != nil {
+		t.Errorf("valid band rejected: %v", err)
+	}
+	if err := (Band{}).Validate(); err == nil {
+		t.Error("empty band accepted")
+	}
+	if err := (Band{Low: []float64{1}, High: []float64{1, 2}}).Validate(); err == nil {
+		t.Error("mismatched band accepted")
+	}
+	if err := (Band{Low: []float64{-1}, High: []float64{1}}).Validate(); err == nil {
+		t.Error("negative width accepted")
+	}
+	if err := (Band{Low: []float64{math.NaN()}, High: []float64{1}}).Validate(); err == nil {
+		t.Error("NaN width accepted")
+	}
+	if err := (Band{Low: []float64{math.Inf(1)}, High: []float64{1}}).Validate(); err == nil {
+		t.Error("infinite width accepted")
+	}
+}
+
+func TestIsEquiJoin(t *testing.T) {
+	if !Symmetric(0, 0).IsEquiJoin() {
+		t.Error("zero widths should be an equi-join")
+	}
+	if Symmetric(0, 1).IsEquiJoin() {
+		t.Error("non-zero width flagged as equi-join")
+	}
+}
+
+func TestWidthAccessors(t *testing.T) {
+	b := Asymmetric([]float64{1}, []float64{3})
+	if b.Width(0) != 4 {
+		t.Errorf("Width = %g, want 4", b.Width(0))
+	}
+	if b.MaxWidth(0) != 3 {
+		t.Errorf("MaxWidth = %g, want 3", b.MaxWidth(0))
+	}
+}
+
+// TestEpsRangeConsistency is the key correctness property the partitioners
+// rely on: s matches t exactly when s lies in the ε-range of t, and exactly
+// when t lies in the ε-range of s.
+func TestEpsRangeConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(sv, tv [2]float64, lowRaw, highRaw [2]float64) bool {
+		low := [2]float64{math.Abs(lowRaw[0]), math.Abs(lowRaw[1])}
+		high := [2]float64{math.Abs(highRaw[0]), math.Abs(highRaw[1])}
+		b := Asymmetric(low[:], high[:])
+		s := sv[:]
+		tt := tv[:]
+		matches := b.Matches(s, tt)
+		inRangeOfT := b.EpsRangeOfT(tt).containsClosed(s)
+		inRangeOfS := b.EpsRangeOfS(s).containsClosed(tt)
+		return matches == inRangeOfT && matches == inRangeOfS
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng, Values: func(args []reflect.Value, r *rand.Rand) {
+		for i := range args {
+			args[i] = reflect.ValueOf([2]float64{r.NormFloat64() * 3, r.NormFloat64() * 3})
+		}
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchesDim(t *testing.T) {
+	b := Symmetric(1, 5)
+	if !b.MatchesDim(0, 3, 4) || b.MatchesDim(0, 3, 4.5) {
+		t.Error("MatchesDim dimension 0 wrong")
+	}
+	if !b.MatchesDim(1, 0, 5) || b.MatchesDim(1, 0, 6) {
+		t.Error("MatchesDim dimension 1 wrong")
+	}
+}
+
+func TestBandString(t *testing.T) {
+	if Symmetric(1).String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+// containsClosed treats the region as closed on both sides, which is the
+// correct reading for ε-ranges (they are closed boxes, unlike the half-open
+// split-tree regions).
+func (r Region) containsClosed(key []float64) bool {
+	for i, v := range key {
+		if v < r.Lo[i] || v > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,124 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFullSpaceContainsEverything(t *testing.T) {
+	r := FullSpace(3)
+	for _, key := range [][]float64{{0, 0, 0}, {1e300, -1e300, 42}, {math.MaxFloat64, 0, -math.MaxFloat64}} {
+		if !r.Contains(key) {
+			t.Errorf("FullSpace does not contain %v", key)
+		}
+	}
+}
+
+func TestRegionContainsHalfOpen(t *testing.T) {
+	r := NewRegion([]float64{0, 0}, []float64{1, 1})
+	if !r.Contains([]float64{0, 0}) {
+		t.Error("lower bound should be contained (closed)")
+	}
+	if r.Contains([]float64{1, 0.5}) {
+		t.Error("upper bound should not be contained (open)")
+	}
+	if r.Contains([]float64{-0.1, 0.5}) {
+		t.Error("value below the lower bound contained")
+	}
+}
+
+func TestNewRegionPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRegion accepted mismatched bounds")
+		}
+	}()
+	NewRegion([]float64{0}, []float64{1, 2})
+}
+
+// TestSplitTilesExactly is the invariant the split tree relies on: after a
+// split, every key of the parent region belongs to exactly one child.
+func TestSplitTilesExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(raw [3]float64, splitRaw float64) bool {
+		parent := NewRegion([]float64{-10, -10, -10}, []float64{10, 10, 10})
+		split := math.Mod(math.Abs(splitRaw), 18) - 9
+		left, right := parent.SplitAt(1, split)
+		key := []float64{
+			math.Mod(raw[0], 10),
+			math.Mod(raw[1], 10),
+			math.Mod(raw[2], 10),
+		}
+		if !parent.Contains(key) {
+			return true
+		}
+		inLeft := left.Contains(key)
+		inRight := right.Contains(key)
+		return inLeft != inRight
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionIntersects(t *testing.T) {
+	r := NewRegion([]float64{0}, []float64{10})
+	if !r.Intersects(NewRegion([]float64{-5}, []float64{0})) {
+		t.Error("box touching the lower (closed) bound should intersect")
+	}
+	if r.Intersects(NewRegion([]float64{10}, []float64{12})) {
+		t.Error("box starting at the open upper bound should not intersect")
+	}
+	if !r.Intersects(NewRegion([]float64{9.9}, []float64{20})) {
+		t.Error("overlapping box should intersect")
+	}
+	if r.Intersects(NewRegion([]float64{-5}, []float64{-0.1})) {
+		t.Error("box entirely below should not intersect")
+	}
+}
+
+func TestRegionSmall(t *testing.T) {
+	band := Symmetric(1, 2)
+	small := NewRegion([]float64{0, 0}, []float64{2, 4}) // extent equals 2ε in both dims
+	if !small.IsSmall(band) {
+		t.Error("region with extent 2ε in every dimension should be small")
+	}
+	big := NewRegion([]float64{0, 0}, []float64{2.1, 4})
+	if big.IsSmall(band) {
+		t.Error("region exceeding 2ε in one dimension should not be small")
+	}
+	if !big.SmallInDim(1, band) || big.SmallInDim(0, band) {
+		t.Error("SmallInDim disagrees with extents")
+	}
+	unbounded := FullSpace(2)
+	if unbounded.IsSmall(band) {
+		t.Error("unbounded region cannot be small")
+	}
+	equi := Symmetric(0, 0)
+	if NewRegion([]float64{0, 0}, []float64{1, 1}).IsSmall(equi) {
+		t.Error("non-degenerate region cannot be small under an equi-join")
+	}
+}
+
+func TestRegionClampTo(t *testing.T) {
+	r := FullSpace(2)
+	clamped := r.ClampTo([]float64{0, 0}, []float64{5, 5})
+	if clamped.Lo[0] != 0 || clamped.Hi[1] != 5 {
+		t.Errorf("ClampTo produced %v", clamped)
+	}
+}
+
+func TestRegionExtentAndString(t *testing.T) {
+	r := NewRegion([]float64{1}, []float64{4})
+	if r.Extent(0) != 3 {
+		t.Errorf("Extent = %g", r.Extent(0))
+	}
+	if r.String() == "" {
+		t.Error("String() empty")
+	}
+	if r.Dims() != 1 {
+		t.Errorf("Dims = %d", r.Dims())
+	}
+}

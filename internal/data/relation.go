@@ -1,0 +1,169 @@
+// Package data provides the fundamental data model for distributed band-joins:
+// relations stored as flat columnar-style key arrays, band-join conditions
+// (symmetric and asymmetric), axis-aligned regions of the join-attribute space,
+// and generators for the synthetic and real-like datasets used in the paper's
+// evaluation (Pareto, reverse Pareto, ebird/cloud surrogates, PTF surrogate).
+package data
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Relation is a collection of tuples participating in a band-join. Only the
+// join attributes (the "key") are stored explicitly; any non-join payload is
+// identified by the tuple index, which acts as a stable tuple ID.
+//
+// Keys are stored in a single flat slice in row-major order so that a relation
+// with millions of tuples costs one allocation for the key data and produces
+// no per-tuple garbage. Key(i) returns a subslice aliasing that storage.
+type Relation struct {
+	name string
+	dims int
+	keys []float64 // len == n*dims, row-major
+}
+
+// NewRelation returns an empty relation with the given name and number of
+// join attributes (dimensions). It panics if dims < 1.
+func NewRelation(name string, dims int) *Relation {
+	if dims < 1 {
+		panic(fmt.Sprintf("data: relation %q must have at least one dimension, got %d", name, dims))
+	}
+	return &Relation{name: name, dims: dims}
+}
+
+// NewRelationCapacity returns an empty relation with storage pre-allocated for
+// n tuples.
+func NewRelationCapacity(name string, dims, n int) *Relation {
+	r := NewRelation(name, dims)
+	if n > 0 {
+		r.keys = make([]float64, 0, n*dims)
+	}
+	return r
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Dims returns the number of join attributes.
+func (r *Relation) Dims() int { return r.dims }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.keys) / r.dims }
+
+// Key returns the join-attribute values of tuple i. The returned slice aliases
+// the relation's storage and must not be modified or retained across Append.
+func (r *Relation) Key(i int) []float64 {
+	return r.keys[i*r.dims : (i+1)*r.dims : (i+1)*r.dims]
+}
+
+// Append adds a tuple with the given join-attribute values. It panics if the
+// number of values does not match the relation's dimensionality.
+func (r *Relation) Append(key ...float64) {
+	if len(key) != r.dims {
+		panic(fmt.Sprintf("data: relation %q expects %d join attributes, got %d", r.name, r.dims, len(key)))
+	}
+	r.keys = append(r.keys, key...)
+}
+
+// AppendKey adds a tuple without the variadic copy; key must have length Dims.
+func (r *Relation) AppendKey(key []float64) {
+	if len(key) != r.dims {
+		panic(fmt.Sprintf("data: relation %q expects %d join attributes, got %d", r.name, r.dims, len(key)))
+	}
+	r.keys = append(r.keys, key...)
+}
+
+// Clone returns a deep copy of the relation, optionally under a new name.
+func (r *Relation) Clone(name string) *Relation {
+	if name == "" {
+		name = r.name
+	}
+	out := &Relation{name: name, dims: r.dims, keys: make([]float64, len(r.keys))}
+	copy(out.keys, r.keys)
+	return out
+}
+
+// Slice returns a new relation containing tuples [lo, hi). The key data is
+// copied so the result is independent of the receiver.
+func (r *Relation) Slice(name string, lo, hi int) *Relation {
+	if lo < 0 || hi > r.Len() || lo > hi {
+		panic(fmt.Sprintf("data: slice [%d,%d) out of range for relation of %d tuples", lo, hi, r.Len()))
+	}
+	out := NewRelationCapacity(name, r.dims, hi-lo)
+	out.keys = append(out.keys, r.keys[lo*r.dims:hi*r.dims]...)
+	return out
+}
+
+// MinMax returns, per dimension, the minimum and maximum attribute value in
+// the relation. It returns an error if the relation is empty.
+func (r *Relation) MinMax() (min, max []float64, err error) {
+	n := r.Len()
+	if n == 0 {
+		return nil, nil, errors.New("data: MinMax of empty relation")
+	}
+	min = make([]float64, r.dims)
+	max = make([]float64, r.dims)
+	for d := 0; d < r.dims; d++ {
+		min[d] = math.Inf(1)
+		max[d] = math.Inf(-1)
+	}
+	for i := 0; i < n; i++ {
+		k := r.Key(i)
+		for d, v := range k {
+			if v < min[d] {
+				min[d] = v
+			}
+			if v > max[d] {
+				max[d] = v
+			}
+		}
+	}
+	return min, max, nil
+}
+
+// SortByDim sorts the relation's tuples in place by ascending value of the
+// given dimension, breaking ties by subsequent dimensions. Tuple IDs (indices)
+// are not stable across this call; it is intended for relations used purely as
+// value collections (e.g. samples).
+func (r *Relation) SortByDim(dim int) {
+	n := r.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ka, kb := r.Key(idx[a]), r.Key(idx[b])
+		if ka[dim] != kb[dim] {
+			return ka[dim] < kb[dim]
+		}
+		for d := 0; d < r.dims; d++ {
+			if ka[d] != kb[d] {
+				return ka[d] < kb[d]
+			}
+		}
+		return false
+	})
+	sorted := make([]float64, len(r.keys))
+	for pos, i := range idx {
+		copy(sorted[pos*r.dims:(pos+1)*r.dims], r.Key(i))
+	}
+	r.keys = sorted
+}
+
+// Values returns a copy of all values of the given dimension, in tuple order.
+func (r *Relation) Values(dim int) []float64 {
+	n := r.Len()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.keys[i*r.dims+dim]
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s(%d tuples, %dD)", r.name, r.Len(), r.dims)
+}

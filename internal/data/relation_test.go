@@ -1,0 +1,148 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRelationPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRelation accepted zero dimensions")
+		}
+	}()
+	NewRelation("bad", 0)
+}
+
+func TestRelationAppendAndKey(t *testing.T) {
+	r := NewRelation("r", 3)
+	r.Append(1, 2, 3)
+	r.Append(4, 5, 6)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if got := r.Key(1); got[0] != 4 || got[1] != 5 || got[2] != 6 {
+		t.Errorf("Key(1) = %v, want [4 5 6]", got)
+	}
+	if r.Dims() != 3 {
+		t.Errorf("Dims = %d, want 3", r.Dims())
+	}
+}
+
+func TestRelationAppendPanicsOnWrongArity(t *testing.T) {
+	r := NewRelation("r", 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Append accepted a key of wrong arity")
+		}
+	}()
+	r.Append(1)
+}
+
+func TestRelationCloneIsIndependent(t *testing.T) {
+	r := NewRelation("orig", 1)
+	r.Append(1)
+	c := r.Clone("copy")
+	c.Append(2)
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Errorf("clone is not independent: orig %d, copy %d", r.Len(), c.Len())
+	}
+	if c.Name() != "copy" {
+		t.Errorf("clone name = %q", c.Name())
+	}
+	if r.Clone("").Name() != "orig" {
+		t.Error("Clone with empty name should keep the original name")
+	}
+}
+
+func TestRelationSlice(t *testing.T) {
+	r := NewRelation("r", 1)
+	for i := 0; i < 10; i++ {
+		r.Append(float64(i))
+	}
+	s := r.Slice("mid", 3, 7)
+	if s.Len() != 4 {
+		t.Fatalf("Slice len = %d, want 4", s.Len())
+	}
+	if s.Key(0)[0] != 3 || s.Key(3)[0] != 6 {
+		t.Errorf("Slice content wrong: %v .. %v", s.Key(0), s.Key(3))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Slice accepted an out-of-range interval")
+		}
+	}()
+	r.Slice("bad", 5, 20)
+}
+
+func TestRelationMinMax(t *testing.T) {
+	r := NewRelation("r", 2)
+	r.Append(3, -1)
+	r.Append(1, 5)
+	r.Append(2, 0)
+	min, max, err := r.MinMax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min[0] != 1 || min[1] != -1 || max[0] != 3 || max[1] != 5 {
+		t.Errorf("MinMax = %v %v", min, max)
+	}
+	empty := NewRelation("e", 2)
+	if _, _, err := empty.MinMax(); err == nil {
+		t.Error("MinMax of an empty relation should fail")
+	}
+}
+
+func TestRelationSortByDim(t *testing.T) {
+	r := NewRelation("r", 2)
+	r.Append(3, 1)
+	r.Append(1, 2)
+	r.Append(2, 3)
+	r.SortByDim(0)
+	if r.Key(0)[0] != 1 || r.Key(1)[0] != 2 || r.Key(2)[0] != 3 {
+		t.Errorf("SortByDim(0) produced %v %v %v", r.Key(0), r.Key(1), r.Key(2))
+	}
+}
+
+func TestRelationValues(t *testing.T) {
+	r := NewRelation("r", 2)
+	r.Append(1, 10)
+	r.Append(2, 20)
+	vals := r.Values(1)
+	if len(vals) != 2 || vals[0] != 10 || vals[1] != 20 {
+		t.Errorf("Values(1) = %v", vals)
+	}
+}
+
+func TestRelationStringer(t *testing.T) {
+	r := NewRelation("r", 2)
+	r.Append(1, 2)
+	if got := r.String(); got == "" {
+		t.Error("String() is empty")
+	}
+}
+
+// TestRelationKeyRoundTrip is a property test: any appended key is read back
+// verbatim at its index.
+func TestRelationKeyRoundTrip(t *testing.T) {
+	f := func(keys [][3]float64) bool {
+		r := NewRelation("q", 3)
+		for _, k := range keys {
+			r.Append(k[0], k[1], k[2])
+		}
+		if r.Len() != len(keys) {
+			return false
+		}
+		for i, k := range keys {
+			got := r.Key(i)
+			if got[0] != k[0] || got[1] != k[1] || got[2] != k[2] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}

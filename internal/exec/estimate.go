@@ -1,0 +1,214 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"bandjoin/internal/costmodel"
+	"bandjoin/internal/data"
+	"bandjoin/internal/partition"
+	"bandjoin/internal/sample"
+)
+
+// Estimate runs only the optimization phase and then predicts I, Im, Om and
+// join time by routing the sample tuples (not the full input) through the
+// plan and scaling the counts. The paper does the same for its most expensive
+// configurations (the 8-dimensional scalability tables use the running-time
+// model instead of cloud executions); here it additionally avoids shuffling
+// inputs whose duplication factor is in the thousands (Grid-ε at d = 8).
+func Estimate(pt partition.Partitioner, s, t *data.Relation, band data.Band, opts Options) (*Result, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("exec: need at least one worker, got %d", opts.Workers)
+	}
+	if err := band.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Sampling.InputSampleSize == 0 {
+		opts.Sampling = sample.DefaultOptions()
+	}
+	if (opts.Model == costmodel.Model{}) {
+		opts.Model = costmodel.Default()
+	}
+	smp, err := sample.Draw(s, t, band, opts.Sampling)
+	if err != nil {
+		return nil, fmt.Errorf("exec: sampling: %w", err)
+	}
+	ctx := &partition.Context{Band: band, Workers: opts.Workers, Sample: smp, Model: opts.Model, Seed: opts.Seed}
+
+	optStart := time.Now()
+	plan, err := pt.Plan(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %s optimization failed: %w", pt.Name(), err)
+	}
+	optTime := time.Since(optStart)
+
+	res := EstimatePlan(plan, ctx)
+	res.Partitioner = pt.Name()
+	res.OptimizationTime = optTime
+	return res, nil
+}
+
+// EstimatePartitionLoads routes only the sample tuples through the plan and
+// returns the estimated load (β2·input + β3·output) per partition, scaled to
+// the full input. It is used by schedulers (e.g. the RPC coordinator) that
+// must place partitions on workers before the actual partition sizes are
+// known — the role the cluster scheduler's load estimates play in the paper's
+// MapReduce setting.
+func EstimatePartitionLoads(plan partition.Plan, ctx *partition.Context) []float64 {
+	smp := ctx.Sample
+	loads := make(map[int]float64)
+	var dst []int
+	for i := 0; i < smp.S.Len(); i++ {
+		dst = plan.AssignS(int64(i), smp.S.Key(i), dst[:0])
+		for _, id := range dst {
+			loads[id] += ctx.Model.Beta2 / smp.SRate
+		}
+	}
+	for i := 0; i < smp.T.Len(); i++ {
+		dst = plan.AssignT(int64(i), smp.T.Key(i), dst[:0])
+		for _, id := range dst {
+			loads[id] += ctx.Model.Beta2 / smp.TRate
+		}
+	}
+	var sDst, tDst []int
+	for i := 0; i < smp.OutS.Len(); i++ {
+		sDst = plan.AssignS(int64(i), smp.OutS.Key(i), sDst[:0])
+		tDst = plan.AssignT(int64(i), smp.OutT.Key(i), tDst[:0])
+		for _, a := range sDst {
+			for _, b := range tDst {
+				if a == b {
+					loads[a] += ctx.Model.Beta3 * smp.OutWeight
+				}
+			}
+		}
+	}
+	maxID := plan.NumPartitions() - 1
+	for id := range loads {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	out := make([]float64, maxID+1)
+	for id, l := range loads {
+		out[id] = l
+	}
+	return out
+}
+
+// EstimatePlan estimates the execution metrics of a plan from the context's
+// samples without touching the full inputs.
+func EstimatePlan(plan partition.Plan, ctx *partition.Context) *Result {
+	smp := ctx.Sample
+	type pload struct{ in, out float64 }
+	partLoads := make(map[int]*pload)
+	get := func(id int) *pload {
+		l, ok := partLoads[id]
+		if !ok {
+			l = &pload{}
+			partLoads[id] = l
+		}
+		return l
+	}
+
+	var dst []int
+	totalInput := 0.0
+	for i := 0; i < smp.S.Len(); i++ {
+		dst = plan.AssignS(int64(i), smp.S.Key(i), dst[:0])
+		for _, id := range dst {
+			get(id).in += 1 / smp.SRate
+		}
+		totalInput += float64(len(dst)) / smp.SRate
+	}
+	for i := 0; i < smp.T.Len(); i++ {
+		dst = plan.AssignT(int64(i), smp.T.Key(i), dst[:0])
+		for _, id := range dst {
+			get(id).in += 1 / smp.TRate
+		}
+		totalInput += float64(len(dst)) / smp.TRate
+	}
+	// Output is attributed to the partition where the pair meets: the (unique)
+	// partition receiving both sides. Intersecting the assignment lists of the
+	// sample pair's S- and T-side finds it.
+	var sDst, tDst []int
+	for i := 0; i < smp.OutS.Len(); i++ {
+		sDst = plan.AssignS(int64(i), smp.OutS.Key(i), sDst[:0])
+		tDst = plan.AssignT(int64(i), smp.OutT.Key(i), tDst[:0])
+		for _, a := range sDst {
+			for _, b := range tDst {
+				if a == b {
+					get(a).out += smp.OutWeight
+				}
+			}
+		}
+	}
+
+	// Place partitions on workers.
+	maxID := -1
+	for id := range partLoads {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	loads := make([]float64, maxID+1)
+	ins := make([]float64, maxID+1)
+	outs := make([]float64, maxID+1)
+	for id, l := range partLoads {
+		ins[id] = l.in
+		outs[id] = l.out
+		loads[id] = ctx.Model.Load(l.in, l.out)
+	}
+	var sched partition.Schedule
+	if placer, ok := plan.(partition.WorkerPlacer); ok {
+		sched = partition.FromPlacer(placer, maxID+1, ctx.Workers)
+	} else {
+		sched = partition.LPT(loads, ctx.Workers)
+	}
+	workerIn := make([]float64, ctx.Workers)
+	workerOut := make([]float64, ctx.Workers)
+	for id := range loads {
+		w := sched[id]
+		workerIn[w] += ins[id]
+		workerOut[w] += outs[id]
+	}
+	maxW := 0
+	for w := 1; w < ctx.Workers; w++ {
+		if ctx.Model.Load(workerIn[w], workerOut[w]) > ctx.Model.Load(workerIn[maxW], workerOut[maxW]) {
+			maxW = w
+		}
+	}
+
+	totalOutput := smp.EstimatedOutput()
+	res := &Result{
+		Workers:        ctx.Workers,
+		Partitions:     len(partLoads),
+		InputS:         smp.TotalS,
+		InputT:         smp.TotalT,
+		TotalInput:     int64(totalInput + 0.5),
+		Output:         int64(totalOutput + 0.5),
+		Im:             int64(workerIn[maxW] + 0.5),
+		Om:             int64(workerOut[maxW] + 0.5),
+		MaxLoad:        ctx.Model.Load(workerIn[maxW], workerOut[maxW]),
+		LowerBoundLoad: ctx.Model.LowerBoundLoad(float64(smp.TotalS+smp.TotalT), totalOutput, ctx.Workers),
+		WorkerInput:    toInt64(workerIn),
+		WorkerOutput:   toInt64(workerOut),
+	}
+	if smp.TotalS+smp.TotalT > 0 {
+		// Sample scaling can undershoot by a fraction of a tuple; overheads are
+		// clamped at zero (they are relative to true lower bounds).
+		res.DupOverhead = math.Max(0, totalInput/float64(smp.TotalS+smp.TotalT)-1)
+	}
+	if res.LowerBoundLoad > 0 {
+		res.LoadOverhead = math.Max(0, res.MaxLoad/res.LowerBoundLoad-1)
+	}
+	res.PredictedTime = ctx.Model.Predict(totalInput, workerIn[maxW], workerOut[maxW])
+	return res
+}
+
+func toInt64(v []float64) []int64 {
+	out := make([]int64, len(v))
+	for i, x := range v {
+		out[i] = int64(x + 0.5)
+	}
+	return out
+}

@@ -1,0 +1,322 @@
+// Package exec runs a distributed band-join on a simulated cluster: the map
+// phase routes every input tuple through the plan's assignment (duplicating
+// tuples assigned to several partitions, exactly like the shuffle of the
+// paper's MapReduce setting), the reduce phase runs a local band-join per
+// partition, and partitions are placed on the w workers. The result records
+// the quantities the paper evaluates: total input including duplicates I,
+// the input Im and output Om of the most loaded worker, max worker load Lm,
+// the Lemma 1 lower bounds, and the relative overheads plotted in Figure 4.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"bandjoin/internal/costmodel"
+	"bandjoin/internal/data"
+	"bandjoin/internal/localjoin"
+	"bandjoin/internal/partition"
+	"bandjoin/internal/sample"
+)
+
+// Options configures a run.
+type Options struct {
+	// Workers is the number of simulated worker machines.
+	Workers int
+	// Algorithm is the local band-join algorithm; nil selects the default
+	// sort-probe algorithm (the paper's index-nested-loop equivalent).
+	Algorithm localjoin.Algorithm
+	// Model supplies the β coefficients; a zero value selects the default.
+	Model costmodel.Model
+	// Sampling configures the optimization-phase samples.
+	Sampling sample.Options
+	// CollectPairs materializes every result pair's (S id, T id); it is meant
+	// for correctness tests on small inputs, not for benchmarks.
+	CollectPairs bool
+	// Parallelism bounds the number of concurrent local joins; zero means
+	// GOMAXPROCS.
+	Parallelism int
+	// Seed drives randomized plan decisions.
+	Seed int64
+}
+
+// DefaultOptions returns options for a w-worker run.
+func DefaultOptions(workers int) Options {
+	return Options{Workers: workers, Model: costmodel.Default(), Sampling: sample.DefaultOptions()}
+}
+
+// Pair is one join result identified by the original tuple indices.
+type Pair struct {
+	S int64
+	T int64
+}
+
+// Result summarizes one distributed band-join execution.
+type Result struct {
+	Partitioner string
+	Workers     int
+	Partitions  int
+
+	// Timing.
+	OptimizationTime time.Duration
+	ShuffleTime      time.Duration
+	JoinWallTime     time.Duration // wall time of the (parallel) reduce phase
+	Makespan         time.Duration // max simulated per-worker busy time
+
+	// Input/output accounting (the paper's I, Im, Om in tuples).
+	InputS, InputT int
+	TotalInput     int64 // I: input including duplicates
+	Output         int64
+	Im, Om         int64 // input and output of the most loaded worker
+
+	// Loads and lower bounds.
+	MaxLoad        float64 // Lm = β2·Im + β3·Om
+	LowerBoundLoad float64 // L0 from Lemma 1
+	DupOverhead    float64 // I/(|S|+|T|) − 1
+	LoadOverhead   float64 // Lm/L0 − 1
+	PredictedTime  float64 // M(I, Im, Om), seconds
+
+	// Per-worker accounting.
+	WorkerInput  []int64
+	WorkerOutput []int64
+
+	// Pairs holds the result pairs when Options.CollectPairs is set.
+	Pairs []Pair
+}
+
+// Run samples the inputs, runs the partitioner's optimization phase, executes
+// the join on the simulated cluster, and returns the full accounting.
+func Run(pt partition.Partitioner, s, t *data.Relation, band data.Band, opts Options) (*Result, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("exec: need at least one worker, got %d", opts.Workers)
+	}
+	if err := band.Validate(); err != nil {
+		return nil, err
+	}
+	if (opts.Model == costmodel.Model{}) {
+		opts.Model = costmodel.Default()
+	}
+	if opts.Sampling.InputSampleSize == 0 {
+		opts.Sampling = sample.DefaultOptions()
+	}
+
+	smp, err := sample.Draw(s, t, band, opts.Sampling)
+	if err != nil {
+		return nil, fmt.Errorf("exec: sampling: %w", err)
+	}
+	ctx := &partition.Context{Band: band, Workers: opts.Workers, Sample: smp, Model: opts.Model, Seed: opts.Seed}
+
+	optStart := time.Now()
+	plan, err := pt.Plan(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %s optimization failed: %w", pt.Name(), err)
+	}
+	optTime := time.Since(optStart)
+
+	res, err := ExecutePlan(plan, s, t, band, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Partitioner = pt.Name()
+	res.OptimizationTime = optTime
+	return res, nil
+}
+
+// partitionInput is the data shuffled to one partition.
+type partitionInput struct {
+	s    *data.Relation
+	sIDs []int64
+	t    *data.Relation
+	tIDs []int64
+}
+
+// ExecutePlan runs the shuffle and local joins for an already-computed plan.
+func ExecutePlan(plan partition.Plan, s, t *data.Relation, band data.Band, opts Options) (*Result, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("exec: need at least one worker, got %d", opts.Workers)
+	}
+	if (opts.Model == costmodel.Model{}) {
+		opts.Model = costmodel.Default()
+	}
+	alg := opts.Algorithm
+	if alg == nil {
+		alg = localjoin.Default()
+	}
+
+	// --- Shuffle (map phase): route every tuple to its partitions.
+	shuffleStart := time.Now()
+	parts := make([]*partitionInput, 0, plan.NumPartitions())
+	getPart := func(id int) *partitionInput {
+		for id >= len(parts) {
+			parts = append(parts, nil)
+		}
+		if parts[id] == nil {
+			parts[id] = &partitionInput{
+				s: data.NewRelation("S-part", s.Dims()),
+				t: data.NewRelation("T-part", t.Dims()),
+			}
+		}
+		return parts[id]
+	}
+	var dst []int
+	var totalInput int64
+	for i := 0; i < s.Len(); i++ {
+		key := s.Key(i)
+		dst = plan.AssignS(int64(i), key, dst[:0])
+		for _, pid := range dst {
+			p := getPart(pid)
+			p.s.AppendKey(key)
+			p.sIDs = append(p.sIDs, int64(i))
+		}
+		totalInput += int64(len(dst))
+	}
+	for i := 0; i < t.Len(); i++ {
+		key := t.Key(i)
+		dst = plan.AssignT(int64(i), key, dst[:0])
+		for _, pid := range dst {
+			p := getPart(pid)
+			p.t.AppendKey(key)
+			p.tIDs = append(p.tIDs, int64(i))
+		}
+		totalInput += int64(len(dst))
+	}
+	shuffleTime := time.Since(shuffleStart)
+
+	// --- Reduce phase: one local join per partition, run on a bounded pool.
+	type partResult struct {
+		output   int64
+		duration time.Duration
+		pairs    []Pair
+	}
+	results := make([]partResult, len(parts))
+	parallelism := opts.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	joinStart := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for pid, p := range parts {
+		if p == nil {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pid int, p *partitionInput) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			var pairs []Pair
+			var emit localjoin.Emit
+			if opts.CollectPairs {
+				emit = func(si, ti int, _, _ []float64) {
+					pairs = append(pairs, Pair{S: p.sIDs[si], T: p.tIDs[ti]})
+				}
+			}
+			count := alg.Join(p.s, p.t, band, emit)
+			results[pid] = partResult{output: count, duration: time.Since(start), pairs: pairs}
+		}(pid, p)
+	}
+	wg.Wait()
+	joinWall := time.Since(joinStart)
+
+	// --- Place partitions on workers and aggregate per-worker accounting.
+	numParts := len(parts)
+	loads := make([]float64, numParts)
+	partIn := make([]int64, numParts)
+	partOut := make([]int64, numParts)
+	for pid, p := range parts {
+		if p == nil {
+			continue
+		}
+		partIn[pid] = int64(p.s.Len() + p.t.Len())
+		partOut[pid] = results[pid].output
+		loads[pid] = opts.Model.Load(float64(partIn[pid]), float64(partOut[pid]))
+	}
+	var sched partition.Schedule
+	if placer, ok := plan.(partition.WorkerPlacer); ok {
+		sched = partition.FromPlacer(placer, numParts, opts.Workers)
+	} else {
+		sched = partition.LPT(loads, opts.Workers)
+	}
+
+	res := &Result{
+		Workers:      opts.Workers,
+		Partitions:   numParts,
+		ShuffleTime:  shuffleTime,
+		JoinWallTime: joinWall,
+		InputS:       s.Len(),
+		InputT:       t.Len(),
+		TotalInput:   totalInput,
+		WorkerInput:  make([]int64, opts.Workers),
+		WorkerOutput: make([]int64, opts.Workers),
+	}
+	workerBusy := make([]time.Duration, opts.Workers)
+	for pid := range parts {
+		if parts[pid] == nil {
+			continue
+		}
+		w := sched[pid]
+		res.WorkerInput[w] += partIn[pid]
+		res.WorkerOutput[w] += partOut[pid]
+		res.Output += partOut[pid]
+		workerBusy[w] += results[pid].duration
+	}
+	maxW := 0
+	for w := 1; w < opts.Workers; w++ {
+		lw := opts.Model.Load(float64(res.WorkerInput[w]), float64(res.WorkerOutput[w]))
+		lm := opts.Model.Load(float64(res.WorkerInput[maxW]), float64(res.WorkerOutput[maxW]))
+		if lw > lm {
+			maxW = w
+		}
+	}
+	res.Im = res.WorkerInput[maxW]
+	res.Om = res.WorkerOutput[maxW]
+	res.MaxLoad = opts.Model.Load(float64(res.Im), float64(res.Om))
+	res.LowerBoundLoad = opts.Model.LowerBoundLoad(float64(res.InputS+res.InputT), float64(res.Output), opts.Workers)
+	if res.InputS+res.InputT > 0 {
+		res.DupOverhead = float64(res.TotalInput)/float64(res.InputS+res.InputT) - 1
+	}
+	if res.LowerBoundLoad > 0 {
+		res.LoadOverhead = res.MaxLoad/res.LowerBoundLoad - 1
+	}
+	res.PredictedTime = opts.Model.Predict(float64(res.TotalInput), float64(res.Im), float64(res.Om))
+	for _, busy := range workerBusy {
+		if busy > res.Makespan {
+			res.Makespan = busy
+		}
+	}
+	if opts.CollectPairs {
+		for pid := range results {
+			res.Pairs = append(res.Pairs, results[pid].pairs...)
+		}
+		sort.Slice(res.Pairs, func(a, b int) bool {
+			if res.Pairs[a].S != res.Pairs[b].S {
+				return res.Pairs[a].S < res.Pairs[b].S
+			}
+			return res.Pairs[a].T < res.Pairs[b].T
+		})
+	}
+	res.Partitions = countNonEmpty(parts)
+	return res, nil
+}
+
+func countNonEmpty(parts []*partitionInput) int {
+	n := 0
+	for _, p := range parts {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// String returns a one-line summary of the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: w=%d parts=%d I=%d Im=%d Om=%d out=%d dup=%.1f%% loadOverhead=%.1f%% opt=%v",
+		r.Partitioner, r.Workers, r.Partitions, r.TotalInput, r.Im, r.Om, r.Output,
+		100*r.DupOverhead, 100*r.LoadOverhead, r.OptimizationTime.Round(time.Millisecond))
+}

@@ -1,0 +1,198 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"bandjoin/internal/core"
+	"bandjoin/internal/csio"
+	"bandjoin/internal/data"
+	"bandjoin/internal/grid"
+	"bandjoin/internal/iejoin"
+	"bandjoin/internal/localjoin"
+	"bandjoin/internal/onebucket"
+	"bandjoin/internal/partition"
+)
+
+// bruteForce computes the reference result set.
+func bruteForce(s, t *data.Relation, band data.Band) map[Pair]int {
+	out := make(map[Pair]int)
+	for i := 0; i < s.Len(); i++ {
+		for j := 0; j < t.Len(); j++ {
+			if band.Matches(s.Key(i), t.Key(j)) {
+				out[Pair{S: int64(i), T: int64(j)}]++
+			}
+		}
+	}
+	return out
+}
+
+// checkExactlyOnce verifies that the distributed execution produced every
+// reference pair exactly once and nothing else (Definition 1 of the paper).
+func checkExactlyOnce(t *testing.T, res *Result, want map[Pair]int) {
+	t.Helper()
+	got := make(map[Pair]int)
+	for _, p := range res.Pairs {
+		got[p]++
+	}
+	for p, n := range got {
+		if n > 1 {
+			t.Fatalf("pair %v produced %d times, want exactly once", p, n)
+		}
+		if want[p] == 0 {
+			t.Fatalf("pair %v produced but does not satisfy the band condition", p)
+		}
+	}
+	for p := range want {
+		if got[p] == 0 {
+			t.Fatalf("pair %v missing from the distributed result", p)
+		}
+	}
+	if int64(len(want)) != res.Output {
+		t.Fatalf("output count = %d, want %d", res.Output, len(want))
+	}
+}
+
+// testInputs builds a small skewed 2D workload.
+func testInputs(n int, seed int64) (*data.Relation, *data.Relation, data.Band) {
+	s, t := data.ParetoPair(2, 1.5, n, seed)
+	band := data.Symmetric(0.5, 0.5)
+	return s, t, band
+}
+
+func allPartitioners() []partition.Partitioner {
+	return []partition.Partitioner{
+		core.NewDefault(),
+		core.NewRecPartS(),
+		onebucket.New(),
+		grid.New(),
+		grid.NewStar(),
+		csio.New(),
+		iejoin.New(),
+	}
+}
+
+func TestAllPartitionersProduceExactResult(t *testing.T) {
+	s, tt, band := testInputs(600, 11)
+	want := bruteForce(s, tt, band)
+	if len(want) == 0 {
+		t.Fatal("test workload produced no join results; widen the band")
+	}
+	for _, pt := range allPartitioners() {
+		pt := pt
+		t.Run(pt.Name(), func(t *testing.T) {
+			opts := DefaultOptions(5)
+			opts.CollectPairs = true
+			opts.Seed = 3
+			res, err := Run(pt, s, tt, band, opts)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			checkExactlyOnce(t, res, want)
+			if res.TotalInput < int64(s.Len()+tt.Len()) {
+				t.Errorf("total input %d below lower bound %d", res.TotalInput, s.Len()+tt.Len())
+			}
+		})
+	}
+}
+
+func TestAllPartitionersEquiJoin(t *testing.T) {
+	// Equi-join (band width 0) with integer keys so matches exist. Grid-ε is
+	// undefined for band width zero (as in the paper), so it is skipped.
+	rng := rand.New(rand.NewSource(5))
+	s := data.NewRelation("S", 1)
+	tt := data.NewRelation("T", 1)
+	for i := 0; i < 500; i++ {
+		s.Append(float64(rng.Intn(40)))
+		tt.Append(float64(rng.Intn(40)))
+	}
+	band := data.Symmetric(0)
+	want := bruteForce(s, tt, band)
+	for _, pt := range allPartitioners() {
+		if pt.Name() == "Grid-eps" || pt.Name() == "Grid*" {
+			continue
+		}
+		pt := pt
+		t.Run(pt.Name(), func(t *testing.T) {
+			opts := DefaultOptions(4)
+			opts.CollectPairs = true
+			res, err := Run(pt, s, tt, band, opts)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			checkExactlyOnce(t, res, want)
+		})
+	}
+}
+
+func TestGridRejectsEquiJoin(t *testing.T) {
+	s, tt, _ := testInputs(200, 3)
+	band := data.Symmetric(0, 0)
+	_, err := Run(grid.New(), s, tt, band, DefaultOptions(4))
+	if err == nil {
+		t.Fatal("Grid-ε accepted a zero band width; the paper states it is undefined for equi-joins")
+	}
+}
+
+func TestRunAccountingConsistency(t *testing.T) {
+	s, tt, band := testInputs(800, 21)
+	res, err := Run(core.NewDefault(), s, tt, band, DefaultOptions(6))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var wi, wo int64
+	for w := range res.WorkerInput {
+		wi += res.WorkerInput[w]
+		wo += res.WorkerOutput[w]
+	}
+	if wi != res.TotalInput {
+		t.Errorf("sum of worker inputs %d != total input %d", wi, res.TotalInput)
+	}
+	if wo != res.Output {
+		t.Errorf("sum of worker outputs %d != total output %d", wo, res.Output)
+	}
+	if res.Im > res.TotalInput || res.Om > res.Output {
+		t.Errorf("max-worker input/output exceed totals: Im=%d Om=%d", res.Im, res.Om)
+	}
+	if res.MaxLoad < res.LowerBoundLoad/float64(res.Workers) {
+		t.Errorf("max load %f implausibly small vs lower bound %f", res.MaxLoad, res.LowerBoundLoad)
+	}
+	if res.LoadOverhead < 0 || res.DupOverhead < 0 {
+		t.Errorf("overheads must be non-negative: dup=%f load=%f", res.DupOverhead, res.LoadOverhead)
+	}
+}
+
+func TestEstimateAgreesRoughlyWithExecution(t *testing.T) {
+	s, tt, band := testInputs(2000, 31)
+	opts := DefaultOptions(8)
+	opts.Seed = 1
+	for _, pt := range []partition.Partitioner{core.NewRecPartS(), onebucket.New()} {
+		run, err := Run(pt, s, tt, band, opts)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", pt.Name(), err)
+		}
+		est, err := Estimate(pt, s, tt, band, opts)
+		if err != nil {
+			t.Fatalf("Estimate(%s): %v", pt.Name(), err)
+		}
+		ratio := float64(est.TotalInput) / float64(run.TotalInput)
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("%s: estimated total input %d is far from executed %d", pt.Name(), est.TotalInput, run.TotalInput)
+		}
+	}
+}
+
+func TestExecutePlanWithExplicitAlgorithms(t *testing.T) {
+	s, tt, band := testInputs(300, 41)
+	want := bruteForce(s, tt, band)
+	for _, alg := range []localjoin.Algorithm{localjoin.NestedLoop{}, localjoin.SortProbe{}, localjoin.GridSortScan{}} {
+		opts := DefaultOptions(3)
+		opts.Algorithm = alg
+		opts.CollectPairs = true
+		res, err := Run(onebucket.New(), s, tt, band, opts)
+		if err != nil {
+			t.Fatalf("Run with %s: %v", alg.Name(), err)
+		}
+		checkExactlyOnce(t, res, want)
+	}
+}

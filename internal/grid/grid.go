@@ -1,0 +1,214 @@
+// Package grid implements the Grid-ε baseline (Soloviev's truncating-hash
+// band-join partitioning generalized to d dimensions, Section 3.1 of the
+// paper) and the Grid* extension (Section 6.5) that tunes the grid size with
+// the running-time model. The join-attribute space is divided into a regular
+// grid; every S-tuple belongs to exactly one cell, and every T-tuple is
+// duplicated to all cells its ε-range intersects (up to 3^d cells at the
+// default grid size). Cells are placed on workers by hashing, reflecting the
+// method's near-zero optimization cost.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"bandjoin/internal/data"
+	"bandjoin/internal/partition"
+)
+
+// Grid is the Grid-ε partitioner. Multiplier scales the cell size relative to
+// the band width in each dimension: cell size in dimension i is
+// Multiplier · εᵢ (the paper's default is Multiplier = 1; Table 5 sweeps it).
+type Grid struct {
+	Multiplier float64
+}
+
+// New returns Grid-ε with the default cell size of one band width.
+func New() *Grid { return &Grid{Multiplier: 1} }
+
+// NewWithMultiplier returns Grid-ε with cell size multiplier·ε per dimension.
+func NewWithMultiplier(m float64) *Grid { return &Grid{Multiplier: m} }
+
+// Name implements partition.Partitioner.
+func (g *Grid) Name() string {
+	if g.Multiplier == 1 || g.Multiplier == 0 {
+		return "Grid-eps"
+	}
+	return fmt.Sprintf("Grid-eps(x%g)", g.Multiplier)
+}
+
+// Plan implements partition.Partitioner.
+func (g *Grid) Plan(ctx *partition.Context) (partition.Plan, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, fmt.Errorf("grid: invalid context: %w", err)
+	}
+	m := g.Multiplier
+	if m <= 0 {
+		m = 1
+	}
+	size, err := CellSize(ctx.Band, m)
+	if err != nil {
+		return nil, err
+	}
+	return NewPlan(ctx.Band, size), nil
+}
+
+// CellSize returns the per-dimension grid cell size multiplier·εᵢ, where εᵢ is
+// the (average) half band width. Grid partitioning is undefined for band width
+// zero (the paper notes Grid-ε is not defined for equi-joins).
+func CellSize(band data.Band, multiplier float64) ([]float64, error) {
+	size := make([]float64, band.Dims())
+	for i := range size {
+		eps := band.Width(i) / 2
+		if eps <= 0 {
+			return nil, fmt.Errorf("grid: band width in dimension %d is zero; Grid-ε is undefined for equi-joins", i)
+		}
+		size[i] = multiplier * eps
+	}
+	return size, nil
+}
+
+// ---------------------------------------------------------------------------
+// Plan
+
+// cellEntry is one occupied grid cell; collisions of the coordinate hash are
+// resolved by comparing the full coordinate vector, so distinct cells are
+// never merged (which would make a local join emit duplicate results).
+type cellEntry struct {
+	coords []int64
+	id     int
+}
+
+// Plan is the Grid-ε assignment. Cells are discovered lazily as tuples are
+// assigned, so NumPartitions grows during the shuffle; it must be read after
+// assignment. The plan is not safe for concurrent use.
+type Plan struct {
+	band     data.Band
+	cellSize []float64
+	cells    map[uint64][]cellEntry
+	hashes   []uint64 // per partition id, hash of its cell coordinates
+	scratch  []int64
+}
+
+// NewPlan returns an empty Grid-ε plan with the given cell sizes.
+func NewPlan(band data.Band, cellSize []float64) *Plan {
+	return &Plan{
+		band:     band,
+		cellSize: cellSize,
+		cells:    make(map[uint64][]cellEntry),
+		scratch:  make([]int64, band.Dims()),
+	}
+}
+
+// CellSizes returns the per-dimension cell size of the plan.
+func (p *Plan) CellSizes() []float64 { return p.cellSize }
+
+// NumPartitions implements partition.Plan. It returns the number of occupied
+// cells discovered so far.
+func (p *Plan) NumPartitions() int { return len(p.hashes) }
+
+// PlaceWorker implements partition.WorkerPlacer: cells are hashed to workers,
+// matching Grid-ε's near-zero optimization cost (no load-aware scheduling).
+func (p *Plan) PlaceWorker(part, workers int) int {
+	if part < 0 || part >= len(p.hashes) || workers <= 0 {
+		return 0
+	}
+	return int(p.hashes[part] % uint64(workers))
+}
+
+// AssignS implements partition.Plan: the S-tuple belongs to exactly one cell.
+func (p *Plan) AssignS(_ int64, key []float64, dst []int) []int {
+	coords := p.scratch
+	for d, v := range key {
+		coords[d] = cellIndex(v, p.cellSize[d])
+	}
+	return append(dst, p.lookup(coords))
+}
+
+// AssignT implements partition.Plan: the T-tuple is copied to every cell that
+// its ε-range [t−High, t+Low] intersects (the cells that may hold matching
+// S-tuples).
+func (p *Plan) AssignT(_ int64, key []float64, dst []int) []int {
+	d := len(key)
+	lo := make([]int64, d)
+	hi := make([]int64, d)
+	for i, v := range key {
+		lo[i] = cellIndex(v-p.band.High[i], p.cellSize[i])
+		hi[i] = cellIndex(v+p.band.Low[i], p.cellSize[i])
+	}
+	coords := make([]int64, d)
+	copy(coords, lo)
+	for {
+		dst = append(dst, p.lookup(coords))
+		// Advance the coordinate vector (odometer over the cell ranges).
+		i := d - 1
+		for i >= 0 {
+			coords[i]++
+			if coords[i] <= hi[i] {
+				break
+			}
+			coords[i] = lo[i]
+			i--
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return dst
+}
+
+// Replication returns how many cells a T-tuple with the given key is copied
+// to, without creating the cells. It is used for sample-based estimation.
+func (p *Plan) Replication(key []float64) int {
+	n := 1
+	for i, v := range key {
+		lo := cellIndex(v-p.band.High[i], p.cellSize[i])
+		hi := cellIndex(v+p.band.Low[i], p.cellSize[i])
+		n *= int(hi - lo + 1)
+	}
+	return n
+}
+
+// lookup returns the partition id of the cell with the given coordinates,
+// creating it if necessary.
+func (p *Plan) lookup(coords []int64) int {
+	h := hashCoords(coords)
+	for _, e := range p.cells[h] {
+		if equalCoords(e.coords, coords) {
+			return e.id
+		}
+	}
+	id := len(p.hashes)
+	stored := make([]int64, len(coords))
+	copy(stored, coords)
+	p.cells[h] = append(p.cells[h], cellEntry{coords: stored, id: id})
+	p.hashes = append(p.hashes, h)
+	return id
+}
+
+func cellIndex(v, size float64) int64 {
+	return int64(math.Floor(v / size))
+}
+
+func equalCoords(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hashCoords mixes the cell coordinates with an FNV-1a / splitmix combination.
+func hashCoords(coords []int64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range coords {
+		h ^= uint64(c)
+		h *= 1099511628211
+		h = partition.HashID(int64(h), 0x5bd1e995)
+	}
+	return h
+}

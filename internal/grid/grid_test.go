@@ -1,0 +1,205 @@
+package grid
+
+import (
+	"testing"
+
+	"bandjoin/internal/costmodel"
+	"bandjoin/internal/data"
+	"bandjoin/internal/partition"
+	"bandjoin/internal/sample"
+)
+
+func testContext(t *testing.T, workers int, band data.Band, s, tt *data.Relation) *partition.Context {
+	t.Helper()
+	smp, err := sample.Draw(s, tt, band, sample.Options{InputSampleSize: 600, OutputSampleSize: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &partition.Context{Band: band, Workers: workers, Sample: smp, Model: costmodel.Default(), Seed: 3}
+}
+
+func TestCellSize(t *testing.T) {
+	band := data.Symmetric(2, 4)
+	size, err := CellSize(band, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size[0] != 2 || size[1] != 4 {
+		t.Errorf("CellSize = %v", size)
+	}
+	size, err = CellSize(band, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size[0] != 6 || size[1] != 12 {
+		t.Errorf("CellSize x3 = %v", size)
+	}
+	if _, err := CellSize(data.Symmetric(0, 1), 1); err == nil {
+		t.Error("zero band width accepted; Grid-ε is undefined for equi-joins")
+	}
+}
+
+func TestAssignSSingleCell(t *testing.T) {
+	band := data.Symmetric(1, 1)
+	plan := NewPlan(band, []float64{1, 1})
+	parts := plan.AssignS(1, []float64{2.5, 3.5}, nil)
+	if len(parts) != 1 {
+		t.Fatalf("S tuple assigned to %d cells, want 1", len(parts))
+	}
+	// The same cell is reused for another tuple in the same cell.
+	again := plan.AssignS(2, []float64{2.9, 3.1}, nil)
+	if again[0] != parts[0] {
+		t.Error("tuples in the same grid cell got different partitions")
+	}
+	other := plan.AssignS(3, []float64{3.1, 3.1}, nil)
+	if other[0] == parts[0] {
+		t.Error("tuples in different cells share a partition")
+	}
+}
+
+func TestAssignTReplication(t *testing.T) {
+	band := data.Symmetric(1, 1)
+	plan := NewPlan(band, []float64{1, 1})
+	// A tuple in the middle of a cell still reaches 3x3 neighboring cells at
+	// grid size ε.
+	parts := plan.AssignT(1, []float64{5.5, 5.5}, nil)
+	if len(parts) != 9 {
+		t.Errorf("T tuple replicated to %d cells, want 9", len(parts))
+	}
+	if plan.Replication([]float64{5.5, 5.5}) != 9 {
+		t.Errorf("Replication = %d, want 9", plan.Replication([]float64{5.5, 5.5}))
+	}
+	// Coarser cells reduce replication.
+	coarse := NewPlan(band, []float64{4, 4})
+	if got := len(coarse.AssignT(1, []float64{5.5, 5.5}, nil)); got > 4 {
+		t.Errorf("coarse grid still replicates to %d cells", got)
+	}
+}
+
+func TestDefinitionOneOnGrid(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.5, 1500, 5)
+	band := data.Symmetric(0.1, 0.1)
+	plan := NewPlan(band, mustCellSize(t, band, 1))
+	checked := 0
+	for i := 0; i < s.Len(); i += 11 {
+		for j := 0; j < tt.Len(); j += 17 {
+			sParts := plan.AssignS(int64(i), s.Key(i), nil)
+			tParts := plan.AssignT(int64(j), tt.Key(j), nil)
+			common := 0
+			for _, a := range sParts {
+				for _, b := range tParts {
+					if a == b {
+						common++
+					}
+				}
+			}
+			if band.Matches(s.Key(i), tt.Key(j)) {
+				checked++
+				if common != 1 {
+					t.Fatalf("matching pair shares %d cells, want exactly 1", common)
+				}
+			} else if common > 1 {
+				t.Fatalf("non-matching pair shares %d cells", common)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no matching pairs checked")
+	}
+}
+
+func mustCellSize(t *testing.T, band data.Band, m float64) []float64 {
+	t.Helper()
+	size, err := CellSize(band, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return size
+}
+
+func TestPlaceWorkerStable(t *testing.T) {
+	band := data.Symmetric(1)
+	plan := NewPlan(band, []float64{1})
+	plan.AssignS(1, []float64{0.5}, nil)
+	plan.AssignS(2, []float64{7.5}, nil)
+	if plan.NumPartitions() != 2 {
+		t.Fatalf("expected 2 cells, got %d", plan.NumPartitions())
+	}
+	if plan.PlaceWorker(0, 4) != plan.PlaceWorker(0, 4) {
+		t.Error("placement not deterministic")
+	}
+	if w := plan.PlaceWorker(99, 4); w != 0 {
+		t.Errorf("out-of-range partition placed on %d, want 0", w)
+	}
+}
+
+func TestGridPartitionerNamesAndErrors(t *testing.T) {
+	if New().Name() != "Grid-eps" {
+		t.Errorf("Name = %q", New().Name())
+	}
+	if NewWithMultiplier(4).Name() == "Grid-eps" {
+		t.Error("multiplier variant should carry the multiplier in its name")
+	}
+	if NewStar().Name() != "Grid*" {
+		t.Errorf("Grid* name = %q", NewStar().Name())
+	}
+	if _, err := New().Plan(&partition.Context{}); err == nil {
+		t.Error("invalid context accepted")
+	}
+	s, tt := data.ParetoPair(1, 1.5, 500, 7)
+	ctx := testContext(t, 4, data.Symmetric(0), s, tt)
+	if _, err := New().Plan(ctx); err == nil {
+		t.Error("Grid-ε accepted a zero band width")
+	}
+}
+
+func TestGridStarPrefersCoarserGridOnSmallBand(t *testing.T) {
+	// At grid size ε the duplication is ~3^d; Grid* should pick a coarser
+	// multiplier that trades duplication against balance (Table 5).
+	s, tt := data.ParetoPair(3, 1.5, 4000, 9)
+	band := data.Uniform(3, 0.03)
+	ctx := testContext(t, 16, band, s, tt)
+	m, evaluated, err := NewStar().ChooseMultiplier(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 2 {
+		t.Errorf("Grid* chose multiplier %d; a coarser grid should beat grid size ε here", m)
+	}
+	if len(evaluated) < 2 {
+		t.Errorf("Grid* evaluated only %d grid sizes", len(evaluated))
+	}
+	if est, ok := evaluated[1]; ok {
+		if better, ok2 := evaluated[m]; ok2 && better.PredictedTime > est.PredictedTime {
+			t.Errorf("chosen multiplier %d predicts %f, worse than multiplier 1's %f",
+				m, better.PredictedTime, est.PredictedTime)
+		}
+	}
+	plan, err := NewStar().Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.(*Plan).CellSizes()[0] <= 0.03 {
+		t.Errorf("Grid* plan uses cell size %g, expected coarser than ε", plan.(*Plan).CellSizes()[0])
+	}
+}
+
+func TestEstimateMultiplierCountsDuplication(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.5, 3000, 11)
+	band := data.Symmetric(0.05, 0.05)
+	ctx := testContext(t, 8, band, s, tt)
+	fine, err := EstimateMultiplier(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := EstimateMultiplier(ctx, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.TotalInput <= coarse.TotalInput {
+		t.Errorf("finer grid should duplicate more: fine %f vs coarse %f", fine.TotalInput, coarse.TotalInput)
+	}
+	if fine.Cells <= coarse.Cells {
+		t.Errorf("finer grid should have more cells: %d vs %d", fine.Cells, coarse.Cells)
+	}
+}

@@ -1,0 +1,157 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"bandjoin/internal/partition"
+)
+
+// GridStar is the Grid* extension (Section 6.5): starting from the default
+// grid size εᵢ it tries coarser grids j·εᵢ for j = 2, 3, … and, for each,
+// predicts the join time with the running-time model from the samples; it
+// stops at the first local minimum and uses that grid size.
+type GridStar struct {
+	// MaxMultiplier bounds the search; zero means 128.
+	MaxMultiplier int
+}
+
+// NewStar returns Grid* with the default search bound.
+func NewStar() *GridStar { return &GridStar{} }
+
+// Name implements partition.Partitioner.
+func (*GridStar) Name() string { return "Grid*" }
+
+// Plan implements partition.Partitioner.
+func (g *GridStar) Plan(ctx *partition.Context) (partition.Plan, error) {
+	m, _, err := g.ChooseMultiplier(ctx)
+	if err != nil {
+		return nil, err
+	}
+	size, err := CellSize(ctx.Band, float64(m))
+	if err != nil {
+		return nil, err
+	}
+	return NewPlan(ctx.Band, size), nil
+}
+
+// ChooseMultiplier returns the grid-size multiplier Grid* selects and the
+// predicted join time of every multiplier it evaluated (indexed by
+// multiplier), which Table 5 reports.
+func (g *GridStar) ChooseMultiplier(ctx *partition.Context) (int, map[int]Estimate, error) {
+	if err := ctx.Validate(); err != nil {
+		return 0, nil, fmt.Errorf("grid: invalid context: %w", err)
+	}
+	max := g.MaxMultiplier
+	if max <= 0 {
+		max = 128
+	}
+	evaluated := make(map[int]Estimate)
+	bestM := 1
+	bestTime := math.Inf(1)
+	worseStreak := 0
+	for m := 1; m <= max; m++ {
+		est, err := EstimateMultiplier(ctx, float64(m))
+		if err != nil {
+			return 0, nil, err
+		}
+		evaluated[m] = est
+		if est.PredictedTime < bestTime {
+			bestTime = est.PredictedTime
+			bestM = m
+			worseStreak = 0
+		} else {
+			worseStreak++
+			// Stop at a local minimum: two consecutive non-improving grids.
+			if worseStreak >= 2 {
+				break
+			}
+		}
+	}
+	return bestM, evaluated, nil
+}
+
+// Estimate summarizes the sample-based prediction for one grid size.
+type Estimate struct {
+	Multiplier    float64
+	TotalInput    float64 // I including duplicates
+	MaxWorkerIn   float64 // Im
+	MaxWorkerOut  float64 // Om
+	PredictedTime float64
+	Cells         int
+}
+
+// EstimateMultiplier estimates I, Im, and Om for Grid-ε with the given grid
+// multiplier by assigning only the sample tuples and scaling, then hashing the
+// occupied cells to workers exactly as the real plan would.
+func EstimateMultiplier(ctx *partition.Context, multiplier float64) (Estimate, error) {
+	size, err := CellSize(ctx.Band, multiplier)
+	if err != nil {
+		return Estimate{}, err
+	}
+	p := NewPlan(ctx.Band, size)
+	return EstimatePlan(ctx, p, multiplier)
+}
+
+// EstimatePlan estimates the behaviour of an existing (empty) grid plan on the
+// full input from the context's samples.
+func EstimatePlan(ctx *partition.Context, p *Plan, multiplier float64) (Estimate, error) {
+	smp := ctx.Sample
+	type cellLoad struct{ in, out float64 }
+	loads := make(map[int]*cellLoad)
+	get := func(id int) *cellLoad {
+		l, ok := loads[id]
+		if !ok {
+			l = &cellLoad{}
+			loads[id] = l
+		}
+		return l
+	}
+
+	totalInput := 0.0
+	var dst []int
+	for i := 0; i < smp.S.Len(); i++ {
+		dst = p.AssignS(int64(i), smp.S.Key(i), dst[:0])
+		for _, id := range dst {
+			get(id).in += 1 / smp.SRate
+			totalInput += 1 / smp.SRate
+		}
+	}
+	for i := 0; i < smp.T.Len(); i++ {
+		dst = p.AssignT(int64(i), smp.T.Key(i), dst[:0])
+		for _, id := range dst {
+			get(id).in += 1 / smp.TRate
+			totalInput += 1 / smp.TRate
+		}
+	}
+	for i := 0; i < smp.OutS.Len(); i++ {
+		dst = p.AssignS(int64(i), smp.OutS.Key(i), dst[:0])
+		if len(dst) > 0 {
+			get(dst[0]).out += smp.OutWeight
+		}
+	}
+
+	workers := ctx.Workers
+	workerIn := make([]float64, workers)
+	workerOut := make([]float64, workers)
+	for id, l := range loads {
+		w := p.PlaceWorker(id, workers)
+		workerIn[w] += l.in
+		workerOut[w] += l.out
+	}
+	maxW := 0
+	for w := 1; w < workers; w++ {
+		if ctx.Model.Load(workerIn[w], workerOut[w]) > ctx.Model.Load(workerIn[maxW], workerOut[maxW]) {
+			maxW = w
+		}
+	}
+	est := Estimate{
+		Multiplier:   multiplier,
+		TotalInput:   totalInput,
+		MaxWorkerIn:  workerIn[maxW],
+		MaxWorkerOut: workerOut[maxW],
+		Cells:        p.NumPartitions(),
+	}
+	est.PredictedTime = ctx.Model.Predict(est.TotalInput, est.MaxWorkerIn, est.MaxWorkerOut)
+	return est, nil
+}

@@ -1,0 +1,149 @@
+// Package iejoin implements the distributed partitioning used by IEJoin
+// (Khayyat et al., VLDBJ 2017) as evaluated in the paper's Section 6.6 and
+// Appendix A.1: both inputs are range-partitioned on the first join attribute
+// into blocks of roughly sizePerBlock tuples using approximate quantiles, and
+// every pair of joinable blocks (blocks whose ranges are within band width of
+// each other) becomes one unit of local work. Blocks that participate in
+// several joinable pairs are duplicated, which is the source of its higher
+// input duplication compared to RecPart.
+package iejoin
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bandjoin/internal/partition"
+)
+
+// IEJoin is the distributed IEJoin partitioner. SizePerBlock is the paper's
+// key meta-parameter: the target number of tuples per range block. Zero
+// selects (|S|+|T|)/(4·w).
+type IEJoin struct {
+	SizePerBlock int
+}
+
+// New returns the partitioner with automatic block size.
+func New() *IEJoin { return &IEJoin{} }
+
+// NewWithBlockSize returns the partitioner with the given sizePerBlock.
+func NewWithBlockSize(size int) *IEJoin { return &IEJoin{SizePerBlock: size} }
+
+// Name implements partition.Partitioner.
+func (*IEJoin) Name() string { return "IEJoin" }
+
+// Plan implements partition.Partitioner.
+func (ie *IEJoin) Plan(ctx *partition.Context) (partition.Plan, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, fmt.Errorf("iejoin: invalid context: %w", err)
+	}
+	size := ie.SizePerBlock
+	total := ctx.Sample.TotalS + ctx.Sample.TotalT
+	if size <= 0 {
+		size = total / (4 * ctx.Workers)
+		if size < 1 {
+			size = 1
+		}
+	}
+	blocks := total / size
+	if blocks < 1 {
+		blocks = 1
+	}
+
+	// Quantile boundaries of the first join attribute over both samples.
+	vals := make([]float64, 0, ctx.Sample.S.Len()+ctx.Sample.T.Len())
+	for i := 0; i < ctx.Sample.S.Len(); i++ {
+		vals = append(vals, ctx.Sample.S.Key(i)[0])
+	}
+	for i := 0; i < ctx.Sample.T.Len(); i++ {
+		vals = append(vals, ctx.Sample.T.Key(i)[0])
+	}
+	sort.Float64s(vals)
+	bounds := make([]float64, 0, blocks-1)
+	for q := 1; q < blocks; q++ {
+		pos := q * len(vals) / blocks
+		if pos >= len(vals) {
+			pos = len(vals) - 1
+		}
+		v := vals[pos]
+		if len(bounds) > 0 && v <= bounds[len(bounds)-1] {
+			continue
+		}
+		bounds = append(bounds, v)
+	}
+	return newPlan(bounds, ctx.Band.Low[0], ctx.Band.High[0]), nil
+}
+
+// Plan routes every S-tuple to all work units whose S-block is the tuple's
+// block, and every T-tuple to all units with its T-block.
+type Plan struct {
+	bounds []float64
+	units  [][2]int // (sBlock, tBlock), one partition per joinable block pair
+	sUnits [][]int  // S-block -> unit indices
+	tUnits [][]int  // T-block -> unit indices
+}
+
+func newPlan(bounds []float64, low, high float64) *Plan {
+	nBlocks := len(bounds) + 1
+	p := &Plan{
+		bounds: bounds,
+		sUnits: make([][]int, nBlocks),
+		tUnits: make([][]int, nBlocks),
+	}
+	// Block i covers A1 values in [bounds[i-1], bounds[i]). Blocks (i, j) are
+	// joinable when some s in block i and t in block j can satisfy
+	// s−Low ≤ t ≤ s+High.
+	lo := func(b int) float64 {
+		if b == 0 {
+			return math.Inf(-1)
+		}
+		return bounds[b-1]
+	}
+	hi := func(b int) float64 {
+		if b == nBlocks-1 {
+			return math.Inf(1)
+		}
+		return bounds[b]
+	}
+	for i := 0; i < nBlocks; i++ {
+		for j := 0; j < nBlocks; j++ {
+			if lo(j) <= hi(i)+high && hi(j) >= lo(i)-low {
+				unit := len(p.units)
+				p.units = append(p.units, [2]int{i, j})
+				p.sUnits[i] = append(p.sUnits[i], unit)
+				p.tUnits[j] = append(p.tUnits[j], unit)
+			}
+		}
+	}
+	return p
+}
+
+// NumPartitions implements partition.Plan.
+func (p *Plan) NumPartitions() int { return len(p.units) }
+
+// Blocks returns the number of range blocks per input.
+func (p *Plan) Blocks() int { return len(p.bounds) + 1 }
+
+// AssignS implements partition.Plan.
+func (p *Plan) AssignS(_ int64, key []float64, dst []int) []int {
+	b := sort.SearchFloat64s(p.bounds, key[0])
+	if b < len(p.bounds) && p.bounds[b] == key[0] {
+		b++ // boundary values belong to the upper block
+	}
+	if b >= len(p.sUnits) {
+		b = len(p.sUnits) - 1
+	}
+	return append(dst, p.sUnits[b]...)
+}
+
+// AssignT implements partition.Plan.
+func (p *Plan) AssignT(_ int64, key []float64, dst []int) []int {
+	b := sort.SearchFloat64s(p.bounds, key[0])
+	if b < len(p.bounds) && p.bounds[b] == key[0] {
+		b++
+	}
+	if b >= len(p.tUnits) {
+		b = len(p.tUnits) - 1
+	}
+	return append(dst, p.tUnits[b]...)
+}

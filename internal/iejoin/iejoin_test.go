@@ -1,0 +1,140 @@
+package iejoin
+
+import (
+	"testing"
+
+	"bandjoin/internal/costmodel"
+	"bandjoin/internal/data"
+	"bandjoin/internal/partition"
+	"bandjoin/internal/sample"
+)
+
+func testContext(t *testing.T, workers int, band data.Band, s, tt *data.Relation) *partition.Context {
+	t.Helper()
+	smp, err := sample.Draw(s, tt, band, sample.Options{InputSampleSize: 800, OutputSampleSize: 400, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &partition.Context{Band: band, Workers: workers, Sample: smp, Model: costmodel.Default(), Seed: 3}
+}
+
+func TestPlanDefinitionOne(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.5, 2500, 5)
+	band := data.Symmetric(0.1, 0.1)
+	ctx := testContext(t, 8, band, s, tt)
+	plan, err := New().Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumPartitions() < 1 {
+		t.Fatal("no work units")
+	}
+	checked := 0
+	for i := 0; i < s.Len(); i += 13 {
+		for j := 0; j < tt.Len(); j += 17 {
+			sParts := plan.AssignS(int64(i), s.Key(i), nil)
+			tParts := plan.AssignT(int64(j), tt.Key(j), nil)
+			if len(sParts) == 0 || len(tParts) == 0 {
+				t.Fatal("a tuple was assigned nowhere")
+			}
+			common := 0
+			for _, a := range sParts {
+				for _, b := range tParts {
+					if a == b {
+						common++
+					}
+				}
+			}
+			if band.Matches(s.Key(i), tt.Key(j)) {
+				checked++
+				if common != 1 {
+					t.Fatalf("matching pair in %d work units, want 1", common)
+				}
+			} else if common > 1 {
+				t.Fatalf("non-matching pair shares %d work units", common)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no matching pairs checked")
+	}
+}
+
+func TestBlockSizeControlsGranularity(t *testing.T) {
+	s, tt := data.ParetoPair(1, 1.5, 4000, 7)
+	band := data.Symmetric(0.05)
+	small := NewWithBlockSize(200)
+	large := NewWithBlockSize(2000)
+	ctx1 := testContext(t, 8, band, s, tt)
+	p1, err := small.Plan(ctx1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := testContext(t, 8, band, s, tt)
+	p2, err := large.Plan(ctx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.(*Plan).Blocks() <= p2.(*Plan).Blocks() {
+		t.Errorf("smaller sizePerBlock must create more blocks: %d vs %d",
+			p1.(*Plan).Blocks(), p2.(*Plan).Blocks())
+	}
+}
+
+func TestDefaultBlockSize(t *testing.T) {
+	s, tt := data.ParetoPair(1, 1.0, 3000, 9)
+	band := data.Symmetric(0.05)
+	ctx := testContext(t, 6, band, s, tt)
+	plan, err := New().Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := plan.(*Plan).Blocks()
+	if blocks < 2 {
+		t.Errorf("default block size produced only %d blocks", blocks)
+	}
+}
+
+func TestBoundaryValueLandsInUpperBlock(t *testing.T) {
+	p := newPlan([]float64{10, 20}, 0, 0)
+	// A pair of identical boundary values must meet in exactly one work unit
+	// (the unit of the upper block joined with itself); block adjacency makes
+	// the per-side assignment conservative but never double-covers a pair.
+	sParts := p.AssignS(1, []float64{10}, nil)
+	tParts := p.AssignT(1, []float64{10}, nil)
+	common := 0
+	for _, a := range sParts {
+		for _, b := range tParts {
+			if a == b {
+				common++
+			}
+		}
+	}
+	if common != 1 {
+		t.Errorf("boundary pair meets in %d work units, want 1 (S units %v, T units %v)", common, sParts, tParts)
+	}
+	// A value just below the boundary belongs to the lower block and is
+	// assigned to a different set of work units.
+	below := p.AssignS(1, []float64{9.999}, nil)
+	same := len(below) == len(sParts)
+	if same {
+		for i := range below {
+			if below[i] != sParts[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("value below the boundary got the same work units as the boundary value")
+	}
+}
+
+func TestPlanRejectsInvalidContext(t *testing.T) {
+	if _, err := New().Plan(&partition.Context{}); err == nil {
+		t.Error("invalid context accepted")
+	}
+	if New().Name() != "IEJoin" {
+		t.Error("name wrong")
+	}
+}

@@ -1,0 +1,151 @@
+package partition
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Schedule maps each partition index to the worker that will process it.
+type Schedule []int
+
+// Workers returns the number of distinct workers referenced by the schedule
+// assuming workers are numbered 0..w-1; it is the maximum worker index + 1.
+func (s Schedule) Workers() int {
+	max := -1
+	for _, w := range s {
+		if w > max {
+			max = w
+		}
+	}
+	return max + 1
+}
+
+// LPT assigns partitions to workers with the greedy longest-processing-time
+// rule: partitions are considered in decreasing load order and each is placed
+// on the currently least-loaded worker. LPT is within 4/3 of the optimal
+// makespan and models the dynamic load balancing that cluster schedulers
+// (YARN in the paper's setup) perform at runtime.
+func LPT(loads []float64, workers int) Schedule {
+	if workers < 1 {
+		workers = 1
+	}
+	order := make([]int, len(loads))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return loads[order[a]] > loads[order[b]] })
+
+	h := &workerHeap{}
+	for w := 0; w < workers; w++ {
+		*h = append(*h, workerLoad{worker: w})
+	}
+	heap.Init(h)
+
+	sched := make(Schedule, len(loads))
+	for _, p := range order {
+		least := heap.Pop(h).(workerLoad)
+		sched[p] = least.worker
+		least.load += loads[p]
+		heap.Push(h, least)
+	}
+	return sched
+}
+
+// RoundRobin assigns partition i to worker i mod workers.
+func RoundRobin(partitions, workers int) Schedule {
+	if workers < 1 {
+		workers = 1
+	}
+	sched := make(Schedule, partitions)
+	for i := range sched {
+		sched[i] = i % workers
+	}
+	return sched
+}
+
+// Hash assigns partitions to workers by a multiplicative hash of the partition
+// index, the placement used by Grid-ε style partitioners that avoid any
+// optimization cost.
+func Hash(partitions, workers int) Schedule {
+	if workers < 1 {
+		workers = 1
+	}
+	sched := make(Schedule, partitions)
+	for i := range sched {
+		sched[i] = int(hash64(uint64(i)) % uint64(workers))
+	}
+	return sched
+}
+
+// FromPlacer builds a schedule by asking the plan's WorkerPlacer for each
+// partition.
+func FromPlacer(p WorkerPlacer, partitions, workers int) Schedule {
+	sched := make(Schedule, partitions)
+	for i := range sched {
+		w := p.PlaceWorker(i, workers)
+		if w < 0 || w >= workers {
+			w = int(hash64(uint64(i)) % uint64(workers))
+		}
+		sched[i] = w
+	}
+	return sched
+}
+
+// WorkerLoads aggregates per-partition loads into per-worker loads under the
+// schedule.
+func (s Schedule) WorkerLoads(loads []float64, workers int) []float64 {
+	out := make([]float64, workers)
+	for p, w := range s {
+		if p < len(loads) {
+			out[w] += loads[p]
+		}
+	}
+	return out
+}
+
+// MaxLoad returns the largest per-worker load under the schedule.
+func (s Schedule) MaxLoad(loads []float64, workers int) float64 {
+	wl := s.WorkerLoads(loads, workers)
+	max := 0.0
+	for _, l := range wl {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// hash64 is the splitmix64 finalizer, used for cheap deterministic hashing of
+// partition indices and tuple IDs throughout the repository.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashID exposes hash64 combined with a salt for plans that need a
+// deterministic pseudo-random function of a tuple ID (e.g. 1-Bucket row and
+// column choices).
+func HashID(id int64, salt uint64) uint64 {
+	return hash64(uint64(id)*0x9e3779b97f4a7c15 ^ hash64(salt))
+}
+
+type workerLoad struct {
+	worker int
+	load   float64
+}
+
+type workerHeap []workerLoad
+
+func (h workerHeap) Len() int            { return len(h) }
+func (h workerHeap) Less(i, j int) bool  { return h[i].load < h[j].load }
+func (h workerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *workerHeap) Push(x interface{}) { *h = append(*h, x.(workerLoad)) }
+func (h *workerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

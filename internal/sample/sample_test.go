@@ -1,0 +1,154 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bandjoin/internal/data"
+	"bandjoin/internal/localjoin"
+)
+
+func TestUniformSampleSizeAndMembership(t *testing.T) {
+	r := data.NewRelation("r", 1)
+	for i := 0; i < 1000; i++ {
+		r.Append(float64(i))
+	}
+	rng := rand.New(rand.NewSource(1))
+	s := Uniform(r, 100, rng)
+	if s.Len() != 100 {
+		t.Fatalf("sample size = %d, want 100", s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		v := s.Key(i)[0]
+		if v < 0 || v >= 1000 || v != math.Trunc(v) {
+			t.Fatalf("sample value %g is not an input value", v)
+		}
+	}
+	// Requesting more than the population returns the whole relation.
+	all := Uniform(r, 5000, rng)
+	if all.Len() != 1000 {
+		t.Errorf("oversized sample = %d, want 1000", all.Len())
+	}
+}
+
+func TestUniformSampleIsRoughlyUnbiased(t *testing.T) {
+	r := data.NewRelation("r", 1)
+	for i := 0; i < 10000; i++ {
+		r.Append(float64(i))
+	}
+	s := Uniform(r, 2000, rand.New(rand.NewSource(2)))
+	below := 0
+	for i := 0; i < s.Len(); i++ {
+		if s.Key(i)[0] < 5000 {
+			below++
+		}
+	}
+	frac := float64(below) / float64(s.Len())
+	if frac < 0.42 || frac > 0.58 {
+		t.Errorf("sample fraction below the median = %.2f, want ≈ 0.5", frac)
+	}
+}
+
+func TestDrawValidation(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.5, 500, 1)
+	if _, err := Draw(s, tt, data.Symmetric(1), DefaultOptions()); err == nil {
+		t.Error("band dimensionality mismatch accepted")
+	}
+	if _, err := Draw(s, tt, data.Band{Low: []float64{-1, 0}, High: []float64{1, 0}}, DefaultOptions()); err == nil {
+		t.Error("invalid band accepted")
+	}
+	empty := data.NewRelation("e", 2)
+	if _, err := Draw(empty, empty.Clone(""), data.Symmetric(1, 1), DefaultOptions()); err == nil {
+		t.Error("empty inputs accepted")
+	}
+}
+
+func TestDrawScalesBackToTotals(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.5, 4000, 3)
+	band := data.Symmetric(0.1, 0.1)
+	smp, err := Draw(s, tt, band, Options{InputSampleSize: 800, OutputSampleSize: 500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smp.TotalS != 4000 || smp.TotalT != 4000 {
+		t.Errorf("totals %d/%d", smp.TotalS, smp.TotalT)
+	}
+	if got := smp.ScaleS(smp.S.Len()); math.Abs(got-4000) > 1 {
+		t.Errorf("ScaleS of the whole sample = %g, want 4000", got)
+	}
+	if got := smp.ScaleT(smp.T.Len()); math.Abs(got-4000) > 1 {
+		t.Errorf("ScaleT of the whole sample = %g, want 4000", got)
+	}
+	if smp.S.Len()+smp.T.Len() > 800 {
+		t.Errorf("input sample larger than requested: %d", smp.S.Len()+smp.T.Len())
+	}
+}
+
+func TestOutputSampleEstimatesJoinSize(t *testing.T) {
+	s, tt := data.ParetoPair(1, 1.5, 6000, 5)
+	band := data.Symmetric(0.01)
+	exact := localjoin.SortProbe{}.Join(s, tt, band, nil)
+	if exact == 0 {
+		t.Skip("workload produced no output; widen the band")
+	}
+	smp, err := Draw(s, tt, band, Options{InputSampleSize: 3000, OutputSampleSize: 2000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := smp.EstimatedOutput()
+	ratio := est / float64(exact)
+	if ratio < 0.3 || ratio > 3.0 {
+		t.Errorf("output estimate %g is far from the exact size %d (ratio %.2f)", est, exact, ratio)
+	}
+	if smp.OutS.Len() != smp.OutT.Len() {
+		t.Errorf("output sample sides differ: %d vs %d", smp.OutS.Len(), smp.OutT.Len())
+	}
+	// Every output sample pair must actually satisfy the band condition.
+	for i := 0; i < smp.OutS.Len(); i++ {
+		if !band.Matches(smp.OutS.Key(i), smp.OutT.Key(i)) {
+			t.Fatalf("output sample pair %d does not satisfy the band condition", i)
+		}
+	}
+}
+
+func TestOutputSampleCap(t *testing.T) {
+	// A huge band makes the sample join produce many pairs; the cap must hold
+	// and the weight must compensate.
+	s, tt := data.ParetoPair(1, 1.5, 2000, 7)
+	band := data.Symmetric(1000)
+	smp, err := Draw(s, tt, band, Options{InputSampleSize: 600, OutputSampleSize: 200, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smp.OutS.Len() > 200 {
+		t.Errorf("output sample %d exceeds the cap", smp.OutS.Len())
+	}
+	est := smp.EstimatedOutput()
+	exactOrder := float64(2000) * float64(2000) // nearly a Cartesian product
+	if est < exactOrder/10 || est > exactOrder*10 {
+		t.Errorf("capped output estimate %g is off by more than 10x from ≈%g", est, exactOrder)
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	smp := &Sample{SRate: 0.1, TRate: 0.5, OutWeight: 7}
+	if smp.ScaleS(10) != 100 || smp.ScaleT(10) != 20 || smp.ScaleOut(3) != 21 {
+		t.Error("scaling helpers wrong")
+	}
+	zero := &Sample{}
+	if zero.ScaleS(5) != 0 || zero.ScaleT(5) != 0 {
+		t.Error("zero-rate scaling should be 0")
+	}
+}
+
+func TestDefaultOptionsApplied(t *testing.T) {
+	s, tt := data.ParetoPair(1, 1.0, 300, 9)
+	smp, err := Draw(s, tt, data.Symmetric(0.5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smp.S.Len() == 0 || smp.T.Len() == 0 {
+		t.Error("defaulted options produced an empty sample")
+	}
+}
