@@ -32,7 +32,7 @@ func main() {
 		partitioner = flag.String("partitioner", "recpart", "recpart | recpart-s | 1-bucket | grid | grid-star | csio | iejoin")
 		workers     = flag.Int("workers", 8, "number of simulated workers (ignored with -cluster)")
 		clusterAddr = flag.String("cluster", "", "comma-separated recpartd worker addresses for a real distributed run")
-		local       = flag.String("local", "", "local join algorithm: sort-probe | grid-sort-scan | nested-loop")
+		local       = flag.String("local", "", "local join algorithm: auto | sort-probe | grid-sort-scan | eps-grid | nested-loop")
 		seed        = flag.Int64("seed", 1, "random seed")
 		verbose     = flag.Bool("v", false, "print per-worker load distribution")
 	)

@@ -1,14 +1,19 @@
-// Command experiments regenerates the paper's evaluation tables and figures.
+// Command experiments regenerates the paper's evaluation tables and figures,
+// and benchmarks the execution pipeline itself.
 //
 // Usage:
 //
 //	experiments -list
 //	experiments -table 2b
 //	experiments -table all -workers 30 -tuples 40000 -csv results.csv
+//	experiments -pipeline BENCH_pipeline.json -pipeline-tuples 1000000
 //
 // Each table identifier corresponds to one paper artifact (see DESIGN.md for
 // the full index). Output is an aligned text table; -csv additionally exports
-// the raw per-method measurements.
+// the raw per-method measurements. -pipeline runs the serial-reference vs
+// parallel execution-pipeline comparison (shuffle and join throughput,
+// allocations per local join, speedups) and writes the machine-readable
+// report to the given path.
 package main
 
 import (
@@ -29,8 +34,47 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		csvPath = flag.String("csv", "", "also export raw measurements to this CSV file")
 		quick   = flag.Bool("quick", false, "use a very small configuration (smoke test)")
+
+		pipelinePath   = flag.String("pipeline", "", "run the execution-pipeline benchmark and write the JSON report to this path")
+		pipelineTuples = flag.Int("pipeline-tuples", 0, "per-relation input size of the pipeline benchmark (default 1000000)")
 	)
 	flag.Parse()
+
+	if *pipelinePath != "" {
+		cfg := bench.DefaultPipelineConfig()
+		if *pipelineTuples > 0 {
+			cfg.Tuples = *pipelineTuples
+		}
+		cfg.Seed = *seed
+		if *workers > 0 {
+			cfg.Workers = *workers
+		}
+		// Create the output file up front so a bad path fails before the
+		// (potentially long) benchmark runs.
+		f, err := os.Create(*pipelinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *pipelinePath, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fmt.Printf("pipeline benchmark: %d x %d tuples, %dD, band %g, %d workers...\n",
+			cfg.Tuples, cfg.Tuples, cfg.Dims, cfg.Eps, cfg.Workers)
+		rep, err := bench.RunPipeline(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipeline benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WritePipelineJSON(f, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *pipelinePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("reference %.2fs (shuffle %.2fs + join %.2fs), parallel %.2fs (shuffle %.2fs + join %.2fs)\n",
+			rep.Reference.TotalSeconds, rep.Reference.ShuffleSeconds, rep.Reference.JoinSeconds,
+			rep.Optimized.TotalSeconds, rep.Optimized.ShuffleSeconds, rep.Optimized.JoinSeconds)
+		fmt.Printf("end-to-end speedup %.2fx (shuffle %.2fx, join %.2fx); report written to %s\n",
+			rep.SpeedupEndToEnd, rep.SpeedupShuffle, rep.SpeedupJoin, *pipelinePath)
+		return
+	}
 
 	if *list || *table == "" {
 		fmt.Println("Available experiments:")

@@ -1,0 +1,3 @@
+module bandjoin
+
+go 1.24

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunPipelineSmoke(t *testing.T) {
+	cfg := PipelineConfig{Tuples: 8_000, Dims: 2, Eps: 0.002, Workers: 6, Rounds: 1, Seed: 3, SkipMicro: true}
+	rep, err := RunPipeline(cfg)
+	if err != nil {
+		t.Fatalf("RunPipeline: %v", err)
+	}
+	if rep.Output <= 0 {
+		t.Error("pipeline produced no join results; widen the band")
+	}
+	if rep.Partitions <= 0 {
+		t.Error("pipeline produced no partitions")
+	}
+	if rep.TotalInput < int64(2*cfg.Tuples) {
+		t.Errorf("total input %d below the |S|+|T| lower bound %d", rep.TotalInput, 2*cfg.Tuples)
+	}
+	if rep.Reference.TotalSeconds <= 0 || rep.Optimized.TotalSeconds <= 0 {
+		t.Error("measurements missing wall times")
+	}
+	if rep.SpeedupEndToEnd <= 0 {
+		t.Error("speedup must be positive")
+	}
+	if rep.Reference.Path != "serial-reference" || rep.Optimized.Path != "parallel" {
+		t.Errorf("unexpected path labels %q / %q", rep.Reference.Path, rep.Optimized.Path)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePipelineJSON(&buf, rep); err != nil {
+		t.Fatalf("WritePipelineJSON: %v", err)
+	}
+	var decoded PipelineReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if decoded.Tuples != cfg.Tuples || decoded.Dims != cfg.Dims {
+		t.Errorf("round-trip mismatch: %+v", decoded)
+	}
+}

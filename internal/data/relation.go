@@ -44,6 +44,19 @@ func NewRelationCapacity(name string, dims, n int) *Relation {
 	return r
 }
 
+// NewRelationFromKeys returns a relation that adopts the given flat key slice
+// (row-major, len(keys) must be a multiple of dims). The slice is not copied;
+// the caller must not modify it afterwards. This is the zero-copy constructor
+// the parallel shuffle uses to wrap partition buffers it filled directly.
+func NewRelationFromKeys(name string, dims int, keys []float64) *Relation {
+	r := NewRelation(name, dims)
+	if len(keys)%dims != 0 {
+		panic(fmt.Sprintf("data: relation %q: %d key values is not a multiple of %d dimensions", name, len(keys), dims))
+	}
+	r.keys = keys
+	return r
+}
+
 // Name returns the relation's name.
 func (r *Relation) Name() string { return r.name }
 
@@ -57,6 +70,12 @@ func (r *Relation) Len() int { return len(r.keys) / r.dims }
 // the relation's storage and must not be modified or retained across Append.
 func (r *Relation) Key(i int) []float64 {
 	return r.keys[i*r.dims : (i+1)*r.dims : (i+1)*r.dims]
+}
+
+// KeyAt returns attribute d of tuple i without forming a subslice. It is the
+// accessor hot loops use (e.g. building sort keys over one dimension).
+func (r *Relation) KeyAt(i, d int) float64 {
+	return r.keys[i*r.dims+d]
 }
 
 // Append adds a tuple with the given join-attribute values. It panics if the
@@ -76,6 +95,30 @@ func (r *Relation) AppendKey(key []float64) {
 	r.keys = append(r.keys, key...)
 }
 
+// AppendRows bulk-appends tuples [lo, hi) of src with a single copy. It panics
+// if the dimensionalities differ or the range is out of bounds.
+func (r *Relation) AppendRows(src *Relation, lo, hi int) {
+	if src.dims != r.dims {
+		panic(fmt.Sprintf("data: relation %q (%dD) cannot append rows of %q (%dD)", r.name, r.dims, src.name, src.dims))
+	}
+	if lo < 0 || hi > src.Len() || lo > hi {
+		panic(fmt.Sprintf("data: AppendRows range [%d,%d) out of bounds for relation of %d tuples", lo, hi, src.Len()))
+	}
+	r.keys = append(r.keys, src.keys[lo*src.dims:hi*src.dims]...)
+}
+
+// Reserve grows the key storage capacity so that n further tuples can be
+// appended without reallocation.
+func (r *Relation) Reserve(n int) {
+	need := len(r.keys) + n*r.dims
+	if cap(r.keys) >= need {
+		return
+	}
+	grown := make([]float64, len(r.keys), need)
+	copy(grown, r.keys)
+	r.keys = grown
+}
+
 // Clone returns a deep copy of the relation, optionally under a new name.
 func (r *Relation) Clone(name string) *Relation {
 	if name == "" {
@@ -93,7 +136,7 @@ func (r *Relation) Slice(name string, lo, hi int) *Relation {
 		panic(fmt.Sprintf("data: slice [%d,%d) out of range for relation of %d tuples", lo, hi, r.Len()))
 	}
 	out := NewRelationCapacity(name, r.dims, hi-lo)
-	out.keys = append(out.keys, r.keys[lo*r.dims:hi*r.dims]...)
+	out.AppendRows(r, lo, hi)
 	return out
 }
 

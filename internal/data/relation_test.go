@@ -146,3 +146,90 @@ func TestRelationKeyRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestNewRelationFromKeys(t *testing.T) {
+	keys := []float64{1, 2, 3, 4, 5, 6}
+	r := NewRelationFromKeys("f", 2, keys)
+	if r.Len() != 3 || r.Dims() != 2 {
+		t.Fatalf("got %d tuples x %dD, want 3 x 2D", r.Len(), r.Dims())
+	}
+	if k := r.Key(1); k[0] != 3 || k[1] != 4 {
+		t.Errorf("Key(1) = %v, want [3 4]", k)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRelationFromKeys accepted a non-multiple key slice")
+		}
+	}()
+	NewRelationFromKeys("bad", 2, []float64{1, 2, 3})
+}
+
+func TestAppendRows(t *testing.T) {
+	src := NewRelation("src", 2)
+	for i := 0; i < 5; i++ {
+		src.Append(float64(i), float64(10*i))
+	}
+	dst := NewRelation("dst", 2)
+	dst.Append(-1, -2)
+	dst.AppendRows(src, 1, 4)
+	if dst.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", dst.Len())
+	}
+	for i := 0; i < 3; i++ {
+		want := src.Key(i + 1)
+		got := dst.Key(i + 1)
+		if got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("row %d = %v, want %v", i+1, got, want)
+		}
+	}
+	// Appended rows are copies, not aliases.
+	src.Key(1)[0] = 999
+	if dst.Key(1)[0] == 999 {
+		t.Error("AppendRows aliased the source storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AppendRows accepted mismatched dimensionality")
+		}
+	}()
+	other := NewRelation("o", 3)
+	other.Append(1, 2, 3)
+	dst.AppendRows(other, 0, 1)
+}
+
+func TestAppendRowsRangeChecks(t *testing.T) {
+	src := NewRelation("src", 1)
+	src.Append(1)
+	dst := NewRelation("dst", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("AppendRows accepted an out-of-range interval")
+		}
+	}()
+	dst.AppendRows(src, 0, 2)
+}
+
+func TestKeyAt(t *testing.T) {
+	r := NewRelation("k", 3)
+	r.Append(1, 2, 3)
+	r.Append(4, 5, 6)
+	if r.KeyAt(1, 2) != 6 || r.KeyAt(0, 0) != 1 {
+		t.Errorf("KeyAt mismatch: got (%g, %g)", r.KeyAt(1, 2), r.KeyAt(0, 0))
+	}
+}
+
+func TestReserve(t *testing.T) {
+	r := NewRelation("r", 2)
+	r.Append(1, 2)
+	r.Reserve(100)
+	before := &r.keys[0]
+	for i := 0; i < 100; i++ {
+		r.Append(float64(i), float64(i))
+	}
+	if &r.keys[0] != before {
+		t.Error("Reserve did not prevent reallocation")
+	}
+	if r.Len() != 101 {
+		t.Errorf("Len = %d, want 101", r.Len())
+	}
+}

@@ -6,6 +6,15 @@
 // the quantities the paper evaluates: total input including duplicates I,
 // the input Im and output Om of the most loaded worker, max worker load Lm,
 // the Lemma 1 lower bounds, and the relative overheads plotted in Figure 4.
+//
+// Two knobs control the execution pipeline itself:
+//
+//   - Options.Parallelism bounds both the number of shuffle shards and the
+//     number of concurrent local joins (zero means GOMAXPROCS).
+//   - Options.SerialShuffle replaces the default parallel two-pass shuffle
+//     (see shuffle.go) with the single-threaded reference implementation.
+//     Both produce bit-identical partitions; the serial path exists as the
+//     correctness oracle and benchmark baseline.
 package exec
 
 import (
@@ -26,8 +35,10 @@ import (
 type Options struct {
 	// Workers is the number of simulated worker machines.
 	Workers int
-	// Algorithm is the local band-join algorithm; nil selects the default
-	// sort-probe algorithm (the paper's index-nested-loop equivalent).
+	// Algorithm is the local band-join algorithm; nil selects the adaptive
+	// default (localjoin.Auto: nested loop for tiny partitions, 2D local
+	// ε-grid for multi-dimensional bands, sorted probe for 1D, sorted
+	// sliding-window scan otherwise).
 	Algorithm localjoin.Algorithm
 	// Model supplies the β coefficients; a zero value selects the default.
 	Model costmodel.Model
@@ -36,9 +47,14 @@ type Options struct {
 	// CollectPairs materializes every result pair's (S id, T id); it is meant
 	// for correctness tests on small inputs, not for benchmarks.
 	CollectPairs bool
-	// Parallelism bounds the number of concurrent local joins; zero means
-	// GOMAXPROCS.
+	// Parallelism bounds the number of shuffle shards and concurrent local
+	// joins; zero means GOMAXPROCS.
 	Parallelism int
+	// SerialShuffle selects the retained single-threaded reference shuffle
+	// instead of the parallel two-pass shuffle. It exists as the correctness
+	// oracle for equivalence tests and as the pipeline benchmark's baseline;
+	// both shuffles produce bit-identical partitions.
+	SerialShuffle bool
 	// Seed drives randomized plan decisions.
 	Seed int64
 }
@@ -146,42 +162,19 @@ func ExecutePlan(plan partition.Plan, s, t *data.Relation, band data.Band, opts 
 		alg = localjoin.Default()
 	}
 
+	parallelism := opts.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+
 	// --- Shuffle (map phase): route every tuple to its partitions.
 	shuffleStart := time.Now()
-	parts := make([]*partitionInput, 0, plan.NumPartitions())
-	getPart := func(id int) *partitionInput {
-		for id >= len(parts) {
-			parts = append(parts, nil)
-		}
-		if parts[id] == nil {
-			parts[id] = &partitionInput{
-				s: data.NewRelation("S-part", s.Dims()),
-				t: data.NewRelation("T-part", t.Dims()),
-			}
-		}
-		return parts[id]
-	}
-	var dst []int
+	var parts []*partitionInput
 	var totalInput int64
-	for i := 0; i < s.Len(); i++ {
-		key := s.Key(i)
-		dst = plan.AssignS(int64(i), key, dst[:0])
-		for _, pid := range dst {
-			p := getPart(pid)
-			p.s.AppendKey(key)
-			p.sIDs = append(p.sIDs, int64(i))
-		}
-		totalInput += int64(len(dst))
-	}
-	for i := 0; i < t.Len(); i++ {
-		key := t.Key(i)
-		dst = plan.AssignT(int64(i), key, dst[:0])
-		for _, pid := range dst {
-			p := getPart(pid)
-			p.t.AppendKey(key)
-			p.tIDs = append(p.tIDs, int64(i))
-		}
-		totalInput += int64(len(dst))
+	if opts.SerialShuffle {
+		parts, totalInput = serialShuffle(plan, s, t)
+	} else {
+		parts, totalInput = parallelShuffle(plan, s, t, parallelism)
 	}
 	shuffleTime := time.Since(shuffleStart)
 
@@ -192,10 +185,6 @@ func ExecutePlan(plan partition.Plan, s, t *data.Relation, band data.Band, opts 
 		pairs    []Pair
 	}
 	results := make([]partResult, len(parts))
-	parallelism := opts.Parallelism
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
 	joinStart := time.Now()
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, parallelism)

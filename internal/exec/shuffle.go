@@ -1,0 +1,282 @@
+package exec
+
+import (
+	"sync"
+
+	"bandjoin/internal/data"
+	"bandjoin/internal/partition"
+)
+
+// The map phase (shuffle) routes every input tuple through the plan's
+// assignment into per-partition buffers. Two implementations exist:
+//
+//   - serialShuffle is the straightforward single-threaded reference: one pass
+//     over S then T, appending to growable per-partition relations. It is kept
+//     behind Options.SerialShuffle as the correctness oracle the equivalence
+//     tests compare against, and as the baseline the pipeline benchmark
+//     measures speedups over.
+//
+//   - parallelShuffle shards S and T across goroutines and builds every
+//     partition in exactly-sized flat buffers with two passes: pass 1 records
+//     each tuple's partition assignments and counts per-(shard, partition)
+//     occupancy; a prefix sum over the count matrix then yields the exact row
+//     every (shard, partition) pair writes to; pass 2 replays the recorded
+//     assignments and copies keys and tuple IDs straight to their final
+//     locations. Shards write disjoint row ranges, so the write path needs no
+//     locks and no append growth, and partition contents come out in global
+//     tuple order — bit-identical to the serial shuffle.
+//
+// Plans must be safe for concurrent Assign calls (all in-repo plans are; see
+// grid.Plan for the one that needed internal synchronization).
+
+// serialShuffle is the retained reference path. The parts slice is pre-sized
+// from plan.NumPartitions; only plans that discover partitions lazily during
+// assignment (Grid-ε) ever grow it.
+func serialShuffle(plan partition.Plan, s, t *data.Relation) ([]*partitionInput, int64) {
+	parts := make([]*partitionInput, plan.NumPartitions())
+	getPart := func(id int) *partitionInput {
+		for id >= len(parts) {
+			parts = append(parts, nil)
+		}
+		if parts[id] == nil {
+			parts[id] = &partitionInput{
+				s: data.NewRelation("S-part", s.Dims()),
+				t: data.NewRelation("T-part", t.Dims()),
+			}
+		}
+		return parts[id]
+	}
+	var dst []int
+	var totalInput int64
+	for i := 0; i < s.Len(); i++ {
+		key := s.Key(i)
+		dst = plan.AssignS(int64(i), key, dst[:0])
+		for _, pid := range dst {
+			p := getPart(pid)
+			p.s.AppendKey(key)
+			p.sIDs = append(p.sIDs, int64(i))
+		}
+		totalInput += int64(len(dst))
+	}
+	for i := 0; i < t.Len(); i++ {
+		key := t.Key(i)
+		dst = plan.AssignT(int64(i), key, dst[:0])
+		for _, pid := range dst {
+			p := getPart(pid)
+			p.t.AppendKey(key)
+			p.tIDs = append(p.tIDs, int64(i))
+		}
+		totalInput += int64(len(dst))
+	}
+	return parts, totalInput
+}
+
+// shardAssignments records what one shard's counting pass learned about one
+// relation: the concatenated partition ids of its tuples (in tuple order), how
+// many partitions each tuple went to, and the per-partition occupancy.
+type shardAssignments struct {
+	pids    []int32 // partition ids, concatenated in tuple order
+	degrees []int32 // per tuple, number of entries in pids
+	counts  []int   // per partition, number of tuples this shard sends there
+}
+
+// assignFunc is plan.AssignS or plan.AssignT.
+type assignFunc func(id int64, key []float64, dst []int) []int
+
+// countShard runs the counting pass of one shard over rel[lo:hi). numParts
+// pre-sizes the occupancy counters; lazily-discovering plans may report more
+// partitions as they go, growing the counters past it.
+func countShard(assign assignFunc, rel *data.Relation, lo, hi, numParts int, sa *shardAssignments) {
+	dst := make([]int, 0, 16)
+	sa.counts = make([]int, numParts)
+	sa.degrees = make([]int32, 0, hi-lo)
+	sa.pids = make([]int32, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		dst = assign(int64(i), rel.Key(i), dst[:0])
+		sa.degrees = append(sa.degrees, int32(len(dst)))
+		for _, pid := range dst {
+			for pid >= len(sa.counts) {
+				sa.counts = append(sa.counts, make([]int, pid+1-len(sa.counts))...)
+			}
+			sa.counts[pid]++
+			sa.pids = append(sa.pids, int32(pid))
+		}
+	}
+}
+
+// writeShard replays one shard's recorded assignments, copying keys and tuple
+// IDs to their pre-computed rows. off[pid] is the next global row this shard
+// writes for partition pid; rows of different shards are disjoint, so the
+// writes need no synchronization.
+func writeShard(rel *data.Relation, lo, hi int, sa *shardAssignments, off []int, keys []float64, ids []int64) {
+	dims := rel.Dims()
+	sp := 0
+	for i := lo; i < hi; i++ {
+		key := rel.Key(i)
+		for e := int32(0); e < sa.degrees[i-lo]; e++ {
+			pid := sa.pids[sp]
+			sp++
+			row := off[pid]
+			off[pid] = row + 1
+			copy(keys[row*dims:(row+1)*dims], key)
+			ids[row] = int64(i)
+		}
+	}
+}
+
+// shardRanges splits n tuples into at most shards contiguous ranges.
+func shardRanges(n, shards int) [][2]int {
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	out := make([][2]int, 0, shards)
+	for k := 0; k < shards; k++ {
+		lo := n * k / shards
+		hi := n * (k + 1) / shards
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// sideBuffers aggregates the two-pass bookkeeping of one relation side.
+type sideBuffers struct {
+	shards  [][2]int
+	assigns []shardAssignments
+	totals  []int     // per partition, total tuple count
+	starts  []int     // per partition, first row in the arena
+	offsets [][]int   // per shard, next row per partition (consumed by pass 2)
+	keys    []float64 // arena: all partitions' keys, row-major
+	ids     []int64   // arena: all partitions' tuple IDs
+}
+
+// finishCounts turns per-shard counts into per-partition totals and exact
+// per-(shard, partition) write offsets over a single shared arena.
+func (sb *sideBuffers) finishCounts(numParts, dims int) int64 {
+	sb.totals = make([]int, numParts)
+	for k := range sb.assigns {
+		for pid, c := range sb.assigns[k].counts {
+			sb.totals[pid] += c
+		}
+	}
+	var total int64
+	sb.starts = make([]int, numParts+1)
+	for pid, c := range sb.totals {
+		sb.starts[pid+1] = sb.starts[pid] + c
+		total += int64(c)
+	}
+	cum := make([]int, numParts)
+	copy(cum, sb.starts[:numParts])
+	sb.offsets = make([][]int, len(sb.assigns))
+	for k := range sb.assigns {
+		off := make([]int, numParts)
+		copy(off, cum)
+		sb.offsets[k] = off
+		for pid, c := range sb.assigns[k].counts {
+			cum[pid] += c
+		}
+	}
+	sb.keys = make([]float64, int(total)*dims)
+	sb.ids = make([]int64, total)
+	return total
+}
+
+// partitionRows returns the rows of partition pid as zero-copy slices of the
+// arena. Capacities are clamped so a later Append on the wrapped relation
+// reallocates instead of silently overwriting the next partition's rows.
+func (sb *sideBuffers) partitionRows(pid, dims int) ([]float64, []int64) {
+	lo, hi := sb.starts[pid], sb.starts[pid+1]
+	return sb.keys[lo*dims : hi*dims : hi*dims], sb.ids[lo:hi:hi]
+}
+
+// parallelShuffle shards each input into at most `shards` ranges and builds
+// every partition with the two-pass count/prefix-sum/write scheme described
+// above; at most `shards` goroutines run at any time across both relations.
+func parallelShuffle(plan partition.Plan, s, t *data.Relation, shards int) ([]*partitionInput, int64) {
+	if shards < 1 {
+		shards = 1
+	}
+	var sb, tb sideBuffers
+	sb.shards = shardRanges(s.Len(), shards)
+	tb.shards = shardRanges(t.Len(), shards)
+	sb.assigns = make([]shardAssignments, len(sb.shards))
+	tb.assigns = make([]shardAssignments, len(tb.shards))
+	planned := plan.NumPartitions()
+
+	// run executes fn for every S- and T-shard, at most `shards` at a time
+	// across both sides, so Options.Parallelism truly bounds the concurrency
+	// (Parallelism = 1 processes the shards strictly one after another).
+	run := func(fn func(side *sideBuffers, isS bool, k int)) {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, shards)
+		for _, side := range []struct {
+			sb  *sideBuffers
+			isS bool
+		}{{&sb, true}, {&tb, false}} {
+			for k := range side.sb.shards {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(sb *sideBuffers, isS bool, k int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					fn(sb, isS, k)
+				}(side.sb, side.isS, k)
+			}
+		}
+		wg.Wait()
+	}
+
+	// Pass 1: count and record assignments, in parallel over shards.
+	run(func(side *sideBuffers, isS bool, k int) {
+		r := side.shards[k]
+		if isS {
+			countShard(plan.AssignS, s, r[0], r[1], planned, &side.assigns[k])
+		} else {
+			countShard(plan.AssignT, t, r[0], r[1], planned, &side.assigns[k])
+		}
+	})
+
+	// All partitions are known now, even for lazily-discovering plans.
+	numParts := plan.NumPartitions()
+	for k := range sb.assigns {
+		if n := len(sb.assigns[k].counts); n > numParts {
+			numParts = n
+		}
+	}
+	for k := range tb.assigns {
+		if n := len(tb.assigns[k].counts); n > numParts {
+			numParts = n
+		}
+	}
+
+	// Prefix sums: exact write offsets and exactly-sized arenas.
+	totalInput := sb.finishCounts(numParts, s.Dims()) + tb.finishCounts(numParts, t.Dims())
+
+	// Pass 2: write keys and IDs to their final rows, in parallel over shards.
+	run(func(side *sideBuffers, isS bool, k int) {
+		r := side.shards[k]
+		if isS {
+			writeShard(s, r[0], r[1], &side.assigns[k], side.offsets[k], side.keys, side.ids)
+		} else {
+			writeShard(t, r[0], r[1], &side.assigns[k], side.offsets[k], side.keys, side.ids)
+		}
+	})
+
+	parts := make([]*partitionInput, numParts)
+	for pid := 0; pid < numParts; pid++ {
+		if sb.totals[pid] == 0 && tb.totals[pid] == 0 {
+			continue
+		}
+		sKeys, sIDs := sb.partitionRows(pid, s.Dims())
+		tKeys, tIDs := tb.partitionRows(pid, t.Dims())
+		parts[pid] = &partitionInput{
+			s:    data.NewRelationFromKeys("S-part", s.Dims(), sKeys),
+			sIDs: sIDs,
+			t:    data.NewRelationFromKeys("T-part", t.Dims(), tKeys),
+			tIDs: tIDs,
+		}
+	}
+	return parts, totalInput
+}

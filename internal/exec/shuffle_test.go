@@ -1,0 +1,181 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"bandjoin/internal/core"
+	"bandjoin/internal/costmodel"
+	"bandjoin/internal/data"
+	"bandjoin/internal/grid"
+	"bandjoin/internal/onebucket"
+	"bandjoin/internal/partition"
+	"bandjoin/internal/sample"
+)
+
+// planFor runs one partitioner's optimization phase on the given workload.
+func planFor(t *testing.T, pt partition.Partitioner, s, tt *data.Relation, band data.Band, workers int) partition.Plan {
+	t.Helper()
+	smp, err := sample.Draw(s, tt, band, sample.DefaultOptions())
+	if err != nil {
+		t.Fatalf("sampling: %v", err)
+	}
+	ctx := &partition.Context{Band: band, Workers: workers, Sample: smp, Model: costmodel.Default(), Seed: 3}
+	plan, err := pt.Plan(ctx)
+	if err != nil {
+		t.Fatalf("%s optimization: %v", pt.Name(), err)
+	}
+	return plan
+}
+
+// equalParts verifies two shuffle outcomes are bit-identical: same number of
+// partitions, same per-partition sizes, and the same keys and tuple IDs in the
+// same order.
+func equalParts(t *testing.T, serial, par []*partitionInput) {
+	t.Helper()
+	if len(serial) != len(par) {
+		t.Fatalf("partition count: serial %d, parallel %d", len(serial), len(par))
+	}
+	for pid := range serial {
+		sp, pp := serial[pid], par[pid]
+		if (sp == nil) != (pp == nil) {
+			t.Fatalf("partition %d: serial nil=%v, parallel nil=%v", pid, sp == nil, pp == nil)
+		}
+		if sp == nil {
+			continue
+		}
+		if sp.s.Len() != pp.s.Len() || sp.t.Len() != pp.t.Len() {
+			t.Fatalf("partition %d sizes: serial (%d,%d), parallel (%d,%d)",
+				pid, sp.s.Len(), sp.t.Len(), pp.s.Len(), pp.t.Len())
+		}
+		for i := 0; i < sp.s.Len(); i++ {
+			if sp.sIDs[i] != pp.sIDs[i] {
+				t.Fatalf("partition %d S row %d: serial id %d, parallel id %d", pid, i, sp.sIDs[i], pp.sIDs[i])
+			}
+			for d := 0; d < sp.s.Dims(); d++ {
+				if sp.s.KeyAt(i, d) != pp.s.KeyAt(i, d) {
+					t.Fatalf("partition %d S row %d dim %d: keys differ", pid, i, d)
+				}
+			}
+		}
+		for i := 0; i < sp.t.Len(); i++ {
+			if sp.tIDs[i] != pp.tIDs[i] {
+				t.Fatalf("partition %d T row %d: serial id %d, parallel id %d", pid, i, sp.tIDs[i], pp.tIDs[i])
+			}
+			for d := 0; d < sp.t.Dims(); d++ {
+				if sp.t.KeyAt(i, d) != pp.t.KeyAt(i, d) {
+					t.Fatalf("partition %d T row %d dim %d: keys differ", pid, i, d)
+				}
+			}
+		}
+	}
+}
+
+func equivalencePartitioners() []partition.Partitioner {
+	return []partition.Partitioner{core.NewRecPartS(), onebucket.New(), grid.New()}
+}
+
+func equivalenceBands() map[string]data.Band {
+	return map[string]data.Band{
+		"symmetric":  data.Symmetric(0.4, 0.4),
+		"asymmetric": data.Asymmetric([]float64{0.5, 0.15}, []float64{0.1, 0.35}),
+	}
+}
+
+// TestShuffleEquivalence checks that the parallel two-pass shuffle produces
+// bit-identical partitions to the serial reference for every partitioner and
+// both symmetric and asymmetric bands, at several shard counts. The serial
+// shuffle runs first so that lazily-discovering plans (Grid-ε) number their
+// partitions deterministically before the parallel run replays them.
+func TestShuffleEquivalence(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.5, 900, 17)
+	for bandName, band := range equivalenceBands() {
+		for _, pt := range equivalencePartitioners() {
+			plan := planFor(t, pt, s, tt, band, 6)
+			serialParts, serialTotal := serialShuffle(plan, s, tt)
+			for _, shards := range []int{1, 3, 8} {
+				t.Run(fmt.Sprintf("%s/%s/shards=%d", pt.Name(), bandName, shards), func(t *testing.T) {
+					parParts, parTotal := parallelShuffle(plan, s, tt, shards)
+					if serialTotal != parTotal {
+						t.Fatalf("total input: serial %d, parallel %d", serialTotal, parTotal)
+					}
+					equalParts(t, serialParts, parParts)
+				})
+			}
+		}
+	}
+}
+
+// TestExecutePlanSerialVsParallel checks the end-to-end accounting: both
+// shuffle modes must agree on every quantity the paper evaluates and on the
+// exact (sorted) result pair set.
+func TestExecutePlanSerialVsParallel(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.5, 700, 29)
+	for bandName, band := range equivalenceBands() {
+		for _, pt := range equivalencePartitioners() {
+			t.Run(pt.Name()+"/"+bandName, func(t *testing.T) {
+				plan := planFor(t, pt, s, tt, band, 5)
+				serialOpts := DefaultOptions(5)
+				serialOpts.SerialShuffle = true
+				serialOpts.CollectPairs = true
+				serialRes, err := ExecutePlan(plan, s, tt, band, serialOpts)
+				if err != nil {
+					t.Fatalf("serial ExecutePlan: %v", err)
+				}
+				parOpts := DefaultOptions(5)
+				parOpts.CollectPairs = true
+				parOpts.Parallelism = 7
+				parRes, err := ExecutePlan(plan, s, tt, band, parOpts)
+				if err != nil {
+					t.Fatalf("parallel ExecutePlan: %v", err)
+				}
+				if serialRes.TotalInput != parRes.TotalInput {
+					t.Errorf("TotalInput: serial %d, parallel %d", serialRes.TotalInput, parRes.TotalInput)
+				}
+				if serialRes.Output != parRes.Output {
+					t.Errorf("Output: serial %d, parallel %d", serialRes.Output, parRes.Output)
+				}
+				if serialRes.Partitions != parRes.Partitions {
+					t.Errorf("Partitions: serial %d, parallel %d", serialRes.Partitions, parRes.Partitions)
+				}
+				if serialRes.Im != parRes.Im || serialRes.Om != parRes.Om {
+					t.Errorf("max-worker accounting: serial (Im=%d,Om=%d), parallel (Im=%d,Om=%d)",
+						serialRes.Im, serialRes.Om, parRes.Im, parRes.Om)
+				}
+				if len(serialRes.Pairs) != len(parRes.Pairs) {
+					t.Fatalf("pair count: serial %d, parallel %d", len(serialRes.Pairs), len(parRes.Pairs))
+				}
+				for i := range serialRes.Pairs {
+					if serialRes.Pairs[i] != parRes.Pairs[i] {
+						t.Fatalf("pair %d: serial %v, parallel %v", i, serialRes.Pairs[i], parRes.Pairs[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelShuffleRace hammers the parallel shuffle with many shards; run
+// under -race (as CI does) it verifies the concurrent counting pass, the
+// lock-free write pass, and Grid-ε's synchronized lazy cell discovery.
+func TestParallelShuffleRace(t *testing.T) {
+	s, tt := data.ParetoPair(3, 1.2, 1500, 41)
+	band := data.Uniform(3, 0.3)
+	for _, pt := range equivalencePartitioners() {
+		t.Run(pt.Name(), func(t *testing.T) {
+			plan := planFor(t, pt, s, tt, band, 8)
+			var wantTotal int64 = -1
+			for round := 0; round < 3; round++ {
+				parts, total := parallelShuffle(plan, s, tt, 16)
+				if wantTotal == -1 {
+					wantTotal = total
+				} else if total != wantTotal {
+					t.Fatalf("round %d total input %d, want %d", round, total, wantTotal)
+				}
+				if countNonEmpty(parts) == 0 {
+					t.Fatal("shuffle produced no partitions")
+				}
+			}
+		})
+	}
+}

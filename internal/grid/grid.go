@@ -11,6 +11,7 @@ package grid
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"bandjoin/internal/data"
 	"bandjoin/internal/partition"
@@ -81,13 +82,18 @@ type cellEntry struct {
 
 // Plan is the Grid-ε assignment. Cells are discovered lazily as tuples are
 // assigned, so NumPartitions grows during the shuffle; it must be read after
-// assignment. The plan is not safe for concurrent use.
+// assignment. AssignS and AssignT are safe for concurrent use (the parallel
+// shuffle calls them from many goroutines): lookups of already-discovered
+// cells take a read lock only, and cell creation escalates to a write lock.
+// Cell (partition) numbering therefore depends on discovery order, but which
+// tuples share a cell, and the worker each cell is hashed to, do not.
 type Plan struct {
 	band     data.Band
 	cellSize []float64
-	cells    map[uint64][]cellEntry
-	hashes   []uint64 // per partition id, hash of its cell coordinates
-	scratch  []int64
+
+	mu     sync.RWMutex
+	cells  map[uint64][]cellEntry
+	hashes []uint64 // per partition id, hash of its cell coordinates
 }
 
 // NewPlan returns an empty Grid-ε plan with the given cell sizes.
@@ -96,7 +102,6 @@ func NewPlan(band data.Band, cellSize []float64) *Plan {
 		band:     band,
 		cellSize: cellSize,
 		cells:    make(map[uint64][]cellEntry),
-		scratch:  make([]int64, band.Dims()),
 	}
 }
 
@@ -105,22 +110,36 @@ func (p *Plan) CellSizes() []float64 { return p.cellSize }
 
 // NumPartitions implements partition.Plan. It returns the number of occupied
 // cells discovered so far.
-func (p *Plan) NumPartitions() int { return len(p.hashes) }
+func (p *Plan) NumPartitions() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.hashes)
+}
 
 // PlaceWorker implements partition.WorkerPlacer: cells are hashed to workers,
 // matching Grid-ε's near-zero optimization cost (no load-aware scheduling).
 func (p *Plan) PlaceWorker(part, workers int) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if part < 0 || part >= len(p.hashes) || workers <= 0 {
 		return 0
 	}
 	return int(p.hashes[part] % uint64(workers))
 }
 
+// maxStackDims bounds the dimensionality for which Assign scratch lives on the
+// stack; the paper evaluates up to d = 8.
+const maxStackDims = 16
+
 // AssignS implements partition.Plan: the S-tuple belongs to exactly one cell.
 func (p *Plan) AssignS(_ int64, key []float64, dst []int) []int {
-	coords := p.scratch
+	var buf [maxStackDims]int64
+	coords := buf[:0]
+	if len(key) > maxStackDims {
+		coords = make([]int64, 0, len(key))
+	}
 	for d, v := range key {
-		coords[d] = cellIndex(v, p.cellSize[d])
+		coords = append(coords, cellIndex(v, p.cellSize[d]))
 	}
 	return append(dst, p.lookup(coords))
 }
@@ -130,13 +149,15 @@ func (p *Plan) AssignS(_ int64, key []float64, dst []int) []int {
 // S-tuples).
 func (p *Plan) AssignT(_ int64, key []float64, dst []int) []int {
 	d := len(key)
-	lo := make([]int64, d)
-	hi := make([]int64, d)
-	for i, v := range key {
-		lo[i] = cellIndex(v-p.band.High[i], p.cellSize[i])
-		hi[i] = cellIndex(v+p.band.Low[i], p.cellSize[i])
+	var bufLo, bufHi, bufC [maxStackDims]int64
+	lo, hi, coords := bufLo[:0], bufHi[:0], bufC[:d]
+	if d > maxStackDims {
+		lo, hi, coords = make([]int64, 0, d), make([]int64, 0, d), make([]int64, d)
 	}
-	coords := make([]int64, d)
+	for i, v := range key {
+		lo = append(lo, cellIndex(v-p.band.High[i], p.cellSize[i]))
+		hi = append(hi, cellIndex(v+p.band.Low[i], p.cellSize[i]))
+	}
 	copy(coords, lo)
 	for {
 		dst = append(dst, p.lookup(coords))
@@ -170,9 +191,22 @@ func (p *Plan) Replication(key []float64) int {
 }
 
 // lookup returns the partition id of the cell with the given coordinates,
-// creating it if necessary.
+// creating it if necessary. The fast path (cell already discovered, which is
+// every lookup after the shuffle's first pass) takes only a read lock.
 func (p *Plan) lookup(coords []int64) int {
 	h := hashCoords(coords)
+	p.mu.RLock()
+	for _, e := range p.cells[h] {
+		if equalCoords(e.coords, coords) {
+			p.mu.RUnlock()
+			return e.id
+		}
+	}
+	p.mu.RUnlock()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Re-check: another goroutine may have created the cell in the meantime.
 	for _, e := range p.cells[h] {
 		if equalCoords(e.coords, coords) {
 			return e.id

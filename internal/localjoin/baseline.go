@@ -1,0 +1,105 @@
+package localjoin
+
+import (
+	"sort"
+
+	"bandjoin/internal/data"
+)
+
+// BaselineSortProbe is the original SortProbe implementation: it allocates a
+// fresh []int index slice and a parallel key slice on every call and sorts
+// through a sort.Slice closure comparator. It is retained as a correctness
+// oracle and as the reference point for the allocation-free SortProbe in the
+// pipeline benchmark (internal/bench).
+type BaselineSortProbe struct{}
+
+// Name implements Algorithm.
+func (BaselineSortProbe) Name() string { return "baseline-sort-probe" }
+
+// Join implements Algorithm.
+func (BaselineSortProbe) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
+	n := t.Len()
+	if n == 0 || s.Len() == 0 {
+		return 0
+	}
+	// Sort indices of T by dimension 0.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return t.Key(idx[a])[0] < t.Key(idx[b])[0] })
+	vals := make([]float64, n)
+	for pos, j := range idx {
+		vals[pos] = t.Key(j)[0]
+	}
+
+	var count int64
+	for i := 0; i < s.Len(); i++ {
+		sk := s.Key(i)
+		lo := sk[0] - band.Low[0]
+		hi := sk[0] + band.High[0]
+		start := sort.SearchFloat64s(vals, lo)
+		for pos := start; pos < n && vals[pos] <= hi; pos++ {
+			j := idx[pos]
+			tk := t.Key(j)
+			if matchesFrom(band, sk, tk, 1) {
+				count++
+				if emit != nil {
+					emit(i, j, sk, tk)
+				}
+			}
+		}
+	}
+	return count
+}
+
+// BaselineGridSortScan is the original GridSortScan implementation with
+// per-call index allocations and closure-comparator sorts, retained for the
+// same reasons as BaselineSortProbe.
+type BaselineGridSortScan struct{}
+
+// Name implements Algorithm.
+func (BaselineGridSortScan) Name() string { return "baseline-grid-sort-scan" }
+
+// Join implements Algorithm.
+func (BaselineGridSortScan) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
+	ns, nt := s.Len(), t.Len()
+	if ns == 0 || nt == 0 {
+		return 0
+	}
+	sIdx := make([]int, ns)
+	for i := range sIdx {
+		sIdx[i] = i
+	}
+	sort.Slice(sIdx, func(a, b int) bool { return s.Key(sIdx[a])[0] < s.Key(sIdx[b])[0] })
+	tIdx := make([]int, nt)
+	for i := range tIdx {
+		tIdx[i] = i
+	}
+	sort.Slice(tIdx, func(a, b int) bool { return t.Key(tIdx[a])[0] < t.Key(tIdx[b])[0] })
+
+	var count int64
+	winLo := 0
+	for _, si := range sIdx {
+		sk := s.Key(si)
+		lo := sk[0] - band.Low[0]
+		hi := sk[0] + band.High[0]
+		for winLo < nt && t.Key(tIdx[winLo])[0] < lo {
+			winLo++
+		}
+		for pos := winLo; pos < nt; pos++ {
+			tj := tIdx[pos]
+			tk := t.Key(tj)
+			if tk[0] > hi {
+				break
+			}
+			if matchesFrom(band, sk, tk, 1) {
+				count++
+				if emit != nil {
+					emit(si, tj, sk, tk)
+				}
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,210 @@
+package localjoin
+
+import (
+	"math"
+
+	"bandjoin/internal/data"
+)
+
+// EpsGrid is a two-dimensional local ε-grid join: the T-side of the partition
+// is bucketed into grid cells of one band extent per side on the first two
+// dimensions, and every S-tuple probes only the (at most 3×3) cells its band
+// region can intersect. Sorting-based algorithms filter candidates on one
+// dimension only, so on multi-dimensional workloads they scan every tuple in
+// the dimension-0 window — often orders of magnitude more than the true
+// matches; the grid filters on two dimensions at once, shrinking the scanned
+// candidates to roughly the tuples inside the band neighborhood. Cells are
+// kept in an open-addressing hash table and a CSR bucket layout, both reused
+// through the scratch pool, so the steady state allocates nothing.
+//
+// The grid is undefined when either of the first two band extents is zero
+// (equi-join dimensions) or the join is one-dimensional; Join falls back to
+// GridSortScan in that case. Remaining dimensions (d > 2) are verified per
+// candidate, like the other algorithms do for d > 1.
+type EpsGrid struct{}
+
+// Name implements Algorithm.
+func (EpsGrid) Name() string { return "eps-grid" }
+
+// gridState is the scratch of one EpsGrid build, stored inside scratch.
+type gridState struct {
+	// Open-addressing cell table: cell coordinates -> dense cell id.
+	tabC0, tabC1 []int64
+	tabID        []int32
+	mask         int
+
+	cellOf []int32 // per T tuple, dense cell id
+	starts []int32 // CSR: per cell id, start row (len numCells+1)
+	cursor []int32 // per cell id, next row to fill during the gather
+	rows   []float64
+	perm   []int32
+}
+
+// grow ensures capacities for n tuples and resets the cell table.
+func (g *gridState) grow(n, dims int) {
+	size := 1
+	for size < 2*n {
+		size <<= 1
+	}
+	if cap(g.tabC0) < size {
+		g.tabC0 = make([]int64, size)
+		g.tabC1 = make([]int64, size)
+		g.tabID = make([]int32, size)
+	} else {
+		g.tabC0 = g.tabC0[:size]
+		g.tabC1 = g.tabC1[:size]
+		g.tabID = g.tabID[:size]
+	}
+	for i := range g.tabID {
+		g.tabID[i] = -1
+	}
+	g.mask = size - 1
+	if cap(g.cellOf) < n {
+		g.cellOf = make([]int32, n)
+	} else {
+		g.cellOf = g.cellOf[:n]
+	}
+	if cap(g.rows) < n*dims {
+		g.rows = make([]float64, n*dims)
+	} else {
+		g.rows = g.rows[:n*dims]
+	}
+	if cap(g.perm) < n {
+		g.perm = make([]int32, n)
+	} else {
+		g.perm = g.perm[:n]
+	}
+}
+
+// hashCell mixes two cell coordinates (splitmix64-style finalizer).
+func hashCell(c0, c1 int64) uint64 {
+	h := uint64(c0)*0x9e3779b97f4a7c15 ^ uint64(c1)*0xbf58476d1ce4e5b9
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	return h
+}
+
+// lookupOrInsert returns the dense id of cell (c0, c1), inserting it with id
+// next if absent; the bool reports whether it was inserted.
+func (g *gridState) lookupOrInsert(c0, c1 int64, next int32) (int32, bool) {
+	slot := int(hashCell(c0, c1)) & g.mask
+	for {
+		id := g.tabID[slot]
+		if id < 0 {
+			g.tabC0[slot] = c0
+			g.tabC1[slot] = c1
+			g.tabID[slot] = next
+			return next, true
+		}
+		if g.tabC0[slot] == c0 && g.tabC1[slot] == c1 {
+			return id, false
+		}
+		slot = (slot + 1) & g.mask
+	}
+}
+
+// lookup returns the dense id of cell (c0, c1), or -1.
+func (g *gridState) lookup(c0, c1 int64) int32 {
+	slot := int(hashCell(c0, c1)) & g.mask
+	for {
+		id := g.tabID[slot]
+		if id < 0 {
+			return -1
+		}
+		if g.tabC0[slot] == c0 && g.tabC1[slot] == c1 {
+			return id
+		}
+		slot = (slot + 1) & g.mask
+	}
+}
+
+// Join implements Algorithm.
+func (EpsGrid) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
+	ns, nt := s.Len(), t.Len()
+	if ns == 0 || nt == 0 {
+		return 0
+	}
+	dims := t.Dims()
+	if dims < 2 {
+		return GridSortScan{}.Join(s, t, band, emit)
+	}
+	// Cell extents: one full band reach per side, so an S-tuple's band region
+	// spans at most 3 cells per dimension.
+	w0 := math.Max(band.Low[0], band.High[0])
+	w1 := math.Max(band.Low[1], band.High[1])
+	if w0 <= 0 || w1 <= 0 {
+		return GridSortScan{}.Join(s, t, band, emit)
+	}
+
+	sc := scratchPool.Get().(*scratch)
+	g := &sc.grid
+	g.grow(nt, dims)
+
+	// Build: assign every T-tuple to its cell and count occupancies.
+	numCells := int32(0)
+	for i := 0; i < nt; i++ {
+		c0 := int64(math.Floor(t.KeyAt(i, 0) / w0))
+		c1 := int64(math.Floor(t.KeyAt(i, 1) / w1))
+		id, inserted := g.lookupOrInsert(c0, c1, numCells)
+		if inserted {
+			numCells++
+		}
+		g.cellOf[i] = id
+	}
+	if cap(g.starts) < int(numCells)+1 {
+		g.starts = make([]int32, numCells+1)
+		g.cursor = make([]int32, numCells)
+	} else {
+		g.starts = g.starts[:numCells+1]
+		g.cursor = g.cursor[:numCells]
+	}
+	for i := range g.starts {
+		g.starts[i] = 0
+	}
+	for i := 0; i < nt; i++ {
+		g.starts[g.cellOf[i]+1]++
+	}
+	for id := int32(0); id < numCells; id++ {
+		g.starts[id+1] += g.starts[id]
+		g.cursor[id] = g.starts[id]
+	}
+	// Gather rows bucket by bucket (CSR) so each probe scans contiguously.
+	for i := 0; i < nt; i++ {
+		id := g.cellOf[i]
+		pos := g.cursor[id]
+		g.cursor[id] = pos + 1
+		copy(g.rows[int(pos)*dims:(int(pos)+1)*dims], t.Key(i))
+		g.perm[pos] = int32(i)
+	}
+
+	// Probe: scan the cells the band region [s−Low, s+High] intersects.
+	var count int64
+	for i := 0; i < ns; i++ {
+		sk := s.Key(i)
+		cl0 := int64(math.Floor((sk[0] - band.Low[0]) / w0))
+		ch0 := int64(math.Floor((sk[0] + band.High[0]) / w0))
+		cl1 := int64(math.Floor((sk[1] - band.Low[1]) / w1))
+		ch1 := int64(math.Floor((sk[1] + band.High[1]) / w1))
+		for c0 := cl0; c0 <= ch0; c0++ {
+			for c1 := cl1; c1 <= ch1; c1++ {
+				id := g.lookup(c0, c1)
+				if id < 0 {
+					continue
+				}
+				for pos := g.starts[id]; pos < g.starts[id+1]; pos++ {
+					base := int(pos) * dims
+					row := g.rows[base : base+dims]
+					if matchesFrom(band, sk, row, 0) {
+						count++
+						if emit != nil {
+							emit(i, int(g.perm[pos]), sk, row)
+						}
+					}
+				}
+			}
+		}
+	}
+	scratchPool.Put(sc)
+	return count
+}

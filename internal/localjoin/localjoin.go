@@ -5,10 +5,26 @@
 // sorted-scan variant is used for Grid-ε partitions, and a block nested loop
 // serves as the correctness reference. All algorithms produce each matching
 // pair exactly once.
+//
+// SortProbe and GridSortScan are allocation-free in the steady state: sort
+// scratch (flat (key, index) pair buffers and a dimension-0-sorted copy of
+// the partition rows) is reused through a sync.Pool, the pairs are sorted
+// with slices.SortFunc over a concrete element type instead of sort.Slice
+// with closure comparators, and the probe loop scans contiguous rows with no
+// index indirection. Auto, the executor's default, picks per partition among
+// the nested loop (tiny inputs), the 2D local ε-grid (multi-dimensional
+// bands), the sorted probe (1D), and the sliding-window sorted scan.
+// The previous allocating implementations are retained as BaselineSortProbe
+// and BaselineGridSortScan; they serve as additional correctness oracles and
+// as the pre-optimization reference the pipeline benchmark (internal/bench)
+// measures speedups against.
 package localjoin
 
 import (
-	"sort"
+	"fmt"
+	"math"
+	"slices"
+	"sync"
 
 	"bandjoin/internal/data"
 )
@@ -58,6 +74,127 @@ func (NestedLoop) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
 }
 
 // ---------------------------------------------------------------------------
+// Sort scratch shared by the fast algorithms
+
+// keyIdx is one element of the flat sort arrays: the dimension-0 key of a
+// tuple together with its index in the partition relation. Sorting and
+// scanning these 16-byte records keeps the probe loop on contiguous memory,
+// unlike sorting an []int index slice whose comparator chases the key through
+// the relation on every comparison.
+type keyIdx struct {
+	key float64
+	idx int32
+}
+
+// sortedRel is a partition relation re-materialized in dimension-0 order:
+// rows holds all key rows contiguously (row-major) sorted by dimension 0, and
+// perm maps a sorted position back to the original tuple index (needed only
+// when pairs are emitted). Gathering the rows once turns every probe's
+// candidate scan into a purely sequential read — the original implementations
+// chased an index indirection into the relation for every candidate.
+type sortedRel struct {
+	rows []float64
+	perm []int32
+}
+
+// scratch holds the reusable sort buffers of one worker. Buffers grow to the
+// largest partition a worker sees and are then reused allocation-free.
+type scratch struct {
+	pairs []keyIdx
+	s, t  sortedRel
+	grid  gridState
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// sortedPairs fills buf with (dimension-0 key, index) pairs of r, sorted by
+// key, reusing buf's storage when it is large enough.
+func sortedPairs(buf []keyIdx, r *data.Relation) []keyIdx {
+	n := r.Len()
+	if n > math.MaxInt32 {
+		panic(fmt.Sprintf("localjoin: partition of %d tuples exceeds the 2^31-1 local index range", n))
+	}
+	if cap(buf) < n {
+		buf = make([]keyIdx, n)
+	} else {
+		buf = buf[:n]
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = keyIdx{key: r.KeyAt(i, 0), idx: int32(i)}
+	}
+	slices.SortFunc(buf, func(a, b keyIdx) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return buf
+}
+
+// build fills sr with r's rows sorted by dimension 0, using sc.pairs as the
+// sort scratch. All buffers are reused when large enough.
+func (sr *sortedRel) build(sc *scratch, r *data.Relation) {
+	n, dims := r.Len(), r.Dims()
+	sc.pairs = sortedPairs(sc.pairs, r)
+	if cap(sr.rows) < n*dims {
+		sr.rows = make([]float64, n*dims)
+	} else {
+		sr.rows = sr.rows[:n*dims]
+	}
+	if cap(sr.perm) < n {
+		sr.perm = make([]int32, n)
+	} else {
+		sr.perm = sr.perm[:n]
+	}
+	for pos, p := range sc.pairs {
+		sr.perm[pos] = p.idx
+		copy(sr.rows[pos*dims:(pos+1)*dims], r.Key(int(p.idx)))
+	}
+}
+
+// searchRowsGE returns the first sorted position whose dimension-0 key is >= x.
+func searchRowsGE(rows []float64, dims, n int, x float64) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if rows[mid*dims] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchRowsGT returns the first sorted position whose dimension-0 key is > x.
+func searchRowsGT(rows []float64, dims, n int, x float64) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if rows[mid*dims] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// matchesFrom checks the band condition for dimensions [from, d).
+func matchesFrom(band data.Band, sk, tk []float64, from int) bool {
+	for d := from; d < len(sk); d++ {
+		if tk[d] < sk[d]-band.Low[d] || tk[d] > sk[d]+band.High[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
 // Sorted probe (the paper's index-nested-loop, realized with one sort)
 
 // SortProbe sorts T on dimension 0 once and, for every S-tuple, locates the
@@ -77,45 +214,40 @@ func (SortProbe) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
 	if n == 0 || s.Len() == 0 {
 		return 0
 	}
-	// Sort indices of T by dimension 0.
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return t.Key(idx[a])[0] < t.Key(idx[b])[0] })
-	vals := make([]float64, n)
-	for pos, j := range idx {
-		vals[pos] = t.Key(j)[0]
-	}
+	dims := t.Dims()
+	sc := scratchPool.Get().(*scratch)
+	sc.t.build(sc, t)
+	rows, perm := sc.t.rows, sc.t.perm
 
 	var count int64
+	countOnly1D := emit == nil && dims == 1
 	for i := 0; i < s.Len(); i++ {
 		sk := s.Key(i)
 		lo := sk[0] - band.Low[0]
 		hi := sk[0] + band.High[0]
-		start := sort.SearchFloat64s(vals, lo)
-		for pos := start; pos < n && vals[pos] <= hi; pos++ {
-			j := idx[pos]
-			tk := t.Key(j)
-			if matchesFrom(band, sk, tk, 1) {
+		start := searchRowsGE(rows, dims, n, lo)
+		if countOnly1D {
+			// One dimension and no pair materialization: the matching range
+			// is exactly [start, end), no per-tuple verification needed.
+			count += int64(searchRowsGT(rows, dims, n, hi) - start)
+			continue
+		}
+		for pos := start; pos < n; pos++ {
+			base := pos * dims
+			if rows[base] > hi {
+				break
+			}
+			row := rows[base : base+dims]
+			if matchesFrom(band, sk, row, 1) {
 				count++
 				if emit != nil {
-					emit(i, j, sk, tk)
+					emit(i, int(perm[pos]), sk, row)
 				}
 			}
 		}
 	}
+	scratchPool.Put(sc)
 	return count
-}
-
-// matchesFrom checks the band condition for dimensions [from, d).
-func matchesFrom(band data.Band, sk, tk []float64, from int) bool {
-	for d := from; d < len(sk); d++ {
-		if tk[d] < sk[d]-band.Low[d] || tk[d] > sk[d]+band.High[d] {
-			return false
-		}
-	}
-	return true
 }
 
 // ---------------------------------------------------------------------------
@@ -136,58 +268,90 @@ func (GridSortScan) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
 	if ns == 0 || nt == 0 {
 		return 0
 	}
-	sIdx := make([]int, ns)
-	for i := range sIdx {
-		sIdx[i] = i
-	}
-	sort.Slice(sIdx, func(a, b int) bool { return s.Key(sIdx[a])[0] < s.Key(sIdx[b])[0] })
-	tIdx := make([]int, nt)
-	for i := range tIdx {
-		tIdx[i] = i
-	}
-	sort.Slice(tIdx, func(a, b int) bool { return t.Key(tIdx[a])[0] < t.Key(tIdx[b])[0] })
+	dims := t.Dims()
+	sc := scratchPool.Get().(*scratch)
+	sc.s.build(sc, s)
+	sc.t.build(sc, t)
+	sRows, sPerm := sc.s.rows, sc.s.perm
+	tRows, tPerm := sc.t.rows, sc.t.perm
 
 	var count int64
 	winLo := 0
-	for _, si := range sIdx {
-		sk := s.Key(si)
+	for spos := 0; spos < ns; spos++ {
+		sk := sRows[spos*dims : (spos+1)*dims]
 		lo := sk[0] - band.Low[0]
 		hi := sk[0] + band.High[0]
-		for winLo < nt && t.Key(tIdx[winLo])[0] < lo {
+		for winLo < nt && tRows[winLo*dims] < lo {
 			winLo++
 		}
 		for pos := winLo; pos < nt; pos++ {
-			tj := tIdx[pos]
-			tk := t.Key(tj)
-			if tk[0] > hi {
+			base := pos * dims
+			if tRows[base] > hi {
 				break
 			}
-			if matchesFrom(band, sk, tk, 1) {
+			row := tRows[base : base+dims]
+			if matchesFrom(band, sk, row, 1) {
 				count++
 				if emit != nil {
-					emit(si, tj, sk, tk)
+					emit(int(sPerm[spos]), int(tPerm[pos]), sk, row)
 				}
 			}
 		}
 	}
+	scratchPool.Put(sc)
 	return count
 }
 
 // ---------------------------------------------------------------------------
-// Algorithm selection
+// Adaptive selection
+
+// Auto picks the cheapest algorithm per partition: the quadratic nested loop
+// when either side is too small for sorting to pay off, the two-dimensional
+// ε-grid when it is defined (d ≥ 2 and non-zero band extents on the first two
+// dimensions — it filters candidates on two dimensions instead of one), the
+// sorted probe for one-dimensional joins (whose count-only path answers each
+// probe with two binary searches), and the sliding-window sorted scan for
+// everything else (e.g. equi-join dimensions).
+type Auto struct{}
+
+// autoNestedLoopMax is the side size below which the nested loop wins.
+const autoNestedLoopMax = 32
+
+// Name implements Algorithm.
+func (Auto) Name() string { return "auto" }
+
+// Join implements Algorithm.
+func (Auto) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
+	if s.Len() <= autoNestedLoopMax || t.Len() <= autoNestedLoopMax {
+		return NestedLoop{}.Join(s, t, band, emit)
+	}
+	if t.Dims() == 1 {
+		return SortProbe{}.Join(s, t, band, emit)
+	}
+	// EpsGrid falls back to GridSortScan itself when its grid is undefined.
+	return EpsGrid{}.Join(s, t, band, emit)
+}
 
 // Default returns the algorithm the executor uses when none is specified.
-func Default() Algorithm { return SortProbe{} }
+func Default() Algorithm { return Auto{} }
 
 // ByName returns the algorithm with the given name, or false if unknown.
 func ByName(name string) (Algorithm, bool) {
 	switch name {
+	case "auto":
+		return Auto{}, true
 	case "nested-loop":
 		return NestedLoop{}, true
 	case "sort-probe":
 		return SortProbe{}, true
 	case "grid-sort-scan":
 		return GridSortScan{}, true
+	case "eps-grid":
+		return EpsGrid{}, true
+	case "baseline-sort-probe":
+		return BaselineSortProbe{}, true
+	case "baseline-grid-sort-scan":
+		return BaselineGridSortScan{}, true
 	default:
 		return nil, false
 	}

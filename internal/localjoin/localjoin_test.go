@@ -11,7 +11,7 @@ import (
 )
 
 func algorithms() []Algorithm {
-	return []Algorithm{NestedLoop{}, SortProbe{}, GridSortScan{}}
+	return []Algorithm{NestedLoop{}, SortProbe{}, GridSortScan{}, EpsGrid{}, Auto{}, BaselineSortProbe{}, BaselineGridSortScan{}}
 }
 
 func makePair(n, d int, eps float64, seed int64) (*data.Relation, *data.Relation, data.Band) {
@@ -112,10 +112,20 @@ func TestAlgorithmsAgreeProperty(t *testing.T) {
 		if eps < 0 {
 			eps = -eps
 		}
-		s, tt, band := makePair(120, 2, eps, seed)
-		want := NestedLoop{}.Join(s, tt, band, nil)
-		return SortProbe{}.Join(s, tt, band, nil) == want &&
-			GridSortScan{}.Join(s, tt, band, nil) == want
+		for _, d := range []int{1, 2} {
+			s, tt, band := makePair(120, d, eps, seed)
+			want := NestedLoop{}.Join(s, tt, band, nil)
+			ok := (SortProbe{}).Join(s, tt, band, nil) == want &&
+				(GridSortScan{}).Join(s, tt, band, nil) == want &&
+				(EpsGrid{}).Join(s, tt, band, nil) == want &&
+				(Auto{}).Join(s, tt, band, nil) == want &&
+				(BaselineSortProbe{}).Join(s, tt, band, nil) == want &&
+				(BaselineGridSortScan{}).Join(s, tt, band, nil) == want
+			if !ok {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
 		t.Error(err)
@@ -140,7 +150,7 @@ func TestEmitIndicesValid(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	names := []string{"nested-loop", "sort-probe", "grid-sort-scan"}
+	names := []string{"auto", "nested-loop", "sort-probe", "grid-sort-scan", "eps-grid", "baseline-sort-probe", "baseline-grid-sort-scan"}
 	sort.Strings(names)
 	for _, n := range names {
 		alg, ok := ByName(n)

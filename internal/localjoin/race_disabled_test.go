@@ -1,0 +1,5 @@
+//go:build !race
+
+package localjoin
+
+const raceEnabled = false
