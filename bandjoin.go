@@ -111,6 +111,23 @@ type Options struct {
 	EstimateOnly bool
 	// Seed makes sampling and randomized assignment deterministic.
 	Seed int64
+
+	// The remaining knobs tune the RPC data plane and apply only to cluster
+	// runs (Cluster.Join); zeros select the defaults.
+
+	// ClusterChunkSize is the number of tuples per Load RPC (default 4096).
+	ClusterChunkSize int
+	// ClusterWindow is the maximum number of Load RPCs in flight per worker
+	// on the streaming shuffle (default 4).
+	ClusterWindow int
+	// ClusterJoinParallelism bounds the number of partition joins each worker
+	// runs concurrently (default: the worker's GOMAXPROCS).
+	ClusterJoinParallelism int
+	// ClusterSerial selects the serial reference data plane (tuple-at-a-time
+	// routing, blocking per-chunk RPCs, sequential worker joins) — the
+	// correctness oracle and benchmark baseline — instead of the pipelined
+	// streaming plane.
+	ClusterSerial bool
 }
 
 // Join runs the band-join of s and t on the in-process cluster simulator.

@@ -66,10 +66,14 @@ func (c *Cluster) Join(s, t *Relation, band Band, opts Options) (*Result, error)
 		pt = RecPart()
 	}
 	copts := cluster.Options{
-		Algorithm:    opts.LocalAlgorithm,
-		Model:        opts.Model,
-		CollectPairs: opts.CollectPairs,
-		Seed:         opts.Seed,
+		Algorithm:       opts.LocalAlgorithm,
+		Model:           opts.Model,
+		CollectPairs:    opts.CollectPairs,
+		Seed:            opts.Seed,
+		ChunkSize:       opts.ClusterChunkSize,
+		Window:          opts.ClusterWindow,
+		JoinParallelism: opts.ClusterJoinParallelism,
+		Serial:          opts.ClusterSerial,
 		Sampling: sample.Options{
 			InputSampleSize:  opts.InputSampleSize,
 			OutputSampleSize: opts.OutputSampleSize,

@@ -35,6 +35,11 @@ func main() {
 		local       = flag.String("local", "", "local join algorithm: auto | sort-probe | grid-sort-scan | eps-grid | nested-loop")
 		seed        = flag.Int64("seed", 1, "random seed")
 		verbose     = flag.Bool("v", false, "print per-worker load distribution")
+
+		clusterChunk   = flag.Int("cluster-chunk", 0, "tuples per Load RPC on cluster runs (default 4096)")
+		clusterWindow  = flag.Int("cluster-window", 0, "max in-flight Load RPCs per worker on cluster runs (default 4)")
+		clusterJoinPar = flag.Int("cluster-join-parallelism", 0, "partition joins each worker runs concurrently (default: worker GOMAXPROCS)")
+		clusterSerial  = flag.Bool("cluster-serial", false, "use the serial reference data plane instead of the pipelined streaming shuffle")
 	)
 	flag.Parse()
 
@@ -67,10 +72,14 @@ func main() {
 		fatal(err)
 	}
 	opts := bandjoin.Options{
-		Workers:        *workers,
-		Partitioner:    pt,
-		LocalAlgorithm: *local,
-		Seed:           *seed,
+		Workers:                *workers,
+		Partitioner:            pt,
+		LocalAlgorithm:         *local,
+		Seed:                   *seed,
+		ClusterChunkSize:       *clusterChunk,
+		ClusterWindow:          *clusterWindow,
+		ClusterJoinParallelism: *clusterJoinPar,
+		ClusterSerial:          *clusterSerial,
 	}
 
 	start := time.Now()
@@ -102,6 +111,9 @@ func main() {
 	fmt.Printf("max worker Im/Om   %d / %d  (load overhead %.2f%% over the Lemma 1 bound)\n", res.Im, res.Om, 100*res.LoadOverhead)
 	fmt.Printf("optimization time  %v\n", res.OptimizationTime.Round(time.Millisecond))
 	fmt.Printf("shuffle time       %v\n", res.ShuffleTime.Round(time.Millisecond))
+	if res.ShuffleRPCs > 0 {
+		fmt.Printf("shuffle wire       %d Load RPCs, %.1f MB\n", res.ShuffleRPCs, float64(res.ShuffleBytes)/(1<<20))
+	}
 	fmt.Printf("join makespan      %v\n", res.Makespan.Round(time.Millisecond))
 	fmt.Printf("wall time          %v\n", elapsed.Round(time.Millisecond))
 	if *verbose {

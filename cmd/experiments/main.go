@@ -7,13 +7,16 @@
 //	experiments -table 2b
 //	experiments -table all -workers 30 -tuples 40000 -csv results.csv
 //	experiments -pipeline BENCH_pipeline.json -pipeline-tuples 1000000
+//	experiments -cluster BENCH_cluster.json -cluster-tuples 500000 -cluster-workers 2
 //
 // Each table identifier corresponds to one paper artifact (see DESIGN.md for
 // the full index). Output is an aligned text table; -csv additionally exports
 // the raw per-method measurements. -pipeline runs the serial-reference vs
 // parallel execution-pipeline comparison (shuffle and join throughput,
 // allocations per local join, speedups) and writes the machine-readable
-// report to the given path.
+// report to the given path. -cluster runs the distributed data-plane
+// comparison (serial coordinator vs pipelined streaming shuffle + parallel
+// worker joins) over in-process RPC workers and writes BENCH_cluster.json.
 package main
 
 import (
@@ -37,8 +40,65 @@ func main() {
 
 		pipelinePath   = flag.String("pipeline", "", "run the execution-pipeline benchmark and write the JSON report to this path")
 		pipelineTuples = flag.Int("pipeline-tuples", 0, "per-relation input size of the pipeline benchmark (default 1000000)")
+
+		clusterPath    = flag.String("cluster", "", "run the distributed data-plane benchmark and write the JSON report to this path")
+		clusterTuples  = flag.Int("cluster-tuples", 0, "per-relation input size of the cluster benchmark (default 500000)")
+		clusterWorkers = flag.Int("cluster-workers", 0, "number of in-process RPC workers of the cluster benchmark (default 2)")
+		clusterChunk   = flag.Int("cluster-chunk", 0, "tuples per Load RPC (default 16384)")
+		clusterWindow  = flag.Int("cluster-window", 0, "max in-flight Load RPCs per worker on the streaming plane (default 4)")
+		clusterDims    = flag.Int("cluster-dims", 0, "number of join attributes of the cluster benchmark (default 8)")
+		clusterEps     = flag.Float64("cluster-eps", 0, "symmetric band width of the cluster benchmark (default 0.003)")
 	)
 	flag.Parse()
+
+	if *clusterPath != "" {
+		cfg := bench.DefaultClusterConfig()
+		if *clusterTuples > 0 {
+			cfg.Tuples = *clusterTuples
+		}
+		if *clusterWorkers > 0 {
+			cfg.Workers = *clusterWorkers
+		}
+		if *clusterChunk > 0 {
+			cfg.ChunkSize = *clusterChunk
+		}
+		if *clusterWindow > 0 {
+			cfg.Window = *clusterWindow
+		}
+		if *clusterDims > 0 {
+			cfg.Dims = *clusterDims
+		}
+		if *clusterEps > 0 {
+			cfg.Eps = *clusterEps
+		}
+		cfg.Seed = *seed
+		f, err := os.Create(*clusterPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *clusterPath, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fmt.Printf("cluster benchmark: %d x %d tuples, %dD, band %g, %d in-process workers...\n",
+			cfg.Tuples, cfg.Tuples, cfg.Dims, cfg.Eps, cfg.Workers)
+		rep, err := bench.RunCluster(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteClusterJSON(f, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *clusterPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("serial %.2fs (shuffle %.2fs + join %.2fs), streaming %.2fs (shuffle %.2fs + join %.2fs)\n",
+			rep.Serial.WallSeconds, rep.Serial.ShuffleSeconds, rep.Serial.JoinSeconds,
+			rep.Streaming.WallSeconds, rep.Streaming.ShuffleSeconds, rep.Streaming.JoinSeconds)
+		fmt.Printf("shuffle wire: serial %d RPCs / %.1f MB, streaming %d RPCs / %.1f MB\n",
+			rep.Serial.ShuffleRPCs, float64(rep.Serial.ShuffleBytes)/(1<<20),
+			rep.Streaming.ShuffleRPCs, float64(rep.Streaming.ShuffleBytes)/(1<<20))
+		fmt.Printf("end-to-end speedup %.2fx (shuffle %.2fx, join %.2fx); report written to %s\n",
+			rep.SpeedupEndToEnd, rep.SpeedupShuffle, rep.SpeedupJoin, *clusterPath)
+		return
+	}
 
 	if *pipelinePath != "" {
 		cfg := bench.DefaultPipelineConfig()

@@ -1,10 +1,11 @@
 // Command recpartd runs a band-join worker: it listens for RPC connections
-// from a coordinator (cmd/bandjoin -workers host:port,...), receives partition
-// data, executes local band-joins, and reports the results.
+// from a coordinator (cmd/bandjoin -cluster host:port,...), receives partition
+// data, executes local band-joins on request, and reports the results.
 //
 // Usage:
 //
 //	recpartd -listen :7070 -name worker-1
+//	recpartd -listen :7070 -max-parallelism 4
 package main
 
 import (
@@ -19,6 +20,7 @@ func main() {
 	var (
 		listen = flag.String("listen", ":7070", "TCP address to listen on")
 		name   = flag.String("name", "", "worker name reported to the coordinator (default: hostname)")
+		maxPar = flag.Int("max-parallelism", 0, "cap on concurrent partition joins per job, regardless of what coordinators request (default: GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -30,7 +32,10 @@ func main() {
 		}
 		workerName = hn
 	}
-	if err := cluster.ListenAndServe(workerName, *listen); err != nil {
+
+	w := cluster.NewWorker(workerName)
+	w.SetMaxParallelism(*maxPar)
+	if err := cluster.ListenAndServe(w, *listen); err != nil {
 		log.Fatalf("recpartd: %v", err)
 	}
 }

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"bandjoin/internal/cluster"
+	"bandjoin/internal/core"
+	"bandjoin/internal/costmodel"
+	"bandjoin/internal/data"
+	"bandjoin/internal/exec"
+	"bandjoin/internal/partition"
+	"bandjoin/internal/sample"
+)
+
+// ClusterConfig scales the distributed data-plane benchmark: one band-join
+// plan executed over real in-process RPC workers twice — once on the retained
+// serial coordinator (tuple-at-a-time routing, one blocking Load call per
+// chunk, sequential per-worker joins) and once on the pipelined streaming
+// plane (shared parallel two-pass routing, per-worker sender goroutines with
+// a bounded window of async Load RPCs, parallel worker joins).
+type ClusterConfig struct {
+	// Tuples is the per-relation input size.
+	Tuples int
+	// Dims is the number of join attributes.
+	Dims int
+	// Eps is the symmetric per-dimension band width.
+	Eps float64
+	// Workers is the number of in-process RPC workers (the acceptance
+	// criterion requires at least 2).
+	Workers int
+	// ChunkSize is the number of tuples per Load RPC.
+	ChunkSize int
+	// Window is the streaming plane's per-worker in-flight RPC bound.
+	Window int
+	// Rounds runs each plane this many times and keeps the fastest, damping
+	// scheduler noise.
+	Rounds int
+	// SelfMatch makes T a jittered copy of S (each T tuple within the band of
+	// its S counterpart), the paper's PTF-style near-duplicate workload: it
+	// guarantees an output of at least |S| pairs at any dimensionality, so
+	// the join phase produces real results without dominating the data-plane
+	// comparison. When false, S and T are drawn independently.
+	SelfMatch bool
+	// Seed drives data generation and planning.
+	Seed int64
+}
+
+// DefaultClusterConfig returns the acceptance-criteria workload: an 8D
+// near-duplicate self-match (the paper's highest-dimensional configuration,
+// in the style of its PTF astronomy workload) whose shuffle moves ~70 MB
+// over the wire and whose join emits one pair per S tuple. High
+// dimensionality weights the comparison toward the data plane (routing,
+// encoding, transfer, ingest), which is what differs between the planes;
+// the join work is identical on both.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{
+		Tuples:    500_000,
+		Dims:      8,
+		Eps:       0.003,
+		Workers:   2,
+		ChunkSize: 16384,
+		Window:    4,
+		Rounds:    5,
+		SelfMatch: true,
+		Seed:      1,
+	}
+}
+
+// ClusterMeasurement is the timing and wire accounting of one data plane.
+type ClusterMeasurement struct {
+	// Plane identifies the configuration ("serial" or "streaming").
+	Plane string `json:"plane"`
+	// WallSeconds is the fastest end-to-end execution (shuffle + joins +
+	// aggregation) over the configured rounds; ShuffleSeconds and JoinSeconds
+	// are the phases of that round.
+	WallSeconds    float64 `json:"wall_seconds"`
+	ShuffleSeconds float64 `json:"shuffle_seconds"`
+	JoinSeconds    float64 `json:"join_seconds"`
+	// ShuffleBytes is wire bytes moved during the shuffle (both directions,
+	// post-gob); ShuffleRPCs is the number of Load calls.
+	ShuffleBytes int64 `json:"shuffle_bytes"`
+	ShuffleRPCs  int64 `json:"shuffle_rpcs"`
+	// ShuffleTuplesPerSec is routed tuples (total input I) per second of
+	// shuffle time.
+	ShuffleTuplesPerSec float64 `json:"shuffle_tuples_per_sec"`
+}
+
+// ClusterReport is the machine-readable benchmark artifact
+// (BENCH_cluster.json): the distributed-path counterpart of
+// BENCH_pipeline.json.
+type ClusterReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+
+	Tuples      int     `json:"tuples_per_relation"`
+	Dims        int     `json:"dims"`
+	Eps         float64 `json:"band_width"`
+	Workers     int     `json:"workers"`
+	ChunkSize   int     `json:"chunk_size"`
+	Window      int     `json:"window"`
+	Partitioner string  `json:"partitioner"`
+	Partitions  int     `json:"partitions"`
+	TotalInput  int64   `json:"total_input"`
+	Output      int64   `json:"output_pairs"`
+
+	Serial    ClusterMeasurement `json:"serial"`
+	Streaming ClusterMeasurement `json:"streaming"`
+
+	// Speedups are serial / streaming wall-time ratios.
+	SpeedupEndToEnd float64 `json:"speedup_end_to_end"`
+	SpeedupShuffle  float64 `json:"speedup_shuffle"`
+	SpeedupJoin     float64 `json:"speedup_join"`
+}
+
+// RunCluster executes the cluster benchmark on in-process RPC workers. The
+// plan is computed once and shared by both planes, so the comparison isolates
+// the data plane; both planes must agree exactly on I and the output count.
+func RunCluster(cfg ClusterConfig) (*ClusterReport, error) {
+	if cfg.Tuples <= 0 || cfg.Dims <= 0 {
+		return nil, fmt.Errorf("bench: invalid cluster config %+v", cfg)
+	}
+	if cfg.Workers < 2 {
+		cfg.Workers = 2
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1
+	}
+	band := data.Uniform(cfg.Dims, cfg.Eps)
+	gen := data.NewPareto(cfg.Dims, 1.5)
+	s := gen.Generate("S", cfg.Tuples, rand.New(rand.NewSource(cfg.Seed)))
+	var t *data.Relation
+	if cfg.SelfMatch {
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		t = data.NewRelationCapacity("T", cfg.Dims, s.Len())
+		key := make([]float64, cfg.Dims)
+		for i := 0; i < s.Len(); i++ {
+			k := s.Key(i)
+			for d := range key {
+				key[d] = k[d] + (rng.Float64()-0.5)*cfg.Eps
+			}
+			t.AppendKey(key)
+		}
+	} else {
+		t = gen.Generate("T", cfg.Tuples, rand.New(rand.NewSource(cfg.Seed+1)))
+	}
+
+	lc, err := cluster.StartLocal(cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("bench: starting workers: %w", err)
+	}
+	defer lc.Stop()
+	coord, err := cluster.Dial(lc.Addrs())
+	if err != nil {
+		return nil, fmt.Errorf("bench: dialing workers: %w", err)
+	}
+	defer coord.Close()
+
+	pt := core.NewRecPartS()
+	smp, err := sample.Draw(s, t, band, sample.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("bench: sampling: %w", err)
+	}
+	ctx := &partition.Context{Band: band, Workers: cfg.Workers, Sample: smp, Model: costmodel.Default(), Seed: cfg.Seed}
+	plan, err := pt.Plan(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("bench: planning: %w", err)
+	}
+
+	serialOpts := cluster.Options{Serial: true, ChunkSize: cfg.ChunkSize}
+	streamOpts := cluster.Options{ChunkSize: cfg.ChunkSize, Window: cfg.Window}
+
+	serial, serialRes, err := measureCluster(coord, plan, ctx, s, t, band, serialOpts, cfg.Rounds, "serial")
+	if err != nil {
+		return nil, err
+	}
+	stream, streamRes, err := measureCluster(coord, plan, ctx, s, t, band, streamOpts, cfg.Rounds, "streaming")
+	if err != nil {
+		return nil, err
+	}
+	if serialRes.Output != streamRes.Output || serialRes.TotalInput != streamRes.TotalInput {
+		return nil, fmt.Errorf("bench: planes disagree: serial (I=%d, out=%d) vs streaming (I=%d, out=%d)",
+			serialRes.TotalInput, serialRes.Output, streamRes.TotalInput, streamRes.Output)
+	}
+
+	rep := &ClusterReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Tuples:      cfg.Tuples,
+		Dims:        cfg.Dims,
+		Eps:         cfg.Eps,
+		Workers:     cfg.Workers,
+		ChunkSize:   cfg.ChunkSize,
+		Window:      cfg.Window,
+		Partitioner: pt.Name(),
+		Partitions:  streamRes.Partitions,
+		TotalInput:  streamRes.TotalInput,
+		Output:      streamRes.Output,
+		Serial:      serial,
+		Streaming:   stream,
+	}
+	rep.SpeedupEndToEnd = ratio(serial.WallSeconds, stream.WallSeconds)
+	rep.SpeedupShuffle = ratio(serial.ShuffleSeconds, stream.ShuffleSeconds)
+	rep.SpeedupJoin = ratio(serial.JoinSeconds, stream.JoinSeconds)
+	return rep, nil
+}
+
+// measureCluster runs RunPlan rounds times and keeps the fastest round by
+// end-to-end wall time.
+func measureCluster(coord *cluster.Coordinator, plan partition.Plan, ctx *partition.Context, s, t *data.Relation, band data.Band, opts cluster.Options, rounds int, plane string) (ClusterMeasurement, *exec.Result, error) {
+	var best *exec.Result
+	var bestWall time.Duration
+	for r := 0; r < rounds; r++ {
+		// Level the heap across rounds and planes: on small machines GC debt
+		// from a previous round otherwise bleeds into the next measurement.
+		runtime.GC()
+		start := time.Now()
+		res, err := coord.RunPlan(plan, ctx, s, t, band, opts)
+		wall := time.Since(start)
+		if err != nil {
+			return ClusterMeasurement{}, nil, fmt.Errorf("bench: %s RunPlan: %w", plane, err)
+		}
+		if best == nil || wall < bestWall {
+			best, bestWall = res, wall
+		}
+	}
+	m := ClusterMeasurement{
+		Plane:          plane,
+		WallSeconds:    bestWall.Seconds(),
+		ShuffleSeconds: best.ShuffleTime.Seconds(),
+		JoinSeconds:    best.JoinWallTime.Seconds(),
+		ShuffleBytes:   best.ShuffleBytes,
+		ShuffleRPCs:    best.ShuffleRPCs,
+	}
+	if m.ShuffleSeconds > 0 {
+		m.ShuffleTuplesPerSec = float64(best.TotalInput) / m.ShuffleSeconds
+	}
+	return m, best, nil
+}
+
+// WriteClusterJSON writes the report as indented JSON.
+func WriteClusterJSON(w io.Writer, rep *ClusterReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunClusterQuick runs the cluster benchmark harness on a small workload:
+// it must produce a well-formed report whose planes agree exactly, and the
+// JSON artifact must round-trip.
+func TestRunClusterQuick(t *testing.T) {
+	cfg := ClusterConfig{
+		Tuples:    4000,
+		Dims:      2,
+		Eps:       0.01,
+		Workers:   2,
+		ChunkSize: 256,
+		Window:    3,
+		Rounds:    1,
+		Seed:      5,
+	}
+	rep, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatalf("RunCluster: %v", err)
+	}
+	if rep.Output <= 0 {
+		t.Error("benchmark workload produced no output pairs")
+	}
+	if rep.TotalInput < int64(2*cfg.Tuples) {
+		t.Errorf("total input %d below |S|+|T| = %d", rep.TotalInput, 2*cfg.Tuples)
+	}
+	if rep.Serial.WallSeconds <= 0 || rep.Streaming.WallSeconds <= 0 {
+		t.Errorf("non-positive wall times: serial %g, streaming %g",
+			rep.Serial.WallSeconds, rep.Streaming.WallSeconds)
+	}
+	if rep.Streaming.ShuffleRPCs <= 0 || rep.Streaming.ShuffleBytes <= 0 {
+		t.Errorf("streaming wire accounting missing: %d RPCs, %d bytes",
+			rep.Streaming.ShuffleRPCs, rep.Streaming.ShuffleBytes)
+	}
+	if rep.SpeedupEndToEnd <= 0 {
+		t.Errorf("speedup %g must be positive", rep.SpeedupEndToEnd)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteClusterJSON(&buf, rep); err != nil {
+		t.Fatalf("WriteClusterJSON: %v", err)
+	}
+	var back ClusterReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.Output != rep.Output || back.Workers != rep.Workers {
+		t.Error("round-tripped report differs")
+	}
+}

@@ -1,11 +1,16 @@
 package cluster
 
 import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
 	"testing"
 
 	"bandjoin/internal/core"
 	"bandjoin/internal/data"
 	"bandjoin/internal/exec"
+	"bandjoin/internal/grid"
 	"bandjoin/internal/onebucket"
 	"bandjoin/internal/partition"
 )
@@ -104,6 +109,278 @@ func TestDistributedAgreesWithSimulator(t *testing.T) {
 	}
 }
 
+// TestClusterMatchesInProcessExact checks pair-level equivalence between the
+// in-process executor and the RPC cluster, for both the streaming and the
+// serial data plane, across every partitioner family: identical plans must
+// produce bit-identical (sorted) result pair sets. It also verifies that
+// completed runs retain no job state on the workers.
+func TestClusterMatchesInProcessExact(t *testing.T) {
+	lc, err := StartLocal(3)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer lc.Stop()
+	coord, err := Dial(lc.Addrs())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer coord.Close()
+
+	s, tt := data.ParetoPair(2, 1.4, 600, 23)
+	band := data.Symmetric(0.3, 0.3)
+
+	for _, pt := range []partition.Partitioner{core.NewDefault(), core.NewRecPartS(), onebucket.New(), grid.New()} {
+		simOpts := exec.DefaultOptions(3)
+		simOpts.CollectPairs = true
+		simOpts.Seed = 11
+		sim, err := exec.Run(pt, s, tt, band, simOpts)
+		if err != nil {
+			t.Fatalf("simulator run (%s): %v", pt.Name(), err)
+		}
+		if len(sim.Pairs) == 0 {
+			t.Fatalf("%s: simulator produced no pairs", pt.Name())
+		}
+		modes := []struct {
+			name string
+			opts Options
+		}{
+			{"streaming", Options{CollectPairs: true, Seed: 11, ChunkSize: 128, Window: 3}},
+			{"serial", Options{CollectPairs: true, Seed: 11, ChunkSize: 128, Serial: true}},
+		}
+		for _, mode := range modes {
+			t.Run(pt.Name()+"/"+mode.name, func(t *testing.T) {
+				dist, err := coord.Run(pt, s, tt, band, mode.opts)
+				if err != nil {
+					t.Fatalf("distributed run: %v", err)
+				}
+				if dist.Output != sim.Output {
+					t.Errorf("output: distributed %d, simulator %d", dist.Output, sim.Output)
+				}
+				if dist.TotalInput != sim.TotalInput {
+					t.Errorf("total input: distributed %d, simulator %d", dist.TotalInput, sim.TotalInput)
+				}
+				if len(dist.Pairs) != len(sim.Pairs) {
+					t.Fatalf("pair count: distributed %d, simulator %d", len(dist.Pairs), len(sim.Pairs))
+				}
+				for i := range sim.Pairs {
+					if dist.Pairs[i] != sim.Pairs[i] {
+						t.Fatalf("pair %d: distributed %v, simulator %v", i, dist.Pairs[i], sim.Pairs[i])
+					}
+				}
+				if !mode.opts.Serial && dist.ShuffleRPCs == 0 {
+					t.Error("streaming run reported zero shuffle RPCs")
+				}
+				if !mode.opts.Serial && dist.ShuffleBytes == 0 {
+					t.Error("streaming run reported zero shuffle bytes")
+				}
+			})
+		}
+	}
+
+	for i, w := range lc.Handles() {
+		var pong PingReply
+		if err := w.Ping(&PingArgs{}, &pong); err != nil {
+			t.Fatalf("Ping worker %d: %v", i, err)
+		}
+		if pong.Jobs != 0 {
+			t.Errorf("worker %d retains %d jobs after completed runs", i, pong.Jobs)
+		}
+	}
+}
+
+// serveService runs an arbitrary RPC service under the worker service name on
+// an ephemeral loopback port, for fault-injection tests.
+func serveService(t *testing.T, svc any) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(ServiceName, svc); err != nil {
+		ln.Close()
+		t.Fatalf("register: %v", err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+// failLoadWorker is a worker whose Load always fails, simulating a node that
+// dies mid-shuffle.
+type failLoadWorker struct{ *Worker }
+
+func (w *failLoadWorker) Load(_ *LoadArgs, _ *LoadReply) error {
+	return fmt.Errorf("synthetic mid-shuffle failure")
+}
+
+// failJoinWorker is a worker that accepts partition data but fails every
+// join, simulating a node that dies mid-reduce.
+type failJoinWorker struct{ *Worker }
+
+func (w *failJoinWorker) Join(_ *JoinArgs, _ *JoinReply) error {
+	return fmt.Errorf("synthetic mid-join failure")
+}
+
+// TestFailedRunLeavesNoJobState is the leak regression test: a run that
+// errors mid-shuffle or mid-join must leave zero retained job state on every
+// worker, streaming and serial plane alike.
+func TestFailedRunLeavesNoJobState(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.2, 400, 31)
+	band := data.Symmetric(0.4, 0.4)
+
+	cases := []struct {
+		name  string
+		inner *Worker
+		make  func(*Worker) any
+	}{
+		{"load-failure", NewWorker("bad-load"), func(w *Worker) any { return &failLoadWorker{Worker: w} }},
+		{"join-failure", NewWorker("bad-join"), func(w *Worker) any { return &failJoinWorker{Worker: w} }},
+	}
+	for _, tc := range cases {
+		for _, serial := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/serial=%v", tc.name, serial), func(t *testing.T) {
+				good := NewWorker("good")
+				goodAddr, stopGood := serveService(t, good)
+				defer stopGood()
+				badAddr, stopBad := serveService(t, tc.make(tc.inner))
+				defer stopBad()
+
+				coord, err := Dial([]string{goodAddr, badAddr})
+				if err != nil {
+					t.Fatalf("Dial: %v", err)
+				}
+				defer coord.Close()
+
+				// 1-Bucket duplicates T to every partition, so with LPT
+				// placement over two partitions both workers are guaranteed
+				// to receive data before the injected fault fires.
+				_, err = coord.Run(onebucket.New(), s, tt, band, Options{ChunkSize: 64, Serial: serial})
+				if err == nil {
+					t.Fatal("run with a failing worker unexpectedly succeeded")
+				}
+
+				for _, w := range []*Worker{good, tc.inner} {
+					var pong PingReply
+					if err := w.Ping(&PingArgs{}, &pong); err != nil {
+						t.Fatalf("Ping %s: %v", w.name, err)
+					}
+					if pong.Jobs != 0 {
+						t.Errorf("worker %s retains %d jobs after failed run", w.name, pong.Jobs)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWorkerLoadJoinRaceSafety hammers one worker with concurrent Load
+// batches and Join requests for the same job; run under -race (as CI does) it
+// verifies the per-job and per-partition locking that lets the pipelined
+// shuffle overlap late batches with running joins.
+func TestWorkerLoadJoinRaceSafety(t *testing.T) {
+	w := NewWorker("race")
+	band := data.Symmetric(0.5)
+	chunk := data.NewRelation("c", 1)
+	ids := make([]int64, 64)
+	for i := 0; i < 64; i++ {
+		chunk.Append(float64(i) / 64)
+		ids[i] = int64(i)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 40; round++ {
+				side := "S"
+				if (g+round)%2 == 1 {
+					side = "T"
+				}
+				var lr LoadReply
+				if err := w.Load(&LoadArgs{JobID: "job", Partition: round % 5, Side: side, Chunk: chunk, IDs: ids}, &lr); err != nil {
+					t.Errorf("Load: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 15; round++ {
+				var jr JoinReply
+				if err := w.Join(&JoinArgs{JobID: "job", Band: band, Parallelism: 3}, &jr); err != nil {
+					t.Errorf("Join: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var rr ResetReply
+	if err := w.Reset(&ResetArgs{JobID: "job"}, &rr); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+}
+
+// TestJoinReplyDeterministicOrder checks that Join replies list partitions in
+// ascending partition-id order regardless of load order, and that repeated
+// joins of the same state produce identical replies.
+func TestJoinReplyDeterministicOrder(t *testing.T) {
+	w := NewWorker("det")
+	band := data.Symmetric(0.2)
+	for _, pid := range []int{7, 2, 9, 0, 5} {
+		chunk := data.NewRelation("c", 1)
+		ids := make([]int64, 8)
+		for i := 0; i < 8; i++ {
+			chunk.Append(float64(pid) + float64(i)*0.05)
+			ids[i] = int64(pid*100 + i)
+		}
+		for _, side := range []string{"S", "T"} {
+			var lr LoadReply
+			if err := w.Load(&LoadArgs{JobID: "j", Partition: pid, Side: side, Chunk: chunk, IDs: ids}, &lr); err != nil {
+				t.Fatalf("Load partition %d side %s: %v", pid, side, err)
+			}
+		}
+	}
+
+	var first, second JoinReply
+	if err := w.Join(&JoinArgs{JobID: "j", Band: band, Parallelism: 4}, &first); err != nil {
+		t.Fatalf("first Join: %v", err)
+	}
+	if err := w.Join(&JoinArgs{JobID: "j", Band: band, Parallelism: 2}, &second); err != nil {
+		t.Fatalf("second Join: %v", err)
+	}
+	if len(first.Partitions) != 5 {
+		t.Fatalf("got %d partitions, want 5", len(first.Partitions))
+	}
+	for i, ps := range first.Partitions {
+		if i > 0 && first.Partitions[i-1].Partition >= ps.Partition {
+			t.Fatalf("partitions not in ascending order: %d before %d", first.Partitions[i-1].Partition, ps.Partition)
+		}
+	}
+	if len(second.Partitions) != len(first.Partitions) {
+		t.Fatalf("reply sizes differ across runs: %d vs %d", len(first.Partitions), len(second.Partitions))
+	}
+	for i := range first.Partitions {
+		a, b := first.Partitions[i], second.Partitions[i]
+		if a.Partition != b.Partition || a.InputS != b.InputS || a.InputT != b.InputT || a.Output != b.Output {
+			t.Fatalf("partition %d differs across runs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
 func TestWorkerRejectsBadRequests(t *testing.T) {
 	w := NewWorker("w0")
 	var lr LoadReply
@@ -121,5 +398,23 @@ func TestWorkerRejectsBadRequests(t *testing.T) {
 	var jr JoinReply
 	if err := w.Join(&JoinArgs{JobID: "j", Band: data.Symmetric(1), Algorithm: "nope"}, &jr); err == nil {
 		t.Error("Join accepted an unknown algorithm")
+	}
+	if err := w.Load(&LoadArgs{JobID: "j", Partition: 0, Side: "S", Chunk: chunk, IDs: []int64{0},
+		Packed: &PackedChunk{Dims: 1, Keys: make([]byte, 8), IDs: make([]byte, 8)}}, &lr); err == nil {
+		t.Error("Load accepted both a chunk and a packed chunk")
+	}
+	if err := w.Load(&LoadArgs{JobID: "j", Partition: 0, Side: "S",
+		Packed: &PackedChunk{Dims: 1, Keys: make([]byte, 12), IDs: make([]byte, 8)}}, &lr); err == nil {
+		t.Error("Load accepted a misaligned packed chunk")
+	}
+	// Establish a 1D partition, then try to append a 2D chunk to it: the
+	// mismatch must fail the Load instead of desyncing keys from IDs.
+	if err := w.Load(&LoadArgs{JobID: "j", Partition: 3, Side: "S",
+		Packed: &PackedChunk{Dims: 1, Keys: make([]byte, 8), IDs: make([]byte, 8)}}, &lr); err != nil {
+		t.Fatalf("Load of a valid packed chunk failed: %v", err)
+	}
+	if err := w.Load(&LoadArgs{JobID: "j", Partition: 3, Side: "S",
+		Packed: &PackedChunk{Dims: 2, Keys: make([]byte, 32), IDs: make([]byte, 16)}}, &lr); err == nil {
+		t.Error("Load accepted a packed chunk whose dims differ from the partition's")
 	}
 }

@@ -2,9 +2,12 @@ package cluster
 
 import (
 	"fmt"
+	"net"
 	"net/rpc"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bandjoin/internal/costmodel"
@@ -19,9 +22,41 @@ import (
 // the workers according to the plan, triggers the local joins, and aggregates
 // the results into the same Result structure the in-process simulator
 // produces.
+//
+// The default data plane is a pipelined streaming shuffle: inputs are routed
+// through the same sharded two-pass assignment machinery as the in-process
+// executor (exec.Shuffle), and each worker has a dedicated sender goroutine
+// shipping fixed-size chunks with a bounded window of asynchronous Load RPCs
+// in flight, so routing, gob encoding, network transfer, and the workers'
+// decode+append overlap instead of serializing on every chunk round trip. The
+// pre-rewrite serial plane (tuple-at-a-time routing, one blocking Load per
+// chunk, sequential per-worker joins) is retained behind Options.Serial as
+// the correctness oracle and benchmark baseline.
 type Coordinator struct {
 	clients []*rpc.Client
+	conns   []*countingConn
 	names   []string
+}
+
+// countingConn wraps a worker connection and counts wire bytes in both
+// directions, so the result's shuffle-byte accounting reports real post-gob
+// sizes instead of estimates.
+type countingConn struct {
+	net.Conn
+	read    atomic.Int64
+	written atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.written.Add(int64(n))
+	return n, err
 }
 
 // Dial connects to the given worker addresses.
@@ -31,17 +66,21 @@ func Dial(addrs []string) (*Coordinator, error) {
 	}
 	c := &Coordinator{}
 	for _, addr := range addrs {
-		client, err := rpc.Dial("tcp", addr)
+		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("cluster: dialing worker %s: %w", addr, err)
 		}
+		cc := &countingConn{Conn: conn}
+		client := rpc.NewClient(cc)
 		var pong PingReply
 		if err := client.Call(ServiceName+".Ping", &PingArgs{}, &pong); err != nil {
+			client.Close()
 			c.Close()
 			return nil, fmt.Errorf("cluster: pinging worker %s: %w", addr, err)
 		}
 		c.clients = append(c.clients, client)
+		c.conns = append(c.conns, cc)
 		c.names = append(c.names, pong.Worker)
 	}
 	return c, nil
@@ -59,6 +98,16 @@ func (c *Coordinator) Close() {
 // Workers returns the number of connected workers.
 func (c *Coordinator) Workers() int { return len(c.clients) }
 
+// wireBytes returns the total bytes moved over all worker connections in both
+// directions so far.
+func (c *Coordinator) wireBytes() int64 {
+	var total int64
+	for _, cc := range c.conns {
+		total += cc.read.Load() + cc.written.Load()
+	}
+	return total
+}
+
 // Options configures a distributed run.
 type Options struct {
 	// JobID names the job on the workers; empty generates one from the clock.
@@ -74,8 +123,41 @@ type Options struct {
 	CollectPairs bool
 	// ChunkSize is the number of tuples per Load RPC; zero means 4096.
 	ChunkSize int
+	// Window is the maximum number of Load RPCs in flight per worker on the
+	// streaming shuffle; zero means 4. Ignored when Serial is set.
+	Window int
+	// JoinParallelism bounds the number of partition joins each worker runs
+	// concurrently; zero lets every worker use its GOMAXPROCS. Forced to 1
+	// when Serial is set.
+	JoinParallelism int
+	// Serial selects the retained reference data plane: tuple-at-a-time
+	// routing into per-(partition, side) buffers, one blocking Load call per
+	// chunk, and strictly sequential partition joins on every worker. It is
+	// the correctness oracle and the baseline the cluster benchmark measures
+	// the streaming plane against.
+	Serial bool
 	// Seed drives randomized plan decisions.
 	Seed int64
+}
+
+// withDefaults fills unset options. It is idempotent.
+func (o Options) withDefaults() Options {
+	if (o.Model == costmodel.Model{}) {
+		o.Model = costmodel.Default()
+	}
+	if o.Sampling.InputSampleSize == 0 {
+		o.Sampling = sample.DefaultOptions()
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 4096
+	}
+	if o.Window <= 0 {
+		o.Window = 4
+	}
+	if o.JobID == "" {
+		o.JobID = fmt.Sprintf("job-%d", time.Now().UnixNano())
+	}
+	return o
 }
 
 // Run executes the band-join of s and t with the given partitioner across the
@@ -84,18 +166,7 @@ func (c *Coordinator) Run(pt partition.Partitioner, s, t *data.Relation, band da
 	if len(c.clients) == 0 {
 		return nil, fmt.Errorf("cluster: coordinator has no workers")
 	}
-	if (opts.Model == costmodel.Model{}) {
-		opts.Model = costmodel.Default()
-	}
-	if opts.Sampling.InputSampleSize == 0 {
-		opts.Sampling = sample.DefaultOptions()
-	}
-	if opts.ChunkSize <= 0 {
-		opts.ChunkSize = 4096
-	}
-	if opts.JobID == "" {
-		opts.JobID = fmt.Sprintf("job-%d", time.Now().UnixNano())
-	}
+	opts = opts.withDefaults()
 
 	smp, err := sample.Draw(s, t, band, opts.Sampling)
 	if err != nil {
@@ -110,7 +181,7 @@ func (c *Coordinator) Run(pt partition.Partitioner, s, t *data.Relation, band da
 	}
 	optTime := time.Since(optStart)
 
-	res, err := c.execute(plan, ctx, s, t, band, opts)
+	res, err := c.RunPlan(plan, ctx, s, t, band, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -119,26 +190,17 @@ func (c *Coordinator) Run(pt partition.Partitioner, s, t *data.Relation, band da
 	return res, nil
 }
 
-// shuffleBuffer accumulates tuples of one (partition, side) destined for a
-// worker and flushes them in chunks.
-type shuffleBuffer struct {
-	chunk *data.Relation
-	ids   []int64
-}
-
-// execute shuffles the inputs to workers per the plan and runs the joins.
-func (c *Coordinator) execute(plan partition.Plan, ctx *partition.Context, s, t *data.Relation, band data.Band, opts Options) (*exec.Result, error) {
+// placement returns the partition→worker mapping used by the shuffle. Plans
+// that place their own partitions (Grid-ε) are honored; otherwise partition
+// loads are estimated from the samples and placed with greedy LPT — the
+// stand-in for the load-aware scheduling a cluster scheduler performs.
+func (c *Coordinator) placement(plan partition.Plan, ctx *partition.Context) func(pid int) int {
 	workers := len(c.clients)
-
-	// The shuffle requires a partition→worker placement up front. Plans that
-	// place their own partitions (Grid-ε) are honored; otherwise partition
-	// loads are estimated from the samples and placed with greedy LPT — the
-	// stand-in for the load-aware scheduling a cluster scheduler performs.
 	var lptSched partition.Schedule
 	if _, ok := plan.(partition.WorkerPlacer); !ok {
 		lptSched = partition.LPT(exec.EstimatePartitionLoads(plan, ctx), workers)
 	}
-	place := func(pid int) int {
+	return func(pid int) int {
 		if placer, ok := plan.(partition.WorkerPlacer); ok {
 			w := placer.PlaceWorker(pid, workers)
 			if w >= 0 && w < workers {
@@ -150,74 +212,45 @@ func (c *Coordinator) execute(plan partition.Plan, ctx *partition.Context, s, t 
 		}
 		return int(partition.HashID(int64(pid), 0xc0ffee) % uint64(workers))
 	}
+}
 
-	type bufKey struct {
-		pid  int
-		side string
+// RunPlan shuffles the inputs to the workers per an already-computed plan,
+// runs the local joins, and aggregates the result. It is the execution half
+// of Run, exported so benchmarks can compare data planes on one shared plan.
+func (c *Coordinator) RunPlan(plan partition.Plan, ctx *partition.Context, s, t *data.Relation, band data.Band, opts Options) (*exec.Result, error) {
+	if len(c.clients) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator has no workers")
 	}
+	opts = opts.withDefaults()
+	workers := len(c.clients)
+
+	// Partition data may already sit on workers when any later step fails;
+	// always clear the job (best effort) so an aborted run cannot leak worker
+	// memory in a long-lived recpartd.
+	defer c.resetJob(opts.JobID)
+
+	place := c.placement(plan, ctx)
+
+	wireStart := c.wireBytes()
 	shuffleStart := time.Now()
-	buffers := make(map[bufKey]*shuffleBuffer)
-	var totalInput int64
-
-	flush := func(pid int, side string, buf *shuffleBuffer) error {
-		if buf.chunk.Len() == 0 {
-			return nil
-		}
-		w := place(pid)
-		args := &LoadArgs{JobID: opts.JobID, Partition: pid, Side: side, Chunk: buf.chunk, IDs: buf.ids}
-		var reply LoadReply
-		if err := c.clients[w].Call(ServiceName+".Load", args, &reply); err != nil {
-			return fmt.Errorf("cluster: shipping partition %d to worker %d: %w", pid, w, err)
-		}
-		dims := buf.chunk.Dims()
-		buf.chunk = data.NewRelation(side+"-chunk", dims)
-		buf.ids = buf.ids[:0]
-		return nil
+	var totalInput, rpcs int64
+	var err error
+	if opts.Serial {
+		totalInput, rpcs, err = c.shuffleSerial(plan, place, s, t, opts)
+	} else {
+		totalInput, rpcs, err = c.shuffleStreaming(plan, place, s, t, opts)
 	}
-	add := func(pid int, side string, key []float64, id int64, dims int) error {
-		k := bufKey{pid: pid, side: side}
-		buf, ok := buffers[k]
-		if !ok {
-			buf = &shuffleBuffer{chunk: data.NewRelation(side+"-chunk", dims)}
-			buffers[k] = buf
-		}
-		buf.chunk.AppendKey(key)
-		buf.ids = append(buf.ids, id)
-		if buf.chunk.Len() >= opts.ChunkSize {
-			return flush(pid, side, buf)
-		}
-		return nil
-	}
-
-	var dst []int
-	for i := 0; i < s.Len(); i++ {
-		key := s.Key(i)
-		dst = plan.AssignS(int64(i), key, dst[:0])
-		totalInput += int64(len(dst))
-		for _, pid := range dst {
-			if err := add(pid, "S", key, int64(i), s.Dims()); err != nil {
-				return nil, err
-			}
-		}
-	}
-	for i := 0; i < t.Len(); i++ {
-		key := t.Key(i)
-		dst = plan.AssignT(int64(i), key, dst[:0])
-		totalInput += int64(len(dst))
-		for _, pid := range dst {
-			if err := add(pid, "T", key, int64(i), t.Dims()); err != nil {
-				return nil, err
-			}
-		}
-	}
-	for k, buf := range buffers {
-		if err := flush(k.pid, k.side, buf); err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	shuffleTime := time.Since(shuffleStart)
+	shuffleBytes := c.wireBytes() - wireStart
 
 	// Run local joins on all workers in parallel.
+	joinParallelism := opts.JoinParallelism
+	if opts.Serial {
+		joinParallelism = 1
+	}
 	joinStart := time.Now()
 	replies := make([]JoinReply, workers)
 	errs := make([]error, workers)
@@ -226,7 +259,13 @@ func (c *Coordinator) execute(plan partition.Plan, ctx *partition.Context, s, t 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			args := &JoinArgs{JobID: opts.JobID, Band: band, Algorithm: opts.Algorithm, CollectPairs: opts.CollectPairs}
+			args := &JoinArgs{
+				JobID:        opts.JobID,
+				Band:         band,
+				Algorithm:    opts.Algorithm,
+				CollectPairs: opts.CollectPairs,
+				Parallelism:  joinParallelism,
+			}
 			errs[w] = c.clients[w].Call(ServiceName+".Join", args, &replies[w])
 		}(w)
 	}
@@ -238,7 +277,8 @@ func (c *Coordinator) execute(plan partition.Plan, ctx *partition.Context, s, t 
 		}
 	}
 
-	// Aggregate.
+	// Aggregate. Workers reply with partitions sorted by id, so iterating
+	// workers in order makes the aggregation deterministic across runs.
 	res := &exec.Result{
 		Workers:      workers,
 		ShuffleTime:  shuffleTime,
@@ -246,6 +286,8 @@ func (c *Coordinator) execute(plan partition.Plan, ctx *partition.Context, s, t 
 		InputS:       s.Len(),
 		InputT:       t.Len(),
 		TotalInput:   totalInput,
+		ShuffleBytes: shuffleBytes,
+		ShuffleRPCs:  rpcs,
 		WorkerInput:  make([]int64, workers),
 		WorkerOutput: make([]int64, workers),
 	}
@@ -296,11 +338,191 @@ func (c *Coordinator) execute(plan partition.Plan, ctx *partition.Context, s, t 
 			return res.Pairs[a].T < res.Pairs[b].T
 		})
 	}
+	return res, nil
+}
 
-	// Best-effort cleanup of the job state on the workers.
+// shuffleStreaming is the pipelined data plane: the inputs are routed with the
+// shared parallel two-pass shuffle, then every worker's partitions are
+// streamed by a dedicated sender goroutine with a bounded window of
+// asynchronous Load RPCs in flight.
+func (c *Coordinator) shuffleStreaming(plan partition.Plan, place func(int) int, s, t *data.Relation, opts Options) (int64, int64, error) {
+	workers := len(c.clients)
+	parts, totalInput := exec.Shuffle(plan, s, t, runtime.GOMAXPROCS(0))
+
+	// Per-worker partition lists come out in ascending partition order, so
+	// every run ships an identical chunk stream.
+	perWorker := make([][]int, workers)
+	for pid, p := range parts {
+		if p == nil {
+			continue
+		}
+		w := place(pid)
+		perWorker[w] = append(perWorker[w], pid)
+	}
+
+	errs := make([]error, workers)
+	rpcs := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := range c.clients {
+		if len(perWorker[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rpcs[w], errs[w] = c.sendPartitions(w, perWorker[w], parts, opts)
+		}(w)
+	}
+	wg.Wait()
+	var sent int64
+	for _, n := range rpcs {
+		sent += n
+	}
+	for w, err := range errs {
+		if err != nil {
+			return 0, 0, fmt.Errorf("cluster: shipping to worker %d (%s): %w", w, c.names[w], err)
+		}
+	}
+	return totalInput, sent, nil
+}
+
+// sendPartitions streams one worker's partitions in fixed-size chunks, keeping
+// at most opts.Window Load RPCs in flight. Chunks travel in the packed wire
+// representation (raw key and ID bytes straight out of the shuffle arenas),
+// so the per-chunk costs are a memcpy-grade pack on each end plus the wire.
+func (c *Coordinator) sendPartitions(w int, pids []int, parts []*exec.PartitionInput, opts Options) (int64, error) {
+	client := c.clients[w]
+	done := make(chan *rpc.Call, opts.Window)
+	inFlight := 0
+	var sent int64
+	var firstErr error
+	collect := func(call *rpc.Call) {
+		inFlight--
+		if call.Error != nil && firstErr == nil {
+			firstErr = call.Error
+		}
+	}
+	send := func(pid int, side string, dims int, keys, ids []byte, total int) {
+		for inFlight >= opts.Window {
+			collect(<-done)
+			if firstErr != nil {
+				return
+			}
+		}
+		args := &LoadArgs{
+			JobID:     opts.JobID,
+			Partition: pid,
+			Side:      side,
+			Packed:    &PackedChunk{Dims: dims, Keys: keys, IDs: ids, SideTotal: total},
+		}
+		client.Go(ServiceName+".Load", args, &LoadReply{}, done)
+		inFlight++
+		sent++
+	}
+	for _, pid := range pids {
+		p := parts[pid]
+		for lo := 0; lo < p.S.Len() && firstErr == nil; lo += opts.ChunkSize {
+			hi := min(lo+opts.ChunkSize, p.S.Len())
+			send(pid, "S", p.S.Dims(), p.S.PackKeysLE(lo, hi), data.PackInt64sLE(p.SIDs[lo:hi]), p.S.Len())
+		}
+		for lo := 0; lo < p.T.Len() && firstErr == nil; lo += opts.ChunkSize {
+			hi := min(lo+opts.ChunkSize, p.T.Len())
+			send(pid, "T", p.T.Dims(), p.T.PackKeysLE(lo, hi), data.PackInt64sLE(p.TIDs[lo:hi]), p.T.Len())
+		}
+	}
+	for inFlight > 0 {
+		collect(<-done)
+	}
+	if firstErr != nil {
+		return sent, firstErr
+	}
+	return sent, nil
+}
+
+// shuffleBuffer accumulates tuples of one (partition, side) destined for a
+// worker and flushes them in chunks.
+type shuffleBuffer struct {
+	chunk *data.Relation
+	ids   []int64
+}
+
+// shuffleSerial is the retained reference data plane: every tuple is routed
+// individually into growable per-(partition, side) buffers, and each full
+// chunk is shipped with a blocking Load call before routing continues.
+func (c *Coordinator) shuffleSerial(plan partition.Plan, place func(int) int, s, t *data.Relation, opts Options) (int64, int64, error) {
+	type bufKey struct {
+		pid  int
+		side string
+	}
+	buffers := make(map[bufKey]*shuffleBuffer)
+	var totalInput, rpcs int64
+
+	flush := func(pid int, side string, buf *shuffleBuffer) error {
+		if buf.chunk.Len() == 0 {
+			return nil
+		}
+		w := place(pid)
+		args := &LoadArgs{JobID: opts.JobID, Partition: pid, Side: side, Chunk: buf.chunk, IDs: buf.ids}
+		var reply LoadReply
+		rpcs++
+		if err := c.clients[w].Call(ServiceName+".Load", args, &reply); err != nil {
+			return fmt.Errorf("cluster: shipping partition %d to worker %d: %w", pid, w, err)
+		}
+		dims := buf.chunk.Dims()
+		buf.chunk = data.NewRelation(side+"-chunk", dims)
+		buf.ids = buf.ids[:0]
+		return nil
+	}
+	add := func(pid int, side string, key []float64, id int64, dims int) error {
+		k := bufKey{pid: pid, side: side}
+		buf, ok := buffers[k]
+		if !ok {
+			buf = &shuffleBuffer{chunk: data.NewRelation(side+"-chunk", dims)}
+			buffers[k] = buf
+		}
+		buf.chunk.AppendKey(key)
+		buf.ids = append(buf.ids, id)
+		if buf.chunk.Len() >= opts.ChunkSize {
+			return flush(pid, side, buf)
+		}
+		return nil
+	}
+
+	var dst []int
+	for i := 0; i < s.Len(); i++ {
+		key := s.Key(i)
+		dst = plan.AssignS(int64(i), key, dst[:0])
+		totalInput += int64(len(dst))
+		for _, pid := range dst {
+			if err := add(pid, "S", key, int64(i), s.Dims()); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	for i := 0; i < t.Len(); i++ {
+		key := t.Key(i)
+		dst = plan.AssignT(int64(i), key, dst[:0])
+		totalInput += int64(len(dst))
+		for _, pid := range dst {
+			if err := add(pid, "T", key, int64(i), t.Dims()); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	for k, buf := range buffers {
+		if err := flush(k.pid, k.side, buf); err != nil {
+			return 0, 0, err
+		}
+	}
+	return totalInput, rpcs, nil
+}
+
+// resetJob discards the job's partition state on every worker, best effort.
+// It runs deferred on success and on every error path, so a run that fails
+// mid-shuffle or mid-join retains nothing on the workers.
+func (c *Coordinator) resetJob(jobID string) {
 	for _, cl := range c.clients {
 		var rr ResetReply
-		_ = cl.Call(ServiceName+".Reset", &ResetArgs{JobID: opts.JobID}, &rr)
+		_ = cl.Call(ServiceName+".Reset", &ResetArgs{JobID: jobID}, &rr)
 	}
-	return res, nil
 }

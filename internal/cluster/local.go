@@ -10,6 +10,7 @@ import (
 // the real RPC data path without deploying separate processes.
 type LocalCluster struct {
 	listeners []net.Listener
+	workers   []*Worker
 	addrs     []string
 }
 
@@ -31,6 +32,7 @@ func StartLocal(n int) (*LocalCluster, error) {
 			_ = Serve(w, ln)
 		}()
 		lc.listeners = append(lc.listeners, ln)
+		lc.workers = append(lc.workers, w)
 		lc.addrs = append(lc.addrs, ln.Addr().String())
 	}
 	return lc, nil
@@ -38,6 +40,10 @@ func StartLocal(n int) (*LocalCluster, error) {
 
 // Addrs returns the worker addresses, suitable for Dial.
 func (lc *LocalCluster) Addrs() []string { return lc.addrs }
+
+// Handles returns the in-process worker services, letting tests inspect
+// worker state (e.g. retained jobs) directly.
+func (lc *LocalCluster) Handles() []*Worker { return lc.workers }
 
 // Stop shuts down all workers.
 func (lc *LocalCluster) Stop() {

@@ -8,6 +8,8 @@
 package cluster
 
 import (
+	"fmt"
+
 	"bandjoin/internal/data"
 )
 
@@ -15,7 +17,10 @@ import (
 const ServiceName = "BandJoinWorker"
 
 // LoadArgs ships one batch of partition input to a worker. Batches for the
-// same partition accumulate on the worker.
+// same partition accumulate on the worker. Exactly one of Chunk and Packed
+// must be set: Chunk is the reference (serial) plane's representation — a
+// Relation gob-encoded value by value — while the streaming plane ships
+// Packed, whose raw byte payload gob moves with single copies.
 type LoadArgs struct {
 	JobID     string
 	Partition int
@@ -23,9 +28,47 @@ type LoadArgs struct {
 	Side  string
 	Chunk *data.Relation
 	// IDs are the original tuple indices of the chunk, used to report result
-	// pairs for verification.
+	// pairs for verification. Set together with Chunk.
 	IDs []int64
+	// Packed is the streaming plane's compact chunk representation.
+	Packed *PackedChunk
 }
+
+// PackedChunk is the streaming shuffle's wire representation of one chunk:
+// keys and original tuple IDs packed as raw little-endian bytes
+// (data.Relation.PackKeysLE and data.PackInt64sLE). gob copies a []byte wholesale,
+// so encoding and decoding cost a memcpy per chunk instead of a reflective
+// per-value walk — the difference is most of the serial plane's wire CPU.
+type PackedChunk struct {
+	Dims int
+	// Keys holds n*Dims float64 values, row-major, 8 bytes each.
+	Keys []byte
+	// IDs holds n int64 values, 8 bytes each.
+	IDs []byte
+	// SideTotal, when positive, is the total number of tuples this
+	// (partition, side) will receive over the whole shuffle. The streaming
+	// sender knows it up front (partitions are routed before shipping), and
+	// the worker uses it to reserve storage once instead of growing
+	// repeatedly under append.
+	SideTotal int
+}
+
+// Tuples returns the number of tuples in the chunk, or an error if the
+// payload is misaligned.
+func (pc *PackedChunk) Tuples() (int, error) {
+	if pc.Dims < 1 {
+		return 0, fmt.Errorf("cluster: packed chunk has invalid dimensionality %d", pc.Dims)
+	}
+	if len(pc.Keys)%(8*pc.Dims) != 0 {
+		return 0, fmt.Errorf("cluster: packed chunk has %d key bytes, not a multiple of %d", len(pc.Keys), 8*pc.Dims)
+	}
+	n := len(pc.Keys) / (8 * pc.Dims)
+	if len(pc.IDs) != n*8 {
+		return 0, fmt.Errorf("cluster: packed chunk has %d id bytes for %d tuples", len(pc.IDs), n)
+	}
+	return n, nil
+}
+
 
 // LoadReply acknowledges a batch.
 type LoadReply struct {
@@ -42,6 +85,10 @@ type JoinArgs struct {
 	// CollectPairs requests the result pairs (original tuple index pairs) in
 	// the reply; otherwise only counts are returned.
 	CollectPairs bool
+	// Parallelism bounds the number of partition joins the worker runs
+	// concurrently; zero means the worker's GOMAXPROCS, and the worker may cap
+	// it further (Worker.SetMaxParallelism).
+	Parallelism int
 }
 
 // PartitionStats reports one partition's local-join outcome.

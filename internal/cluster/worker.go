@@ -5,6 +5,9 @@ import (
 	"log"
 	"net"
 	"net/rpc"
+	"runtime"
+	"slices"
+	"sort"
 	"sync"
 	"time"
 
@@ -15,19 +18,32 @@ import (
 // Worker is the RPC service a worker machine runs. It accumulates partition
 // input shipped by the coordinator and executes local band-joins on request.
 // A single worker can hold several jobs concurrently (keyed by job ID), like
-// a node-manager running several reduce tasks.
+// a node-manager running several reduce tasks. Loads for different partitions
+// append concurrently, and a job's joins run on a bounded goroutine pool.
 type Worker struct {
 	name string
 
-	mu   sync.Mutex
+	// maxParallelism caps the per-job join parallelism a coordinator may
+	// request via JoinArgs.Parallelism; zero means GOMAXPROCS. Set it before
+	// serving (see SetMaxParallelism).
+	maxParallelism int
+
+	mu   sync.Mutex // guards jobs
 	jobs map[string]*jobState
 }
 
+// jobState holds one job's partitions. Its mutex guards only the partitions
+// map; every partition carries its own lock so that concurrent Load batches
+// for different partitions append in parallel, and a late Load batch for a
+// partition whose join is already running waits for that join instead of
+// racing it.
 type jobState struct {
+	mu         sync.Mutex
 	partitions map[int]*partitionData
 }
 
 type partitionData struct {
+	mu   sync.Mutex
 	s    *data.Relation
 	sIDs []int64
 	t    *data.Relation
@@ -39,48 +55,95 @@ func NewWorker(name string) *Worker {
 	return &Worker{name: name, jobs: make(map[string]*jobState)}
 }
 
-// Load implements the RPC method receiving partition input.
+// SetMaxParallelism caps the join parallelism coordinators may request; n < 1
+// restores the default (GOMAXPROCS). It must be called before the worker
+// starts serving.
+func (w *Worker) SetMaxParallelism(n int) {
+	if n < 1 {
+		n = 0
+	}
+	w.maxParallelism = n
+}
+
+// Load implements the RPC method receiving partition input, in either the
+// reference representation (Chunk + IDs) or the streaming plane's packed one.
 func (w *Worker) Load(args *LoadArgs, reply *LoadReply) error {
-	if args.Chunk == nil {
+	var n, dims int
+	switch {
+	case args.Packed != nil && args.Chunk != nil:
+		return fmt.Errorf("cluster: worker %s received both a chunk and a packed chunk", w.name)
+	case args.Packed != nil:
+		var err error
+		if n, err = args.Packed.Tuples(); err != nil {
+			return fmt.Errorf("cluster: worker %s: %w", w.name, err)
+		}
+		dims = args.Packed.Dims
+	case args.Chunk != nil:
+		if len(args.IDs) != args.Chunk.Len() {
+			return fmt.Errorf("cluster: worker %s received %d ids for %d tuples", w.name, len(args.IDs), args.Chunk.Len())
+		}
+		n = args.Chunk.Len()
+		dims = args.Chunk.Dims()
+	default:
 		return fmt.Errorf("cluster: worker %s received nil chunk", w.name)
 	}
-	if len(args.IDs) != args.Chunk.Len() {
-		return fmt.Errorf("cluster: worker %s received %d ids for %d tuples", w.name, len(args.IDs), args.Chunk.Len())
+	if args.Side != "S" && args.Side != "T" {
+		return fmt.Errorf("cluster: unknown relation side %q", args.Side)
 	}
+
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	job, ok := w.jobs[args.JobID]
 	if !ok {
 		job = &jobState{partitions: make(map[int]*partitionData)}
 		w.jobs[args.JobID] = job
 	}
+	w.mu.Unlock()
+
+	job.mu.Lock()
 	p, ok := job.partitions[args.Partition]
 	if !ok {
 		p = &partitionData{
-			s: data.NewRelation("S-part", args.Chunk.Dims()),
-			t: data.NewRelation("T-part", args.Chunk.Dims()),
+			s: data.NewRelation("S-part", dims),
+			t: data.NewRelation("T-part", dims),
 		}
 		job.partitions[args.Partition] = p
 	}
-	switch args.Side {
-	case "S":
-		for i := 0; i < args.Chunk.Len(); i++ {
-			p.s.AppendKey(args.Chunk.Key(i))
-		}
-		p.sIDs = append(p.sIDs, args.IDs...)
-	case "T":
-		for i := 0; i < args.Chunk.Len(); i++ {
-			p.t.AppendKey(args.Chunk.Key(i))
-		}
-		p.tIDs = append(p.tIDs, args.IDs...)
-	default:
-		return fmt.Errorf("cluster: unknown relation side %q", args.Side)
+	job.mu.Unlock()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Chunks of one partition must agree on dimensionality; without this
+	// check a mismatched packed chunk could append more keys than IDs and
+	// blow up a later join instead of failing the offending Load.
+	if dims != p.s.Dims() {
+		return fmt.Errorf("cluster: worker %s: partition %d chunk has %d dims, want %d",
+			w.name, args.Partition, dims, p.s.Dims())
 	}
-	reply.Received = args.Chunk.Len()
+	rel, ids := p.s, &p.sIDs
+	if args.Side == "T" {
+		rel, ids = p.t, &p.tIDs
+	}
+	if args.Packed != nil {
+		if total := args.Packed.SideTotal; total > rel.Len() {
+			rel.Reserve(total - rel.Len())
+			*ids = slices.Grow(*ids, total-len(*ids))
+		}
+		if err := rel.AppendKeysLE(args.Packed.Keys); err != nil {
+			return fmt.Errorf("cluster: worker %s: %w", w.name, err)
+		}
+		*ids = data.AppendInt64sLE(*ids, args.Packed.IDs)
+	} else {
+		rel.AppendRows(args.Chunk, 0, args.Chunk.Len())
+		*ids = append(*ids, args.IDs...)
+	}
+	reply.Received = n
 	return nil
 }
 
-// Join implements the RPC method running all local joins of a job.
+// Join implements the RPC method running all local joins of a job. Partitions
+// run on a bounded goroutine pool (JoinArgs.Parallelism, default GOMAXPROCS),
+// and the reply lists partitions in ascending partition-id order so result
+// aggregation and logs are deterministic across runs.
 func (w *Worker) Join(args *JoinArgs, reply *JoinReply) error {
 	alg := localjoin.Default()
 	if args.Algorithm != "" {
@@ -102,21 +165,66 @@ func (w *Worker) Join(args *JoinArgs, reply *JoinReply) error {
 		return nil // no partitions were shipped here
 	}
 
-	for pid, p := range job.partitions {
-		start := time.Now()
-		stats := PartitionStats{Partition: pid, InputS: p.s.Len(), InputT: p.t.Len()}
-		var emit localjoin.Emit
-		if args.CollectPairs {
-			emit = func(si, ti int, _, _ []float64) {
-				stats.PairS = append(stats.PairS, p.sIDs[si])
-				stats.PairT = append(stats.PairT, p.tIDs[ti])
-			}
-		}
-		stats.Output = alg.Join(p.s, p.t, args.Band, emit)
-		stats.JoinNanos = time.Since(start).Nanoseconds()
-		reply.Partitions = append(reply.Partitions, stats)
+	type task struct {
+		pid int
+		p   *partitionData
 	}
+	job.mu.Lock()
+	tasks := make([]task, 0, len(job.partitions))
+	for pid, p := range job.partitions {
+		tasks = append(tasks, task{pid: pid, p: p})
+	}
+	job.mu.Unlock()
+	sort.Slice(tasks, func(a, b int) bool { return tasks[a].pid < tasks[b].pid })
+
+	parallelism := args.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if w.maxParallelism > 0 && parallelism > w.maxParallelism {
+		parallelism = w.maxParallelism
+	}
+	if parallelism > len(tasks) {
+		parallelism = len(tasks)
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+
+	stats := make([]PartitionStats, len(tasks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for i := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			stats[i] = joinPartition(alg, tasks[i].pid, tasks[i].p, args)
+		}(i)
+	}
+	wg.Wait()
+	reply.Partitions = stats
 	return nil
+}
+
+// joinPartition runs one partition's local join under its lock, so a late
+// Load batch arriving mid-join waits instead of mutating the inputs.
+func joinPartition(alg localjoin.Algorithm, pid int, p *partitionData, args *JoinArgs) PartitionStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	start := time.Now()
+	stats := PartitionStats{Partition: pid, InputS: p.s.Len(), InputT: p.t.Len()}
+	var emit localjoin.Emit
+	if args.CollectPairs {
+		emit = func(si, ti int, _, _ []float64) {
+			stats.PairS = append(stats.PairS, p.sIDs[si])
+			stats.PairT = append(stats.PairT, p.tIDs[ti])
+		}
+	}
+	stats.Output = alg.Join(p.s, p.t, args.Band, emit)
+	stats.JoinNanos = time.Since(start).Nanoseconds()
+	return stats
 }
 
 // Reset implements the RPC method discarding a job's state.
@@ -154,12 +262,14 @@ func Serve(w *Worker, ln net.Listener) error {
 	}
 }
 
-// ListenAndServe starts a worker on the given TCP address and blocks.
-func ListenAndServe(name, addr string) error {
+// ListenAndServe starts the given worker on a TCP address and blocks. The
+// worker is passed in (rather than constructed here) so callers can configure
+// it first (e.g. SetMaxParallelism).
+func ListenAndServe(w *Worker, addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("cluster: listening on %s: %w", addr, err)
 	}
-	log.Printf("band-join worker %s listening on %s", name, ln.Addr())
-	return Serve(NewWorker(name), ln)
+	log.Printf("band-join worker %s listening on %s", w.name, ln.Addr())
+	return Serve(w, ln)
 }

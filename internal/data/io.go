@@ -3,11 +3,14 @@ package data
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/csv"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
+	"unsafe"
 )
 
 // relationWire is the gob wire representation of a Relation. Relation keeps
@@ -45,6 +48,102 @@ func (r *Relation) GobDecode(b []byte) error {
 	r.dims = w.Dims
 	r.keys = w.Keys
 	return nil
+}
+
+// hostLittleEndian reports whether the host's native byte order matches the
+// packed wire format, in which case Pack/AppendKeysLE reinterpret flat
+// storage instead of converting value by value.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// PackKeysLE returns the key values of tuples [lo, hi) packed as raw
+// little-endian IEEE-754 bytes (8 per value, row-major). Packed bytes travel
+// through gob with a single copy instead of gob's per-value float encoding,
+// which is what the cluster's streaming shuffle ships; AppendKeysLE is the
+// receiving side. On little-endian hosts the result is a zero-copy view
+// aliasing the relation's storage: the caller must neither modify it nor
+// mutate the relation while the slice is live.
+func (r *Relation) PackKeysLE(lo, hi int) []byte {
+	if lo < 0 || hi > r.Len() || lo > hi {
+		panic(fmt.Sprintf("data: pack range [%d,%d) out of bounds for relation of %d tuples", lo, hi, r.Len()))
+	}
+	vals := r.keys[lo*r.dims : hi*r.dims]
+	if len(vals) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals)*8)
+	}
+	out := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// AppendKeysLE appends tuples packed by PackKeysLE. It returns an error (not
+// a panic) on misaligned input because the bytes typically arrive from the
+// network.
+func (r *Relation) AppendKeysLE(raw []byte) error {
+	if len(raw)%(8*r.dims) != 0 {
+		return fmt.Errorf("data: relation %q: %d raw key bytes is not a multiple of %d (8 bytes x %d dims)",
+			r.name, len(raw), 8*r.dims, r.dims)
+	}
+	n := len(raw) / 8
+	if n == 0 {
+		return nil
+	}
+	base := len(r.keys)
+	r.keys = append(r.keys, make([]float64, n)...)
+	dst := r.keys[base:]
+	if hostLittleEndian {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), n*8), raw)
+		return nil
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return nil
+}
+
+// PackInt64sLE packs the values as raw little-endian bytes (8 per value),
+// the companion of PackKeysLE for tuple-ID slices. On little-endian hosts the
+// result is a zero-copy view aliasing vals: the caller must neither modify it
+// nor mutate vals while the slice is live.
+func PackInt64sLE(vals []int64) []byte {
+	if len(vals) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals)*8)
+	}
+	out := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], uint64(v))
+	}
+	return out
+}
+
+// AppendInt64sLE appends values packed by PackInt64sLE to dst. Trailing bytes
+// beyond the last complete value are ignored; callers validate alignment.
+func AppendInt64sLE(dst []int64, raw []byte) []int64 {
+	n := len(raw) / 8
+	if n == 0 {
+		return dst
+	}
+	base := len(dst)
+	dst = append(dst, make([]int64, n)...)
+	out := dst[base:]
+	if hostLittleEndian {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), n*8), raw[:n*8])
+		return dst
+	}
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return dst
 }
 
 // WriteCSV writes the relation's join attributes to w as CSV, one tuple per

@@ -233,3 +233,49 @@ func TestReserve(t *testing.T) {
 		t.Errorf("Len = %d, want 101", r.Len())
 	}
 }
+
+func TestPackedLERoundTrip(t *testing.T) {
+	r := NewRelation("r", 2)
+	for i := 0; i < 6; i++ {
+		r.Append(float64(i)+0.25, float64(i)*-10)
+	}
+	back := NewRelation("back", 2)
+	if err := back.AppendKeysLE(r.PackKeysLE(0, 3)); err != nil {
+		t.Fatalf("AppendKeysLE: %v", err)
+	}
+	if err := back.AppendKeysLE(r.PackKeysLE(3, 6)); err != nil {
+		t.Fatalf("AppendKeysLE: %v", err)
+	}
+	if back.Len() != r.Len() {
+		t.Fatalf("round trip has %d tuples, want %d", back.Len(), r.Len())
+	}
+	for i := 0; i < r.Len(); i++ {
+		for d := 0; d < r.Dims(); d++ {
+			if back.KeyAt(i, d) != r.KeyAt(i, d) {
+				t.Fatalf("row %d dim %d: %v != %v", i, d, back.KeyAt(i, d), r.KeyAt(i, d))
+			}
+		}
+	}
+	if err := back.AppendKeysLE(make([]byte, 12)); err == nil {
+		t.Error("AppendKeysLE accepted a misaligned payload")
+	}
+	for _, bad := range [][2]int{{-1, 2}, {3, 7}, {4, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PackKeysLE(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			r.PackKeysLE(bad[0], bad[1])
+		}()
+	}
+
+	ids := []int64{0, -7, 1 << 40, 42}
+	got := AppendInt64sLE([]int64{99}, PackInt64sLE(ids))
+	want := append([]int64{99}, ids...)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("id round trip %v, want %v", got, want)
+		}
+	}
+}

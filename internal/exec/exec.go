@@ -95,6 +95,13 @@ type Result struct {
 	LoadOverhead   float64 // Lm/L0 − 1
 	PredictedTime  float64 // M(I, Im, Om), seconds
 
+	// RPC data-plane accounting, filled only by the cluster coordinator
+	// (internal/cluster): wire bytes moved during the shuffle (both directions,
+	// post-encoding) and the number of Load RPCs issued. Zero for in-process
+	// runs, which move no bytes over a network.
+	ShuffleBytes int64
+	ShuffleRPCs  int64
+
 	// Per-worker accounting.
 	WorkerInput  []int64
 	WorkerOutput []int64

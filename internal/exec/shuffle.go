@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"runtime"
 	"sync"
 
 	"bandjoin/internal/data"
@@ -28,6 +29,37 @@ import (
 //
 // Plans must be safe for concurrent Assign calls (all in-repo plans are; see
 // grid.Plan for the one that needed internal synchronization).
+
+// PartitionInput is the data shuffled to one partition, as returned by
+// Shuffle. The relations and ID slices may alias a shared arena; callers must
+// not append to them.
+type PartitionInput struct {
+	S    *data.Relation
+	SIDs []int64
+	T    *data.Relation
+	TIDs []int64
+}
+
+// Shuffle routes every tuple of s and t through the plan's assignment with the
+// parallel two-pass shuffle and returns the per-partition inputs plus the
+// total routed tuple count I (input including duplicates). Entries for empty
+// partitions are nil. parallelism bounds the shard goroutines; values < 1
+// select GOMAXPROCS. It is the routing stage the RPC coordinator
+// (internal/cluster) shares with the in-process executor.
+func Shuffle(plan partition.Plan, s, t *data.Relation, parallelism int) ([]*PartitionInput, int64) {
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	parts, total := parallelShuffle(plan, s, t, parallelism)
+	out := make([]*PartitionInput, len(parts))
+	for pid, p := range parts {
+		if p == nil {
+			continue
+		}
+		out[pid] = &PartitionInput{S: p.s, SIDs: p.sIDs, T: p.t, TIDs: p.tIDs}
+	}
+	return out, total
+}
 
 // serialShuffle is the retained reference path. The parts slice is pre-sized
 // from plan.NumPartitions; only plans that discover partitions lazily during

@@ -76,6 +76,23 @@ func Draw(s, t *data.Relation, band data.Band, opts Options) (*Sample, error) {
 	}
 	kS := opts.InputSampleSize * s.Len() / total
 	kT := opts.InputSampleSize - kS
+	// Proportional integer splitting can starve a heavily outnumbered input
+	// (kS == 0 when |S| ≪ |T| and vice versa). A zero-tuple sample collapses
+	// the sampling rate to 0, so ScaleS/ScaleT return 0 and every
+	// partitioner's load estimates degenerate. Guarantee at least one sample
+	// tuple per non-empty input.
+	if kS == 0 && s.Len() > 0 {
+		kS = 1
+		if kT > 1 {
+			kT--
+		}
+	}
+	if kT == 0 && t.Len() > 0 {
+		kT = 1
+		if kS > 1 {
+			kS--
+		}
+	}
 	sSample := Uniform(s, kS, rng)
 	tSample := Uniform(t, kT, rng)
 

@@ -152,3 +152,46 @@ func TestDefaultOptionsApplied(t *testing.T) {
 		t.Error("defaulted options produced an empty sample")
 	}
 }
+
+// TestDrawGuaranteesSamplesForOutnumberedInput is the regression test for the
+// degenerate-sampling bug: with |S| = 10 against |T| = 1,000,000 the
+// proportional split rounds S's share to zero samples, which collapsed SRate
+// to 0 and with it every ScaleS-based load estimate. Both inputs must now get
+// at least one sample tuple.
+func TestDrawGuaranteesSamplesForOutnumberedInput(t *testing.T) {
+	small := data.NewRelation("small", 1)
+	for i := 0; i < 10; i++ {
+		small.Append(float64(i) / 10)
+	}
+	big := data.NewRelationCapacity("big", 1, 1_000_000)
+	for i := 0; i < 1_000_000; i++ {
+		big.Append(float64(i%1000) / 1000)
+	}
+	band := data.Symmetric(0.05)
+
+	for _, tc := range []struct {
+		name string
+		s, t *data.Relation
+	}{
+		{"small-S", small, big},
+		{"small-T", big, small},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			smp, err := Draw(tc.s, tc.t, band, DefaultOptions())
+			if err != nil {
+				t.Fatalf("Draw: %v", err)
+			}
+			if smp.S.Len() < 1 || smp.T.Len() < 1 {
+				t.Fatalf("sample sizes (%d, %d): every non-empty input must contribute at least one sample",
+					smp.S.Len(), smp.T.Len())
+			}
+			if smp.SRate <= 0 || smp.TRate <= 0 {
+				t.Fatalf("sampling rates (%g, %g) must be positive", smp.SRate, smp.TRate)
+			}
+			if smp.ScaleS(smp.S.Len()) <= 0 || smp.ScaleT(smp.T.Len()) <= 0 {
+				t.Fatalf("scale estimates degenerate: ScaleS=%g ScaleT=%g",
+					smp.ScaleS(smp.S.Len()), smp.ScaleT(smp.T.Len()))
+			}
+		})
+	}
+}
