@@ -1,11 +1,10 @@
 package bandjoin
 
 import (
+	"context"
 	"fmt"
 
 	"bandjoin/internal/cluster"
-	"bandjoin/internal/costmodel"
-	"bandjoin/internal/sample"
 )
 
 // Cluster is a connection to a set of band-join workers reachable over RPC.
@@ -53,39 +52,21 @@ func (c *Cluster) Close() {
 	}
 }
 
-// Join runs the band-join of s and t across the cluster's workers.
+// Join runs the band-join of s and t across the cluster's workers. Like the
+// in-process Join, it is a throwaway Engine serving one query; hold an Engine
+// (Cluster.NewEngine) to amortize sampling, optimization, and the shuffle
+// across repeated queries.
 func (c *Cluster) Join(s, t *Relation, band Band, opts Options) (*Result, error) {
 	if s == nil || t == nil {
 		return nil, fmt.Errorf("bandjoin: nil input relation")
 	}
-	if err := band.Validate(); err != nil {
+	e := c.NewEngine(EngineOptions{DisableRetention: true})
+	defer e.Close()
+	if err := e.Register("s", s); err != nil {
 		return nil, err
 	}
-	pt := opts.Partitioner
-	if pt == nil {
-		pt = RecPart()
+	if err := e.Register("t", t); err != nil {
+		return nil, err
 	}
-	copts := cluster.Options{
-		Algorithm:       opts.LocalAlgorithm,
-		Model:           opts.Model,
-		CollectPairs:    opts.CollectPairs,
-		Seed:            opts.Seed,
-		ChunkSize:       opts.ClusterChunkSize,
-		Window:          opts.ClusterWindow,
-		JoinParallelism: opts.ClusterJoinParallelism,
-		Serial:          opts.ClusterSerial,
-		Sampling: sample.Options{
-			InputSampleSize:  opts.InputSampleSize,
-			OutputSampleSize: opts.OutputSampleSize,
-			Seed:             opts.Seed + 1,
-		},
-	}
-	if (copts.Model == costmodel.Model{}) {
-		copts.Model = costmodel.Default()
-	}
-	if copts.Sampling.InputSampleSize == 0 {
-		copts.Sampling = sample.DefaultOptions()
-		copts.Sampling.Seed = opts.Seed + 1
-	}
-	return c.coord.Run(pt, s, t, band, copts)
+	return e.Join(context.Background(), "s", "t", band, opts)
 }

@@ -41,6 +41,13 @@ func main() {
 		pipelinePath   = flag.String("pipeline", "", "run the execution-pipeline benchmark and write the JSON report to this path")
 		pipelineTuples = flag.Int("pipeline-tuples", 0, "per-relation input size of the pipeline benchmark (default 1000000)")
 
+		enginePath    = flag.String("engine", "", "run the engine-throughput benchmark (cold vs warm-plan vs warm-partitions on the cluster plane) and write the JSON report to this path")
+		engineTuples  = flag.Int("engine-tuples", 0, "per-relation input size of the engine benchmark (default 500000)")
+		engineWorkers = flag.Int("engine-workers", 0, "number of in-process RPC workers of the engine benchmark (default 2)")
+		engineDims    = flag.Int("engine-dims", 0, "number of join attributes of the engine benchmark (default 8)")
+		engineEps     = flag.Float64("engine-eps", 0, "symmetric band width of the engine benchmark (default 0.003)")
+		engineRounds  = flag.Int("engine-rounds", 0, "rounds per serving tier, fastest kept (default 3)")
+
 		clusterPath    = flag.String("cluster", "", "run the distributed data-plane benchmark and write the JSON report to this path")
 		clusterTuples  = flag.Int("cluster-tuples", 0, "per-relation input size of the cluster benchmark (default 500000)")
 		clusterWorkers = flag.Int("cluster-workers", 0, "number of in-process RPC workers of the cluster benchmark (default 2)")
@@ -50,6 +57,50 @@ func main() {
 		clusterEps     = flag.Float64("cluster-eps", 0, "symmetric band width of the cluster benchmark (default 0.003)")
 	)
 	flag.Parse()
+
+	if *enginePath != "" {
+		cfg := bench.DefaultEngineConfig()
+		if *engineTuples > 0 {
+			cfg.Tuples = *engineTuples
+		}
+		if *engineWorkers > 0 {
+			cfg.Workers = *engineWorkers
+		}
+		if *engineDims > 0 {
+			cfg.Dims = *engineDims
+		}
+		if *engineEps > 0 {
+			cfg.Eps = *engineEps
+		}
+		if *engineRounds > 0 {
+			cfg.Rounds = *engineRounds
+		}
+		cfg.Seed = *seed
+		f, err := os.Create(*enginePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *enginePath, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fmt.Printf("engine benchmark: %d x %d tuples, %dD, band %g, %d in-process workers...\n",
+			cfg.Tuples, cfg.Tuples, cfg.Dims, cfg.Eps, cfg.Workers)
+		rep, err := bench.RunEngine(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "engine benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteEngineJSON(f, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *enginePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("cold %.2fs/query (opt %.2fs + shuffle %.2fs + join %.2fs)\n",
+			rep.Cold.WallSeconds, rep.Cold.OptimizationSeconds, rep.Cold.ShuffleSeconds, rep.Cold.JoinSeconds)
+		fmt.Printf("warm-plan %.2fs/query (shuffle %.2fs), warm-partitions %.2fs/query (shuffle bytes %d)\n",
+			rep.WarmPlan.WallSeconds, rep.WarmPlan.ShuffleSeconds, rep.WarmPartitions.WallSeconds, rep.WarmPartitions.ShuffleBytes)
+		fmt.Printf("speedups: warm-plan %.2fx, warm-partitions %.2fx; pairs checked %d identical=%v; report written to %s\n",
+			rep.SpeedupWarmPlan, rep.SpeedupWarmPartitions, rep.PairsChecked, rep.PairsIdentical, *enginePath)
+		return
+	}
 
 	if *clusterPath != "" {
 		cfg := bench.DefaultClusterConfig()

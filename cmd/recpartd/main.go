@@ -6,6 +6,15 @@
 //
 //	recpartd -listen :7070 -name worker-1
 //	recpartd -listen :7070 -max-parallelism 4
+//	recpartd -listen :7070 -max-retained 16
+//
+// Besides transient per-query job state, the worker keeps a retained-plan
+// registry serving engine queries (bandjoin.Engine): shuffled partitions stay
+// resident — presorted, with prebuilt join structures — under their plan
+// fingerprint, so repeated queries join with zero shuffle bytes.
+// -max-retained bounds that registry; the least-recently-sealed plan is
+// evicted when the cap is exceeded (coordinators reshuffle it transparently
+// if it is queried again).
 package main
 
 import (
@@ -18,9 +27,10 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", ":7070", "TCP address to listen on")
-		name   = flag.String("name", "", "worker name reported to the coordinator (default: hostname)")
-		maxPar = flag.Int("max-parallelism", 0, "cap on concurrent partition joins per job, regardless of what coordinators request (default: GOMAXPROCS)")
+		listen      = flag.String("listen", ":7070", "TCP address to listen on")
+		name        = flag.String("name", "", "worker name reported to the coordinator (default: hostname)")
+		maxPar      = flag.Int("max-parallelism", 0, "cap on concurrent partition joins per job, regardless of what coordinators request (default: GOMAXPROCS)")
+		maxRetained = flag.Int("max-retained", 0, "cap on resident retained plans (engine warm-partition cache); exceeding it evicts the least-recently-sealed plan, and coordinators transparently reshuffle evicted plans (default: unlimited)")
 	)
 	flag.Parse()
 
@@ -35,6 +45,7 @@ func main() {
 
 	w := cluster.NewWorker(workerName)
 	w.SetMaxParallelism(*maxPar)
+	w.SetMaxRetained(*maxRetained)
 	if err := cluster.ListenAndServe(w, *listen); err != nil {
 		log.Fatalf("recpartd: %v", err)
 	}

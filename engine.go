@@ -1,0 +1,515 @@
+package bandjoin
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bandjoin/internal/cluster"
+	"bandjoin/internal/exec"
+	"bandjoin/internal/sample"
+)
+
+// Engine serves many band-join queries over long-lived registered datasets,
+// amortizing the paper's per-query pipeline (sample → optimize → shuffle →
+// local join) across executions. Three cache layers sit between a query and
+// the work it would cost one-shot:
+//
+//  1. Input samples. Drawing the optimizer's input sample is the only part of
+//     the optimization phase that scans the full inputs; the engine draws it
+//     once per (dataset pair, sampling configuration) and derives the
+//     band-dependent output sample per distinct band, so replanning the same
+//     pair for a new ε never rescans the inputs.
+//  2. Plans. The optimization phase's product — the partitioning plan — is
+//     cached under (dataset pair, band, partitioner configuration, workers,
+//     cost model, sampling configuration, seed); a repeated query skips
+//     optimization entirely.
+//  3. Shuffled partitions. Unless retention is disabled, the shuffle's output
+//     is retained under the plan's fingerprint — in memory for the in-process
+//     plane, in the workers' retained-plan registry for the RPC plane — so a
+//     repeated query moves zero shuffle bytes and goes straight to the local
+//     joins.
+//
+// Caches are invalidated by Unregister (and by re-Register of the same name,
+// which bumps the dataset's version so stale entries can never serve a new
+// relation). Engine is safe for concurrent use; concurrent identical queries
+// share one sampling, one optimization, and one shuffle.
+type Engine struct {
+	id        string
+	plane     enginePlane
+	retention bool
+
+	mu       sync.Mutex // guards datasets, samples, plans, closed
+	datasets map[string]*engineDataset
+	samples  map[sampleKey]*sampleEntry
+	plans    map[planKey]*planEntry
+	closed   bool
+
+	queries    atomic.Int64
+	sampleHits atomic.Int64
+	planHits   atomic.Int64
+}
+
+// EngineOptions configures an Engine.
+type EngineOptions struct {
+	// DisableRetention turns off the third cache layer (shuffled partitions):
+	// samples and plans are still cached, but every query reshuffles. Use it
+	// when inputs are large relative to memory, or for throwaway engines.
+	DisableRetention bool
+}
+
+// engineSeq disambiguates engine instances: plan fingerprints are prefixed
+// with the engine id so two engines sharing one long-lived worker fleet can
+// never serve each other's retained partitions (their equally-named datasets
+// may hold different data).
+var engineSeq atomic.Int64
+
+// NewEngine returns an engine executing on the in-process cluster simulator.
+func NewEngine(opts EngineOptions) *Engine {
+	return newEngine(&inProcessPlane{}, opts)
+}
+
+// NewEngine returns an engine executing across the cluster's RPC workers:
+// retained partitions live on the workers, and a warm query's shuffle moves
+// zero bytes over the wire. The engine does not own the cluster connection;
+// close the Cluster separately.
+func (c *Cluster) NewEngine(opts EngineOptions) *Engine {
+	return newEngine(&clusterPlane{coord: c.coord}, opts)
+}
+
+func newEngine(p enginePlane, opts EngineOptions) *Engine {
+	return &Engine{
+		id:        fmt.Sprintf("eng%d-%d", engineSeq.Add(1), time.Now().UnixNano()),
+		plane:     p,
+		retention: !opts.DisableRetention,
+		datasets:  make(map[string]*engineDataset),
+		samples:   make(map[sampleKey]*sampleEntry),
+		plans:     make(map[planKey]*planEntry),
+	}
+}
+
+type engineDataset struct {
+	rel     *Relation
+	version uint64
+}
+
+// sampleKey identifies one cached input sample: the dataset pair (by name and
+// version) plus everything DrawInputs consults.
+type sampleKey struct {
+	s, t       string
+	sVer, tVer uint64
+	sampling   sample.Options
+}
+
+type sampleEntry struct {
+	once sync.Once
+	in   *sample.InputSample
+	err  error
+}
+
+// planKey identifies one cached plan: the dataset pair plus everything the
+// optimization phase consults — band, partitioner configuration, worker
+// count, cost model, sampling configuration, and seed.
+type planKey struct {
+	s, t       string
+	sVer, tVer uint64
+	band       string
+	pt         string
+	workers    int
+	model      CostModel
+	sampling   sample.Options
+	seed       int64
+}
+
+type planEntry struct {
+	once sync.Once
+	prep *exec.Prepared
+	err  error
+
+	// planID is the retention fingerprint, computed deterministically from
+	// the plan key when the entry is created (under e.mu, so the invalidation
+	// paths can read it there without racing the once). Empty when retention
+	// is disabled: nothing is ever resident, so nothing needs evicting.
+	planID string
+}
+
+// Register adds (or replaces) a named dataset. Re-registering a name bumps
+// its version: cached samples, plans, and retained partitions derived from
+// the old relation are invalidated and the memory they pin is released.
+func (e *Engine) Register(name string, rel *Relation) error {
+	if name == "" {
+		return fmt.Errorf("bandjoin: dataset name must be non-empty")
+	}
+	if rel == nil {
+		return fmt.Errorf("bandjoin: nil input relation")
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("bandjoin: engine is closed")
+	}
+	version := uint64(1)
+	var evict []string
+	if old, ok := e.datasets[name]; ok {
+		version = old.version + 1
+		evict = e.dropDerivedLocked(name)
+	}
+	e.datasets[name] = &engineDataset{rel: rel, version: version}
+	e.mu.Unlock()
+	e.evictAll(evict)
+	return nil
+}
+
+// Unregister removes a dataset and invalidates every cached sample, plan, and
+// retained partition set derived from it. Unregistering an unknown name is an
+// error.
+func (e *Engine) Unregister(name string) error {
+	e.mu.Lock()
+	if _, ok := e.datasets[name]; !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("bandjoin: unknown dataset %q", name)
+	}
+	evict := e.dropDerivedLocked(name)
+	delete(e.datasets, name)
+	e.mu.Unlock()
+	e.evictAll(evict)
+	return nil
+}
+
+// dropDerivedLocked removes cache entries touching the named dataset and
+// returns the retained-plan fingerprints to evict from the execution plane.
+// Callers hold e.mu; the eviction itself (per-worker RPCs on the cluster
+// plane) must happen after releasing it so concurrent queries are not stalled
+// behind network round trips.
+func (e *Engine) dropDerivedLocked(name string) []string {
+	var evict []string
+	for k := range e.samples {
+		if k.s == name || k.t == name {
+			delete(e.samples, k)
+		}
+	}
+	for k, pe := range e.plans {
+		if k.s == name || k.t == name {
+			if pe.planID != "" {
+				evict = append(evict, pe.planID)
+			}
+			delete(e.plans, k)
+		}
+	}
+	return evict
+}
+
+// evictAll drops the given retained-plan fingerprints from the execution
+// plane. Call without holding e.mu.
+func (e *Engine) evictAll(planIDs []string) {
+	for _, id := range planIDs {
+		e.plane.evict(id)
+	}
+}
+
+// Datasets returns the registered dataset names.
+func (e *Engine) Datasets() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.datasets))
+	for name := range e.datasets {
+		names = append(names, name)
+	}
+	return names
+}
+
+// EngineStats reports cache occupancy and hit counts.
+type EngineStats struct {
+	// Datasets, CachedSamples, and CachedPlans are current cache occupancy.
+	Datasets      int
+	CachedSamples int
+	CachedPlans   int
+	// Queries counts Join calls; SampleHits and PlanHits count how many of
+	// them were served from the respective cache.
+	Queries    int64
+	SampleHits int64
+	PlanHits   int64
+}
+
+// Stats returns a snapshot of the engine's cache counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineStats{
+		Datasets:      len(e.datasets),
+		CachedSamples: len(e.samples),
+		CachedPlans:   len(e.plans),
+		Queries:       e.queries.Load(),
+		SampleHits:    e.sampleHits.Load(),
+		PlanHits:      e.planHits.Load(),
+	}
+}
+
+// Close releases the engine's caches and evicts its retained partitions from
+// the execution plane. The engine rejects queries afterwards.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	var evict []string
+	for _, pe := range e.plans {
+		if pe.planID != "" {
+			evict = append(evict, pe.planID)
+		}
+	}
+	e.datasets, e.samples, e.plans = nil, nil, nil
+	e.mu.Unlock()
+	e.evictAll(evict)
+	e.plane.close()
+}
+
+// Join runs the band-join of the registered datasets sName and tName. The
+// ctx is checked between pipeline stages (sampling, optimization, execution);
+// cancellation is best-effort, not mid-stage. Repeated queries are served
+// from the caches: same pair and sampling → no input scan; same full query
+// shape → no optimization; retention on → no shuffle.
+func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts Options) (*Result, error) {
+	r, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if w := e.plane.workers(); w > 0 {
+		r.Workers = w
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("bandjoin: engine is closed")
+	}
+	ds, okS := e.datasets[sName]
+	dt, okT := e.datasets[tName]
+	e.mu.Unlock()
+	if !okS {
+		return nil, fmt.Errorf("bandjoin: unknown dataset %q", sName)
+	}
+	if !okT {
+		return nil, fmt.Errorf("bandjoin: unknown dataset %q", tName)
+	}
+	if err := band.Validate(); err != nil {
+		return nil, err
+	}
+	if ds.rel.Dims() != band.Dims() || dt.rel.Dims() != band.Dims() {
+		return nil, fmt.Errorf("bandjoin: band condition has %d dimensions but inputs have %d and %d",
+			band.Dims(), ds.rel.Dims(), dt.rel.Dims())
+	}
+	e.queries.Add(1)
+
+	// Stage 1: input sample (cached per dataset pair and sampling config).
+	se, hit := e.sampleFor(sampleKey{s: sName, t: tName, sVer: ds.version, tVer: dt.version, sampling: r.Sampling})
+	if hit {
+		e.sampleHits.Add(1)
+	}
+	se.once.Do(func() {
+		se.in, se.err = sample.DrawInputs(ds.rel, dt.rel, r.Sampling)
+	})
+	if se.err != nil {
+		return nil, fmt.Errorf("bandjoin: sampling: %w", se.err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Stage 2: plan (cached per full query shape).
+	pk := planKey{
+		s: sName, t: tName, sVer: ds.version, tVer: dt.version,
+		band:     fmt.Sprintf("%v|%v", band.Low, band.High),
+		pt:       fmt.Sprintf("%T%+v", r.Partitioner, r.Partitioner),
+		workers:  r.Workers,
+		model:    r.Model,
+		sampling: r.Sampling,
+		seed:     r.Seed,
+	}
+	pe, hit := e.planFor(pk)
+	if hit {
+		e.planHits.Add(1)
+	}
+	pe.once.Do(func() {
+		smp, err := se.in.ForBand(band)
+		if err != nil {
+			pe.err = err
+			return
+		}
+		pe.prep, pe.err = exec.PlanQuery(r.Partitioner, smp, band, r.execOptions())
+	})
+	if pe.err != nil {
+		return nil, pe.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Stage 3: execute (or estimate, which never touches the full inputs).
+	if r.EstimateOnly {
+		res := exec.EstimatePlan(pe.prep.Plan, pe.prep.Ctx)
+		res.Partitioner = pe.prep.Partitioner
+		res.OptimizationTime = pe.prep.OptimizationTime
+		return res, nil
+	}
+	res, err := e.plane.execute(pe.prep, ds.rel, dt.rel, band, r, pe.planID)
+	if err != nil {
+		return nil, err
+	}
+	res.Partitioner = pe.prep.Partitioner
+	res.OptimizationTime = pe.prep.OptimizationTime
+	return res, nil
+}
+
+// sampleFor returns the sample-cache entry for the key, reporting whether it
+// already existed.
+func (e *Engine) sampleFor(k sampleKey) (*sampleEntry, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if se, ok := e.samples[k]; ok {
+		return se, true
+	}
+	se := &sampleEntry{}
+	e.samples[k] = se
+	return se, false
+}
+
+// planFor returns the plan-cache entry for the key, reporting whether it
+// already existed.
+func (e *Engine) planFor(k planKey) (*planEntry, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if pe, ok := e.plans[k]; ok {
+		return pe, true
+	}
+	pe := &planEntry{}
+	if e.retention {
+		pe.planID = fmt.Sprintf("%s|%s@%d|%s@%d|b=%s|p=%s|w=%d|m=%+v|smp=%+v|seed=%d",
+			e.id, k.s, k.sVer, k.t, k.tVer, k.band, k.pt, k.workers, k.model, k.sampling, k.seed)
+	}
+	e.plans[k] = pe
+	return pe, false
+}
+
+// enginePlane is the execution backend: the in-process simulator or the RPC
+// cluster. Both serve through the same Engine interface.
+type enginePlane interface {
+	// workers reports the plane's fixed worker count, or 0 if the resolved
+	// option decides.
+	workers() int
+	// execute runs (shuffle +) local joins for a prepared plan. A non-empty
+	// planID enables partition retention under that fingerprint.
+	execute(prep *exec.Prepared, s, t *Relation, band Band, r resolved, planID string) (*Result, error)
+	// evict drops one retained partition set.
+	evict(planID string)
+	// close releases plane-held resources.
+	close()
+}
+
+// inProcessPlane executes on the in-process cluster simulator and retains
+// shuffled partitions in memory.
+type inProcessPlane struct {
+	mu    sync.Mutex
+	parts map[string]*retainedParts
+}
+
+// retainedParts is one retained in-memory shuffle outcome. Its RWMutex plays
+// the same role as the coordinator's shipment record: exactly one shuffle per
+// fingerprint, any number of concurrent warm joins.
+type retainedParts struct {
+	mu         sync.RWMutex
+	done       bool
+	parts      []*exec.PartitionInput
+	totalInput int64
+}
+
+func (p *inProcessPlane) workers() int { return 0 }
+
+func (p *inProcessPlane) execute(prep *exec.Prepared, s, t *Relation, band Band, r resolved, planID string) (*Result, error) {
+	execOpts := r.execOptions()
+	if planID == "" {
+		return exec.ExecutePlan(prep.Plan, s, t, band, execOpts)
+	}
+
+	p.mu.Lock()
+	if p.parts == nil {
+		p.parts = make(map[string]*retainedParts)
+	}
+	rec, ok := p.parts[planID]
+	if !ok {
+		rec = &retainedParts{}
+		p.parts[planID] = rec
+	}
+	p.mu.Unlock()
+
+	var shuffleTime time.Duration
+	rec.mu.RLock()
+	if !rec.done {
+		rec.mu.RUnlock()
+		rec.mu.Lock()
+		if !rec.done {
+			start := time.Now()
+			rec.parts, rec.totalInput = exec.Shuffle(prep.Plan, s, t, 0)
+			// Presort once at retention time (the in-process analogue of the
+			// workers' seal-time presort): warm joins then sort in linear time.
+			exec.PresortPartitions(rec.parts, 0)
+			shuffleTime = time.Since(start)
+			rec.done = true
+		}
+		rec.mu.Unlock()
+		rec.mu.RLock()
+	}
+	parts, totalInput := rec.parts, rec.totalInput
+	rec.mu.RUnlock()
+
+	res, err := exec.ExecuteShuffled(prep.Plan, parts, totalInput, s.Len(), t.Len(), band, execOpts)
+	if err != nil {
+		return nil, err
+	}
+	res.ShuffleTime = shuffleTime
+	return res, nil
+}
+
+func (p *inProcessPlane) evict(planID string) {
+	p.mu.Lock()
+	delete(p.parts, planID)
+	p.mu.Unlock()
+}
+
+func (p *inProcessPlane) close() {
+	p.mu.Lock()
+	p.parts = nil
+	p.mu.Unlock()
+}
+
+// clusterPlane executes across RPC workers; retained partitions live in the
+// workers' registries and warm queries ship zero shuffle bytes.
+type clusterPlane struct {
+	coord *cluster.Coordinator
+}
+
+func (p *clusterPlane) workers() int { return p.coord.Workers() }
+
+func (p *clusterPlane) execute(prep *exec.Prepared, s, t *Relation, band Band, r resolved, planID string) (*Result, error) {
+	copts := cluster.Options{
+		Algorithm:       r.AlgorithmName,
+		Model:           r.Model,
+		Sampling:        r.Sampling,
+		CollectPairs:    r.CollectPairs,
+		ChunkSize:       r.ChunkSize,
+		Window:          r.Window,
+		JoinParallelism: r.JoinParallelism,
+		Serial:          r.Serial,
+		Seed:            r.Seed,
+		PlanID:          planID,
+	}
+	return p.coord.RunPlan(prep.Plan, prep.Ctx, s, t, band, copts)
+}
+
+func (p *clusterPlane) evict(planID string) { p.coord.EvictPlan(planID) }
+
+func (p *clusterPlane) close() {}

@@ -119,6 +119,27 @@ type ClusterReport struct {
 	SpeedupJoin     float64 `json:"speedup_join"`
 }
 
+// selfMatchPair generates the paper's PTF-style near-duplicate workload: S is
+// Pareto-distributed and each T tuple is a jittered copy of its S counterpart
+// within the band, guaranteeing an output of at least |S| pairs at any
+// dimensionality. It is shared by the cluster data-plane and engine
+// benchmarks.
+func selfMatchPair(tuples, dims int, eps float64, seed int64) (*data.Relation, *data.Relation) {
+	gen := data.NewPareto(dims, 1.5)
+	s := gen.Generate("S", tuples, rand.New(rand.NewSource(seed)))
+	rng := rand.New(rand.NewSource(seed + 1))
+	t := data.NewRelationCapacity("T", dims, s.Len())
+	key := make([]float64, dims)
+	for i := 0; i < s.Len(); i++ {
+		k := s.Key(i)
+		for d := range key {
+			key[d] = k[d] + (rng.Float64()-0.5)*eps
+		}
+		t.AppendKey(key)
+	}
+	return s, t
+}
+
 // RunCluster executes the cluster benchmark on in-process RPC workers. The
 // plan is computed once and shared by both planes, so the comparison isolates
 // the data plane; both planes must agree exactly on I and the output count.
@@ -133,21 +154,12 @@ func RunCluster(cfg ClusterConfig) (*ClusterReport, error) {
 		cfg.Rounds = 1
 	}
 	band := data.Uniform(cfg.Dims, cfg.Eps)
-	gen := data.NewPareto(cfg.Dims, 1.5)
-	s := gen.Generate("S", cfg.Tuples, rand.New(rand.NewSource(cfg.Seed)))
-	var t *data.Relation
+	var s, t *data.Relation
 	if cfg.SelfMatch {
-		rng := rand.New(rand.NewSource(cfg.Seed + 1))
-		t = data.NewRelationCapacity("T", cfg.Dims, s.Len())
-		key := make([]float64, cfg.Dims)
-		for i := 0; i < s.Len(); i++ {
-			k := s.Key(i)
-			for d := range key {
-				key[d] = k[d] + (rng.Float64()-0.5)*cfg.Eps
-			}
-			t.AppendKey(key)
-		}
+		s, t = selfMatchPair(cfg.Tuples, cfg.Dims, cfg.Eps, cfg.Seed)
 	} else {
+		gen := data.NewPareto(cfg.Dims, 1.5)
+		s = gen.Generate("S", cfg.Tuples, rand.New(rand.NewSource(cfg.Seed)))
 		t = gen.Generate("T", cfg.Tuples, rand.New(rand.NewSource(cfg.Seed+1)))
 	}
 

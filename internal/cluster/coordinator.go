@@ -6,6 +6,7 @@ import (
 	"net/rpc"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,21 @@ type Coordinator struct {
 	clients []*rpc.Client
 	conns   []*countingConn
 	names   []string
+
+	// mu guards retainedPlans, the coordinator-side record of which plan
+	// fingerprints have been fully shipped and sealed on the workers.
+	mu            sync.Mutex
+	retainedPlans map[string]*retainedPlanRec
+}
+
+// retainedPlanRec tracks one retained plan's shipment. Its RWMutex serializes
+// shipping against itself (exactly one shuffle per fingerprint, concurrent
+// first queries wait and then join warm) while letting any number of warm
+// queries proceed concurrently under read locks.
+type retainedPlanRec struct {
+	mu         sync.RWMutex
+	shipped    bool
+	totalInput int64
 }
 
 // countingConn wraps a worker connection and counts wire bytes in both
@@ -136,9 +152,24 @@ type Options struct {
 	// the correctness oracle and the baseline the cluster benchmark measures
 	// the streaming plane against.
 	Serial bool
+	// PlanID, when non-empty, is the plan's fingerprint and enables partition
+	// retention: the first run ships the shuffled partitions to the workers'
+	// retained registry (surviving job Reset), and every later run with the
+	// same fingerprint skips the shuffle entirely — zero Load RPCs, zero wire
+	// bytes — and goes straight to the local joins.
+	PlanID string
 	// Seed drives randomized plan decisions.
 	Seed int64
+
+	// retain marks the shuffle's Load RPCs as registry loads. It is set
+	// internally on the shipping path of a retained run.
+	retain bool
 }
+
+// jobCounter disambiguates generated job IDs: two queries starting in the
+// same nanosecond (easy under concurrent serving) must not share worker-side
+// job state.
+var jobCounter atomic.Int64
 
 // withDefaults fills unset options. It is idempotent.
 func (o Options) withDefaults() Options {
@@ -155,7 +186,7 @@ func (o Options) withDefaults() Options {
 		o.Window = 4
 	}
 	if o.JobID == "" {
-		o.JobID = fmt.Sprintf("job-%d", time.Now().UnixNano())
+		o.JobID = fmt.Sprintf("job-%d-%d", time.Now().UnixNano(), jobCounter.Add(1))
 	}
 	return o
 }
@@ -214,39 +245,222 @@ func (c *Coordinator) placement(plan partition.Plan, ctx *partition.Context) fun
 	}
 }
 
+// shuffleStats is the shuffle-phase accounting of one run. A warm retained
+// run reports the recorded total input with zero duration, bytes, and RPCs —
+// nothing moved.
+type shuffleStats struct {
+	totalInput int64
+	rpcs       int64
+	bytes      int64
+	duration   time.Duration
+}
+
 // RunPlan shuffles the inputs to the workers per an already-computed plan,
 // runs the local joins, and aggregates the result. It is the execution half
 // of Run, exported so benchmarks can compare data planes on one shared plan.
+// With Options.PlanID set, the shuffled partitions are retained on the
+// workers under that fingerprint and reused — with zero shuffle — by every
+// later RunPlan naming the same fingerprint.
 func (c *Coordinator) RunPlan(plan partition.Plan, ctx *partition.Context, s, t *data.Relation, band data.Band, opts Options) (*exec.Result, error) {
 	if len(c.clients) == 0 {
 		return nil, fmt.Errorf("cluster: coordinator has no workers")
 	}
 	opts = opts.withDefaults()
-	workers := len(c.clients)
+	if opts.PlanID != "" {
+		return c.runRetained(plan, ctx, s, t, band, opts)
+	}
+	return c.runTransient(plan, ctx, s, t, band, opts)
+}
 
+// runTransient is the one-shot path: ship, join, aggregate, and always clear
+// the job state afterwards.
+func (c *Coordinator) runTransient(plan partition.Plan, ctx *partition.Context, s, t *data.Relation, band data.Band, opts Options) (*exec.Result, error) {
 	// Partition data may already sit on workers when any later step fails;
 	// always clear the job (best effort) so an aborted run cannot leak worker
-	// memory in a long-lived recpartd.
+	// memory in a long-lived recpartd. Reset is scoped to transient job state,
+	// so retained plans of other queries are untouched.
 	defer c.resetJob(opts.JobID)
 
 	place := c.placement(plan, ctx)
 
 	wireStart := c.wireBytes()
 	shuffleStart := time.Now()
-	var totalInput, rpcs int64
+	var st shuffleStats
 	var err error
 	if opts.Serial {
-		totalInput, rpcs, err = c.shuffleSerial(plan, place, s, t, opts)
+		st.totalInput, st.rpcs, err = c.shuffleSerial(plan, place, s, t, opts)
 	} else {
-		totalInput, rpcs, err = c.shuffleStreaming(plan, place, s, t, opts)
+		st.totalInput, st.rpcs, err = c.shuffleStreaming(plan, place, s, t, opts)
 	}
 	if err != nil {
 		return nil, err
 	}
-	shuffleTime := time.Since(shuffleStart)
-	shuffleBytes := c.wireBytes() - wireStart
+	st.duration = time.Since(shuffleStart)
+	st.bytes = c.wireBytes() - wireStart
 
-	// Run local joins on all workers in parallel.
+	replies, joinWall, err := c.runJoins(opts.JobID, false, band, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.aggregate(replies, opts, s, t, st, joinWall), nil
+}
+
+// errStalePlanRec signals that a shipment record was superseded (evicted and
+// re-created) while a query held it; the caller re-fetches and retries.
+var errStalePlanRec = fmt.Errorf("cluster: retained-plan record superseded")
+
+// runRetained serves a query whose plan fingerprint is retained on the
+// workers: the first run ships and seals the partitions, later runs join the
+// resident data directly. If a worker lost the plan (retention-cap eviction
+// or restart), the join fails with ErrUnknownRetainedPlan and the coordinator
+// falls back to a cold reshipment. The record is re-fetched every attempt so
+// a concurrent EvictPlan can never leave two goroutines shipping the same
+// fingerprint through different records.
+func (c *Coordinator) runRetained(plan partition.Plan, ctx *partition.Context, s, t *data.Relation, band data.Band, opts Options) (*exec.Result, error) {
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		rec := c.retainedRec(opts.PlanID)
+		st, err := c.ensureShipped(rec, plan, ctx, s, t, band, opts)
+		if err == errStalePlanRec {
+			lastErr = err
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		replies, joinWall, err := c.runJoins(opts.PlanID, true, band, opts)
+		if err == nil {
+			return c.aggregate(replies, opts, s, t, st, joinWall), nil
+		}
+		if !strings.Contains(err.Error(), ErrUnknownRetainedPlan) {
+			return nil, err
+		}
+		// A worker no longer holds the plan (retention-cap eviction or
+		// restart): drop the stale record and reship.
+		lastErr = err
+		c.EvictPlan(opts.PlanID)
+	}
+	return nil, fmt.Errorf("cluster: retained plan %q kept disappearing: %w", opts.PlanID, lastErr)
+}
+
+// retainedRec returns (creating if needed) the shipment record of a plan
+// fingerprint.
+func (c *Coordinator) retainedRec(planID string) *retainedPlanRec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.retainedPlans == nil {
+		c.retainedPlans = make(map[string]*retainedPlanRec)
+	}
+	rec, ok := c.retainedPlans[planID]
+	if !ok {
+		rec = &retainedPlanRec{}
+		c.retainedPlans[planID] = rec
+	}
+	return rec
+}
+
+// ensureShipped makes the plan's partitions resident and sealed on the
+// workers, shipping them if this is the first query (or the previous shipment
+// failed). Exactly one shuffle runs per fingerprint; concurrent first queries
+// block on the record's write lock and then proceed warm.
+func (c *Coordinator) ensureShipped(rec *retainedPlanRec, plan partition.Plan, ctx *partition.Context, s, t *data.Relation, band data.Band, opts Options) (shuffleStats, error) {
+	rec.mu.RLock()
+	if rec.shipped {
+		st := shuffleStats{totalInput: rec.totalInput}
+		rec.mu.RUnlock()
+		return st, nil
+	}
+	rec.mu.RUnlock()
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.shipped {
+		return shuffleStats{totalInput: rec.totalInput}, nil
+	}
+	// A concurrent EvictPlan may have removed this record from the map while
+	// we waited for the lock; shipping through a superseded record could
+	// interleave with the current record's shipment, so bail out and let the
+	// caller re-fetch.
+	c.mu.Lock()
+	stale := c.retainedPlans[opts.PlanID] != rec
+	c.mu.Unlock()
+	if stale {
+		return shuffleStats{}, errStalePlanRec
+	}
+	// Clear any half-shipped remnants of a previously failed shipment before
+	// loading: the registry accumulates across Load calls.
+	c.evictWorkers(opts.PlanID)
+
+	opts.JobID = opts.PlanID
+	opts.retain = true
+	place := c.placement(plan, ctx)
+
+	wireStart := c.wireBytes()
+	start := time.Now()
+	var st shuffleStats
+	var err error
+	if opts.Serial {
+		st.totalInput, st.rpcs, err = c.shuffleSerial(plan, place, s, t, opts)
+	} else {
+		st.totalInput, st.rpcs, err = c.shuffleStreaming(plan, place, s, t, opts)
+	}
+	if err != nil {
+		c.evictWorkers(opts.PlanID)
+		return shuffleStats{}, err
+	}
+	for w, cl := range c.clients {
+		var sr SealReply
+		sealArgs := &SealArgs{PlanID: opts.PlanID, Band: band, Algorithm: opts.Algorithm}
+		if err := cl.Call(ServiceName+".Seal", sealArgs, &sr); err != nil {
+			c.evictWorkers(opts.PlanID)
+			return shuffleStats{}, fmt.Errorf("cluster: sealing plan on worker %d (%s): %w", w, c.names[w], err)
+		}
+	}
+	st.duration = time.Since(start)
+	st.bytes = c.wireBytes() - wireStart
+	rec.shipped = true
+	rec.totalInput = st.totalInput
+	return st, nil
+}
+
+// EvictPlan discards one retained plan from every worker and removes the
+// coordinator's shipment record (so the record map cannot grow without bound
+// in a long-lived coordinator); the next query naming the fingerprint ships
+// cold through a fresh record. It is the invalidation hook engines call when
+// a dataset is replaced.
+func (c *Coordinator) EvictPlan(planID string) {
+	c.mu.Lock()
+	rec := c.retainedPlans[planID]
+	c.mu.Unlock()
+	if rec == nil {
+		c.evictWorkers(planID)
+		return
+	}
+	// Take the record's write lock so an in-flight shipment completes before
+	// its plan is evicted from the workers.
+	rec.mu.Lock()
+	rec.shipped = false
+	c.mu.Lock()
+	if c.retainedPlans[planID] == rec {
+		delete(c.retainedPlans, planID)
+	}
+	c.mu.Unlock()
+	c.evictWorkers(planID)
+	rec.mu.Unlock()
+}
+
+// evictWorkers drops the plan from every worker's registry, best effort.
+func (c *Coordinator) evictWorkers(planID string) {
+	for _, cl := range c.clients {
+		var er EvictReply
+		_ = cl.Call(ServiceName+".Evict", &EvictArgs{PlanID: planID}, &er)
+	}
+}
+
+// runJoins triggers the local joins of one job (or retained plan) on all
+// workers in parallel and collects the replies.
+func (c *Coordinator) runJoins(jobID string, retained bool, band data.Band, opts Options) ([]JoinReply, time.Duration, error) {
+	workers := len(c.clients)
 	joinParallelism := opts.JoinParallelism
 	if opts.Serial {
 		joinParallelism = 1
@@ -260,11 +474,12 @@ func (c *Coordinator) RunPlan(plan partition.Plan, ctx *partition.Context, s, t 
 		go func(w int) {
 			defer wg.Done()
 			args := &JoinArgs{
-				JobID:        opts.JobID,
+				JobID:        jobID,
 				Band:         band,
 				Algorithm:    opts.Algorithm,
 				CollectPairs: opts.CollectPairs,
 				Parallelism:  joinParallelism,
+				Retained:     retained,
 			}
 			errs[w] = c.clients[w].Call(ServiceName+".Join", args, &replies[w])
 		}(w)
@@ -273,21 +488,26 @@ func (c *Coordinator) RunPlan(plan partition.Plan, ctx *partition.Context, s, t 
 	joinWall := time.Since(joinStart)
 	for w, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("cluster: local joins on worker %d failed: %w", w, err)
+			return nil, 0, fmt.Errorf("cluster: local joins on worker %d failed: %w", w, err)
 		}
 	}
+	return replies, joinWall, nil
+}
 
-	// Aggregate. Workers reply with partitions sorted by id, so iterating
-	// workers in order makes the aggregation deterministic across runs.
+// aggregate folds the workers' join replies into the Result. Workers reply
+// with partitions sorted by id, so iterating workers in order makes the
+// aggregation deterministic across runs.
+func (c *Coordinator) aggregate(replies []JoinReply, opts Options, s, t *data.Relation, st shuffleStats, joinWall time.Duration) *exec.Result {
+	workers := len(c.clients)
 	res := &exec.Result{
 		Workers:      workers,
-		ShuffleTime:  shuffleTime,
+		ShuffleTime:  st.duration,
 		JoinWallTime: joinWall,
 		InputS:       s.Len(),
 		InputT:       t.Len(),
-		TotalInput:   totalInput,
-		ShuffleBytes: shuffleBytes,
-		ShuffleRPCs:  rpcs,
+		TotalInput:   st.totalInput,
+		ShuffleBytes: st.bytes,
+		ShuffleRPCs:  st.rpcs,
 		WorkerInput:  make([]int64, workers),
 		WorkerOutput: make([]int64, workers),
 	}
@@ -338,7 +558,7 @@ func (c *Coordinator) RunPlan(plan partition.Plan, ctx *partition.Context, s, t 
 			return res.Pairs[a].T < res.Pairs[b].T
 		})
 	}
-	return res, nil
+	return res
 }
 
 // shuffleStreaming is the pipelined data plane: the inputs are routed with the
@@ -414,6 +634,7 @@ func (c *Coordinator) sendPartitions(w int, pids []int, parts []*exec.PartitionI
 			Partition: pid,
 			Side:      side,
 			Packed:    &PackedChunk{Dims: dims, Keys: keys, IDs: ids, SideTotal: total},
+			Retain:    opts.retain,
 		}
 		client.Go(ServiceName+".Load", args, &LoadReply{}, done)
 		inFlight++
@@ -462,7 +683,7 @@ func (c *Coordinator) shuffleSerial(plan partition.Plan, place func(int) int, s,
 			return nil
 		}
 		w := place(pid)
-		args := &LoadArgs{JobID: opts.JobID, Partition: pid, Side: side, Chunk: buf.chunk, IDs: buf.ids}
+		args := &LoadArgs{JobID: opts.JobID, Partition: pid, Side: side, Chunk: buf.chunk, IDs: buf.ids, Retain: opts.retain}
 		var reply LoadReply
 		rpcs++
 		if err := c.clients[w].Call(ServiceName+".Load", args, &reply); err != nil {

@@ -32,6 +32,12 @@ type LoadArgs struct {
 	IDs []int64
 	// Packed is the streaming plane's compact chunk representation.
 	Packed *PackedChunk
+	// Retain stores the partition data in the worker's retained-plan registry
+	// under JobID (a plan fingerprint) instead of the transient job table:
+	// the data survives job completion, failure, and Reset, and serves later
+	// joins of the same plan with zero shuffle. The shipment must be completed
+	// with a Seal call before the plan becomes joinable.
+	Retain bool
 }
 
 // PackedChunk is the streaming shuffle's wire representation of one chunk:
@@ -69,7 +75,6 @@ func (pc *PackedChunk) Tuples() (int, error) {
 	return n, nil
 }
 
-
 // LoadReply acknowledges a batch.
 type LoadReply struct {
 	Received int
@@ -89,7 +94,18 @@ type JoinArgs struct {
 	// concurrently; zero means the worker's GOMAXPROCS, and the worker may cap
 	// it further (Worker.SetMaxParallelism).
 	Parallelism int
+	// Retained joins the sealed retained plan named by JobID (a plan
+	// fingerprint) instead of a transient job. The call fails with
+	// ErrUnknownRetainedPlan if the worker does not hold a sealed plan under
+	// that fingerprint (never shipped, evicted, or restarted), signalling the
+	// coordinator to fall back to a cold shuffle.
+	Retained bool
 }
+
+// ErrUnknownRetainedPlan is the error-text marker a worker includes when a
+// retained join names a plan fingerprint it does not hold. net/rpc flattens
+// errors to strings, so coordinators detect the condition by substring.
+const ErrUnknownRetainedPlan = "unknown retained plan"
 
 // PartitionStats reports one partition's local-join outcome.
 type PartitionStats struct {
@@ -110,7 +126,10 @@ type JoinReply struct {
 	Partitions []PartitionStats
 }
 
-// ResetArgs clears a job's state on a worker.
+// ResetArgs clears a transient job's state on a worker. Reset is scoped to
+// the transient job table only: retained plans (see LoadArgs.Retain) are
+// never touched by Reset, so a failed or completed query cannot evict the
+// registry — eviction is a separate, explicit Evict call.
 type ResetArgs struct {
 	JobID string
 }
@@ -118,11 +137,48 @@ type ResetArgs struct {
 // ResetReply acknowledges a reset.
 type ResetReply struct{}
 
+// SealArgs completes the shipment of a retained plan: it marks the plan
+// joinable on the worker (creating an empty entry on workers that received no
+// partitions, so "sealed with zero partitions" is distinguishable from
+// "evicted"). Sealing presorts the partitions and prebuilds each partition's
+// reusable local-join structure for the plan's band and algorithm — paid once
+// at retention time, so warm queries go straight to probing. Sealing may
+// evict the oldest retained plan if the worker's retention cap is exceeded.
+type SealArgs struct {
+	PlanID string
+	// Band is the plan's band condition; a retained plan's fingerprint pins
+	// the band, so the join structure prebuilt for it serves every later
+	// query of the plan.
+	Band data.Band
+	// Algorithm is the local join algorithm name the structure is built for
+	// (empty selects the default).
+	Algorithm string
+}
+
+// SealReply reports the sealed plan's resident partition count.
+type SealReply struct {
+	Partitions int
+}
+
+// EvictArgs discards one retained plan, or every retained plan when PlanID is
+// empty. It is the invalidation path an engine uses when a dataset is
+// unregistered or replaced.
+type EvictArgs struct {
+	PlanID string
+}
+
+// EvictReply reports whether the plan was resident.
+type EvictReply struct {
+	Existed bool
+}
+
 // PingArgs checks worker liveness.
 type PingArgs struct{}
 
-// PingReply reports worker identity and currently loaded jobs.
+// PingReply reports worker identity, currently loaded transient jobs, and
+// resident retained plans.
 type PingReply struct {
-	Worker string
-	Jobs   int
+	Worker   string
+	Jobs     int
+	Retained int
 }

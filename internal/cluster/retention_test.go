@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"bandjoin/internal/core"
+	"bandjoin/internal/costmodel"
+	"bandjoin/internal/data"
+	"bandjoin/internal/exec"
+	"bandjoin/internal/partition"
+	"bandjoin/internal/sample"
+)
+
+// retainPlanFor runs one partitioner's optimization phase for the retention
+// tests.
+func retainPlanFor(t *testing.T, pt partition.Partitioner, s, tt *data.Relation, band data.Band, workers int) (partition.Plan, *partition.Context) {
+	t.Helper()
+	smp, err := sample.Draw(s, tt, band, sample.DefaultOptions())
+	if err != nil {
+		t.Fatalf("sampling: %v", err)
+	}
+	ctx := &partition.Context{Band: band, Workers: workers, Sample: smp, Model: costmodel.Default(), Seed: 7}
+	plan, err := pt.Plan(ctx)
+	if err != nil {
+		t.Fatalf("%s optimization: %v", pt.Name(), err)
+	}
+	return plan, ctx
+}
+
+func samePairs(t *testing.T, label string, a, b []exec.Pair) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: pair counts differ: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: pair %d differs: %v vs %v", label, i, a[i], b[i])
+		}
+	}
+}
+
+// TestRetainedPlanZeroShuffleRerun is the core warm-partition property: a
+// repeated RunPlan naming the same plan fingerprint must move zero shuffle
+// bytes and zero Load RPCs, and report bit-identical accounting and pairs,
+// on both data planes.
+func TestRetainedPlanZeroShuffleRerun(t *testing.T) {
+	lc, err := StartLocal(3)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer lc.Stop()
+	coord, err := Dial(lc.Addrs())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer coord.Close()
+
+	s, tt := data.ParetoPair(2, 1.4, 500, 11)
+	band := data.Symmetric(0.3, 0.3)
+	plan, ctx := retainPlanFor(t, core.NewRecPartS(), s, tt, band, 3)
+
+	for _, serial := range []bool{false, true} {
+		t.Run(fmt.Sprintf("serial=%v", serial), func(t *testing.T) {
+			opts := Options{PlanID: fmt.Sprintf("test-plan-serial=%v", serial), CollectPairs: true, ChunkSize: 128, Serial: serial}
+			cold, err := coord.RunPlan(plan, ctx, s, tt, band, opts)
+			if err != nil {
+				t.Fatalf("cold RunPlan: %v", err)
+			}
+			if cold.ShuffleBytes == 0 || cold.ShuffleRPCs == 0 {
+				t.Fatalf("cold run reports no shuffle traffic (bytes=%d rpcs=%d)", cold.ShuffleBytes, cold.ShuffleRPCs)
+			}
+			warm, err := coord.RunPlan(plan, ctx, s, tt, band, opts)
+			if err != nil {
+				t.Fatalf("warm RunPlan: %v", err)
+			}
+			if warm.ShuffleBytes != 0 || warm.ShuffleRPCs != 0 {
+				t.Errorf("warm run shuffled: bytes=%d rpcs=%d, want 0/0", warm.ShuffleBytes, warm.ShuffleRPCs)
+			}
+			if warm.TotalInput != cold.TotalInput || warm.Output != cold.Output ||
+				warm.Im != cold.Im || warm.Om != cold.Om || warm.Partitions != cold.Partitions {
+				t.Errorf("warm accounting differs: cold (I=%d out=%d Im=%d Om=%d parts=%d), warm (I=%d out=%d Im=%d Om=%d parts=%d)",
+					cold.TotalInput, cold.Output, cold.Im, cold.Om, cold.Partitions,
+					warm.TotalInput, warm.Output, warm.Im, warm.Om, warm.Partitions)
+			}
+			samePairs(t, "cold vs warm", cold.Pairs, warm.Pairs)
+		})
+	}
+}
+
+// TestResetScopedToTransientJobs pins the Reset-scoping bugfix at the worker
+// level: a Reset naming a retained plan's fingerprint must not evict it, and
+// the plan must remain joinable.
+func TestResetScopedToTransientJobs(t *testing.T) {
+	w := NewWorker("scoped")
+	chunk := data.NewRelation("c", 1)
+	ids := make([]int64, 8)
+	for i := 0; i < 8; i++ {
+		chunk.Append(float64(i))
+		ids[i] = int64(i)
+	}
+	for _, side := range []string{"S", "T"} {
+		var lr LoadReply
+		if err := w.Load(&LoadArgs{JobID: "plan-x", Partition: 0, Side: side, Chunk: chunk, IDs: ids, Retain: true}, &lr); err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+	}
+	var sr SealReply
+	if err := w.Seal(&SealArgs{PlanID: "plan-x"}, &sr); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if sr.Partitions != 1 {
+		t.Fatalf("sealed partitions = %d, want 1", sr.Partitions)
+	}
+
+	var rr ResetReply
+	if err := w.Reset(&ResetArgs{JobID: "plan-x"}, &rr); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if got := w.Retained(); got != 1 {
+		t.Fatalf("Reset evicted the retained registry: %d plans resident, want 1", got)
+	}
+	var jr JoinReply
+	if err := w.Join(&JoinArgs{JobID: "plan-x", Band: data.Symmetric(0.5), Retained: true}, &jr); err != nil {
+		t.Fatalf("retained Join after Reset: %v", err)
+	}
+	if len(jr.Partitions) != 1 || jr.Partitions[0].Output == 0 {
+		t.Fatalf("retained join produced %+v, want one partition with output", jr.Partitions)
+	}
+
+	// Eviction is explicit: Evict removes what Reset must not.
+	var er EvictReply
+	if err := w.Evict(&EvictArgs{PlanID: "plan-x"}, &er); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	if !er.Existed || w.Retained() != 0 {
+		t.Fatalf("Evict(existed=%v) left %d plans resident", er.Existed, w.Retained())
+	}
+}
+
+// toggleFailLoadWorker fails Load RPCs while armed, letting a test ship a
+// retained plan successfully and then inject a mid-shuffle failure into a
+// later transient query.
+type toggleFailLoadWorker struct {
+	*Worker
+	fail atomic.Bool
+}
+
+func (w *toggleFailLoadWorker) Load(args *LoadArgs, reply *LoadReply) error {
+	if w.fail.Load() {
+		return fmt.Errorf("synthetic mid-shuffle failure")
+	}
+	return w.Worker.Load(args, reply)
+}
+
+// TestFailedQueryPreservesRetainedRegistry is the fault-injection regression
+// for the Reset-scoping bugfix, end to end: a transient query that fails
+// mid-shuffle fires the coordinator's best-effort Reset on every worker, and
+// the retained plan shipped before the failure must survive and still serve
+// warm zero-shuffle queries with identical results.
+func TestFailedQueryPreservesRetainedRegistry(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.3, 400, 13)
+	band := data.Symmetric(0.35, 0.35)
+
+	good := NewWorker("good")
+	goodAddr, stopGood := serveService(t, good)
+	defer stopGood()
+	flaky := &toggleFailLoadWorker{Worker: NewWorker("flaky")}
+	flakyAddr, stopFlaky := serveService(t, flaky)
+	defer stopFlaky()
+
+	coord, err := Dial([]string{goodAddr, flakyAddr})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer coord.Close()
+
+	plan, ctx := retainPlanFor(t, core.NewRecPartS(), s, tt, band, 2)
+	opts := Options{PlanID: "retained-under-fire", CollectPairs: true, ChunkSize: 64}
+	cold, err := coord.RunPlan(plan, ctx, s, tt, band, opts)
+	if err != nil {
+		t.Fatalf("cold retained RunPlan: %v", err)
+	}
+	retainedBefore := good.Retained() + flaky.Worker.Retained()
+	if retainedBefore == 0 {
+		t.Fatal("no retained state resident after the cold run")
+	}
+
+	// Inject: a transient query now dies mid-shuffle; its deferred Reset
+	// fires on both workers.
+	flaky.fail.Store(true)
+	if _, err := coord.RunPlan(plan, ctx, s, tt, band, Options{ChunkSize: 64}); err == nil {
+		t.Fatal("transient run with a failing worker unexpectedly succeeded")
+	}
+	flaky.fail.Store(false)
+
+	if got := good.Retained() + flaky.Worker.Retained(); got != retainedBefore {
+		t.Fatalf("failed transient query changed the retained registry: %d plans resident, want %d", got, retainedBefore)
+	}
+	for _, w := range []*Worker{good, flaky.Worker} {
+		var pong PingReply
+		if err := w.Ping(&PingArgs{}, &pong); err != nil {
+			t.Fatalf("Ping: %v", err)
+		}
+		if pong.Jobs != 0 {
+			t.Errorf("worker %s retains %d transient jobs after failed run", w.name, pong.Jobs)
+		}
+	}
+
+	warm, err := coord.RunPlan(plan, ctx, s, tt, band, opts)
+	if err != nil {
+		t.Fatalf("warm RunPlan after failed transient query: %v", err)
+	}
+	if warm.ShuffleBytes != 0 || warm.ShuffleRPCs != 0 {
+		t.Errorf("warm run after failure shuffled: bytes=%d rpcs=%d, want 0/0", warm.ShuffleBytes, warm.ShuffleRPCs)
+	}
+	samePairs(t, "cold vs post-failure warm", cold.Pairs, warm.Pairs)
+}
+
+// TestRetainedEvictionFallsBackToCold: when a worker loses a retained plan
+// (restart or retention-cap eviction) behind the coordinator's back, the next
+// warm query must detect it via ErrUnknownRetainedPlan, reship cold, and
+// still return the right answer; the query after that is warm again.
+func TestRetainedEvictionFallsBackToCold(t *testing.T) {
+	lc, err := StartLocal(2)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer lc.Stop()
+	coord, err := Dial(lc.Addrs())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer coord.Close()
+
+	s, tt := data.ParetoPair(2, 1.5, 350, 19)
+	band := data.Symmetric(0.4, 0.4)
+	plan, ctx := retainPlanFor(t, core.NewRecPartS(), s, tt, band, 2)
+	opts := Options{PlanID: "evicted-behind-back", CollectPairs: true, ChunkSize: 64}
+
+	cold, err := coord.RunPlan(plan, ctx, s, tt, band, opts)
+	if err != nil {
+		t.Fatalf("cold RunPlan: %v", err)
+	}
+	// Simulate worker-side loss without telling the coordinator.
+	for _, w := range lc.Handles() {
+		var er EvictReply
+		if err := w.Evict(&EvictArgs{PlanID: opts.PlanID}, &er); err != nil {
+			t.Fatalf("Evict: %v", err)
+		}
+	}
+
+	reshipped, err := coord.RunPlan(plan, ctx, s, tt, band, opts)
+	if err != nil {
+		t.Fatalf("RunPlan after worker-side eviction: %v", err)
+	}
+	if reshipped.ShuffleBytes == 0 {
+		t.Error("fallback run reports zero shuffle bytes; expected a cold reshipment")
+	}
+	samePairs(t, "cold vs fallback", cold.Pairs, reshipped.Pairs)
+
+	warm, err := coord.RunPlan(plan, ctx, s, tt, band, opts)
+	if err != nil {
+		t.Fatalf("warm RunPlan after fallback: %v", err)
+	}
+	if warm.ShuffleBytes != 0 {
+		t.Errorf("run after fallback shuffled %d bytes, want 0", warm.ShuffleBytes)
+	}
+	samePairs(t, "cold vs re-warm", cold.Pairs, warm.Pairs)
+}
+
+// TestWorkerMaxRetainedCap: the retention cap evicts the least-recently-sealed
+// plan, and a retained join of an evicted plan fails with the
+// ErrUnknownRetainedPlan marker coordinators key their fallback on.
+func TestWorkerMaxRetainedCap(t *testing.T) {
+	w := NewWorker("capped")
+	w.SetMaxRetained(1)
+	chunk := data.NewRelation("c", 1)
+	ids := []int64{0, 1}
+	chunk.Append(0.1)
+	chunk.Append(0.2)
+
+	for _, plan := range []string{"plan-a", "plan-b"} {
+		var lr LoadReply
+		if err := w.Load(&LoadArgs{JobID: plan, Partition: 0, Side: "S", Chunk: chunk, IDs: ids, Retain: true}, &lr); err != nil {
+			t.Fatalf("Load(%s): %v", plan, err)
+		}
+		var sr SealReply
+		if err := w.Seal(&SealArgs{PlanID: plan}, &sr); err != nil {
+			t.Fatalf("Seal(%s): %v", plan, err)
+		}
+	}
+	if got := w.Retained(); got != 1 {
+		t.Fatalf("%d plans resident under cap 1", got)
+	}
+	var jr JoinReply
+	err := w.Join(&JoinArgs{JobID: "plan-a", Band: data.Symmetric(1), Retained: true}, &jr)
+	if err == nil || !strings.Contains(err.Error(), ErrUnknownRetainedPlan) {
+		t.Fatalf("join of evicted plan: err = %v, want %q marker", err, ErrUnknownRetainedPlan)
+	}
+	if err := w.Join(&JoinArgs{JobID: "plan-b", Band: data.Symmetric(1), Retained: true}, &jr); err != nil {
+		t.Fatalf("join of resident plan: %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"bandjoin/internal/data"
+	"bandjoin/internal/exec"
 	"bandjoin/internal/localjoin"
 )
 
@@ -20,6 +21,13 @@ import (
 // A single worker can hold several jobs concurrently (keyed by job ID), like
 // a node-manager running several reduce tasks. Loads for different partitions
 // append concurrently, and a job's joins run on a bounded goroutine pool.
+//
+// Besides the transient job table (cleared by Reset after every query), the
+// worker keeps a retained-plan registry: partition data shipped with
+// LoadArgs.Retain and completed with Seal stays resident under its plan
+// fingerprint, so repeated queries over the same plan run their local joins
+// with zero shuffle. Retained plans are immutable once sealed; joins over
+// them only take read locks and therefore run concurrently.
 type Worker struct {
 	name string
 
@@ -28,8 +36,16 @@ type Worker struct {
 	// serving (see SetMaxParallelism).
 	maxParallelism int
 
-	mu   sync.Mutex // guards jobs
-	jobs map[string]*jobState
+	// maxRetained caps the number of sealed retained plans; zero means
+	// unlimited. When Seal pushes the registry past the cap, the
+	// least-recently-sealed plan is evicted (coordinators detect that via
+	// ErrUnknownRetainedPlan and fall back to a cold shuffle).
+	maxRetained int
+
+	mu       sync.Mutex // guards jobs, retained, sealSeq
+	jobs     map[string]*jobState
+	retained map[string]*retainedState
+	sealSeq  uint64
 }
 
 // jobState holds one job's partitions. Its mutex guards only the partitions
@@ -42,17 +58,68 @@ type jobState struct {
 	partitions map[int]*partitionData
 }
 
+// retainedState is one retained plan: a jobState plus the seal bit that makes
+// it joinable, and its position in the seal order (for cap eviction).
+type retainedState struct {
+	jobState
+	sealed bool
+	seq    uint64
+}
+
 type partitionData struct {
-	mu   sync.Mutex
+	// mu is a read-write lock: Load appends under the write lock, while joins
+	// hold the read lock, so any number of concurrent queries can join the
+	// same (immutable once sealed) retained partition in parallel, and a late
+	// Load batch for a partition whose join is already running waits for that
+	// join instead of racing it.
+	mu   sync.RWMutex
 	s    *data.Relation
 	sIDs []int64
 	t    *data.Relation
 	tIDs []int64
+
+	// prepared caches the local join's reusable T-side structure (ε-grid
+	// buckets or sorted rows) for retained partitions, keyed by algorithm
+	// name and band. It is prebuilt at Seal time for the plan's band and
+	// rebuilt lazily if a query asks for a different algorithm.
+	prepKey  string
+	prepared localjoin.PreparedT
+}
+
+// prepKeyFor names one (algorithm, band) combination a prepared structure is
+// valid for.
+func prepKeyFor(alg localjoin.Algorithm, band data.Band) string {
+	return fmt.Sprintf("%s|%v|%v", alg.Name(), band.Low, band.High)
+}
+
+// preparedFor returns the cached prepared join for (alg, band), building and
+// caching it on miss. A nil return means the algorithm has no prepared form;
+// callers run the plain per-query join.
+func (p *partitionData) preparedFor(alg localjoin.Algorithm, band data.Band) localjoin.PreparedT {
+	key := prepKeyFor(alg, band)
+	p.mu.RLock()
+	if p.prepKey == key {
+		prep := p.prepared
+		p.mu.RUnlock()
+		return prep
+	}
+	p.mu.RUnlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.prepKey != key {
+		p.prepared = localjoin.Prepare(alg, p.s, p.t, band)
+		p.prepKey = key
+	}
+	return p.prepared
 }
 
 // NewWorker returns a worker service with the given display name.
 func NewWorker(name string) *Worker {
-	return &Worker{name: name, jobs: make(map[string]*jobState)}
+	return &Worker{
+		name:     name,
+		jobs:     make(map[string]*jobState),
+		retained: make(map[string]*retainedState),
+	}
 }
 
 // SetMaxParallelism caps the join parallelism coordinators may request; n < 1
@@ -63,6 +130,23 @@ func (w *Worker) SetMaxParallelism(n int) {
 		n = 0
 	}
 	w.maxParallelism = n
+}
+
+// SetMaxRetained caps the number of sealed retained plans kept resident; n < 1
+// removes the cap. It must be called before the worker starts serving.
+func (w *Worker) SetMaxRetained(n int) {
+	if n < 1 {
+		n = 0
+	}
+	w.maxRetained = n
+}
+
+// Retained reports the number of resident retained plans (sealed or still
+// shipping); tests use it to pin the Reset-scoping regression.
+func (w *Worker) Retained() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.retained)
 }
 
 // Load implements the RPC method receiving partition input, in either the
@@ -91,11 +175,25 @@ func (w *Worker) Load(args *LoadArgs, reply *LoadReply) error {
 		return fmt.Errorf("cluster: unknown relation side %q", args.Side)
 	}
 
+	var job *jobState
 	w.mu.Lock()
-	job, ok := w.jobs[args.JobID]
-	if !ok {
-		job = &jobState{partitions: make(map[int]*partitionData)}
-		w.jobs[args.JobID] = job
+	if args.Retain {
+		rs, ok := w.retained[args.JobID]
+		if !ok {
+			rs = &retainedState{jobState: jobState{partitions: make(map[int]*partitionData)}}
+			w.retained[args.JobID] = rs
+		} else if rs.sealed {
+			w.mu.Unlock()
+			return fmt.Errorf("cluster: worker %s: retained plan %q is sealed", w.name, args.JobID)
+		}
+		job = &rs.jobState
+	} else {
+		var ok bool
+		job, ok = w.jobs[args.JobID]
+		if !ok {
+			job = &jobState{partitions: make(map[int]*partitionData)}
+			w.jobs[args.JobID] = job
+		}
 	}
 	w.mu.Unlock()
 
@@ -157,8 +255,18 @@ func (w *Worker) Join(args *JoinArgs, reply *JoinReply) error {
 		return fmt.Errorf("cluster: invalid band condition: %w", err)
 	}
 
+	var job *jobState
 	w.mu.Lock()
-	job := w.jobs[args.JobID]
+	if args.Retained {
+		rs := w.retained[args.JobID]
+		if rs == nil || !rs.sealed {
+			w.mu.Unlock()
+			return fmt.Errorf("cluster: worker %s: %s %q", w.name, ErrUnknownRetainedPlan, args.JobID)
+		}
+		job = &rs.jobState
+	} else {
+		job = w.jobs[args.JobID]
+	}
 	w.mu.Unlock()
 	reply.Worker = w.name
 	if job == nil {
@@ -200,7 +308,7 @@ func (w *Worker) Join(args *JoinArgs, reply *JoinReply) error {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			stats[i] = joinPartition(alg, tasks[i].pid, tasks[i].p, args)
+			stats[i] = joinPartition(alg, tasks[i].pid, tasks[i].p, args, args.Retained)
 		}(i)
 	}
 	wg.Wait()
@@ -208,11 +316,19 @@ func (w *Worker) Join(args *JoinArgs, reply *JoinReply) error {
 	return nil
 }
 
-// joinPartition runs one partition's local join under its lock, so a late
-// Load batch arriving mid-join waits instead of mutating the inputs.
-func joinPartition(alg localjoin.Algorithm, pid int, p *partitionData, args *JoinArgs) PartitionStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// joinPartition runs one partition's local join under the partition's read
+// lock: joins never mutate the inputs, so concurrent queries over the same
+// retained partitions proceed in parallel, while a late Load batch (write
+// lock) waits for running joins instead of racing them. Retained partitions
+// probe the cached prepared structure (built at Seal) instead of rebuilding
+// the join's index per query.
+func joinPartition(alg localjoin.Algorithm, pid int, p *partitionData, args *JoinArgs, retained bool) PartitionStats {
+	var prep localjoin.PreparedT
+	if retained {
+		prep = p.preparedFor(alg, args.Band)
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	start := time.Now()
 	stats := PartitionStats{Partition: pid, InputS: p.s.Len(), InputT: p.t.Len()}
 	var emit localjoin.Emit
@@ -222,16 +338,132 @@ func joinPartition(alg localjoin.Algorithm, pid int, p *partitionData, args *Joi
 			stats.PairT = append(stats.PairT, p.tIDs[ti])
 		}
 	}
-	stats.Output = alg.Join(p.s, p.t, args.Band, emit)
+	if prep != nil {
+		stats.Output = prep.Probe(p.s, emit)
+	} else {
+		stats.Output = alg.Join(p.s, p.t, args.Band, emit)
+	}
 	stats.JoinNanos = time.Since(start).Nanoseconds()
 	return stats
 }
 
-// Reset implements the RPC method discarding a job's state.
+// Reset implements the RPC method discarding a transient job's state. It is
+// deliberately scoped to the transient job table: a plan fingerprint passed as
+// the job ID of a Reset must NOT evict the retained registry, so a failed or
+// aborted query (whose coordinator fires a best-effort Reset on every exit
+// path) can never take warm partitions down with it. Eviction of retained
+// plans is only ever explicit, via Evict.
 func (w *Worker) Reset(args *ResetArgs, _ *ResetReply) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	delete(w.jobs, args.JobID)
+	return nil
+}
+
+// Seal implements the RPC method completing a retained plan's shipment: it
+// marks the plan joinable, creating an empty entry on workers that received no
+// partitions so a later retained Join can distinguish "sealed, zero
+// partitions" from "evicted". Sealing presorts every partition's rows on the
+// first join attribute — paid once, off every later query's critical path —
+// so warm joins' internal sorts find presorted input and run linearly. If the
+// retention cap is exceeded, the least-recently-sealed other plan is evicted.
+func (w *Worker) Seal(args *SealArgs, reply *SealReply) error {
+	if args.PlanID == "" {
+		return fmt.Errorf("cluster: worker %s: Seal requires a plan id", w.name)
+	}
+	w.mu.Lock()
+	rs, ok := w.retained[args.PlanID]
+	if !ok {
+		rs = &retainedState{jobState: jobState{partitions: make(map[int]*partitionData)}}
+		w.retained[args.PlanID] = rs
+	}
+	parts := make([]*partitionData, 0, len(rs.partitions))
+	if !rs.sealed {
+		for _, p := range rs.partitions {
+			parts = append(parts, p)
+		}
+	}
+	w.mu.Unlock()
+
+	// Presort and prebuild outside the registry lock; each partition is
+	// permuted under its own write lock so a straggler Load cannot race the
+	// reorder. When the seal names a valid band, the local join's reusable
+	// structure is built here too — once, off every query's critical path.
+	var prebuildAlg localjoin.Algorithm
+	if args.Band.Validate() == nil {
+		prebuildAlg = localjoin.Default()
+		if args.Algorithm != "" {
+			if a, ok := localjoin.ByName(args.Algorithm); ok {
+				prebuildAlg = a
+			}
+		}
+	}
+	parallelism := runtime.GOMAXPROCS(0)
+	if w.maxParallelism > 0 && parallelism > w.maxParallelism {
+		parallelism = w.maxParallelism
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for _, p := range parts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p *partitionData) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			p.mu.Lock()
+			sorted := (&exec.PartitionInput{S: p.s, SIDs: p.sIDs, T: p.t, TIDs: p.tIDs}).Presort()
+			p.s, p.sIDs, p.t, p.tIDs = sorted.S, sorted.SIDs, sorted.T, sorted.TIDs
+			if prebuildAlg != nil && p.s.Dims() == args.Band.Dims() {
+				p.prepared = localjoin.Prepare(prebuildAlg, p.s, p.t, args.Band)
+				p.prepKey = prepKeyFor(prebuildAlg, args.Band)
+			}
+			p.mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rs.sealed = true
+	w.sealSeq++
+	rs.seq = w.sealSeq
+	reply.Partitions = len(rs.partitions)
+	if w.maxRetained > 0 {
+		for len(w.retained) > w.maxRetained {
+			// Only sealed plans are eviction candidates: an unsealed entry is
+			// a shipment in progress (its zero seq would otherwise always sort
+			// oldest), and evicting it mid-load would silently truncate the
+			// data its Seal later marks joinable.
+			oldest, oldestSeq := "", uint64(0)
+			for id, r := range w.retained {
+				if id == args.PlanID || !r.sealed {
+					continue
+				}
+				if oldest == "" || r.seq < oldestSeq {
+					oldest, oldestSeq = id, r.seq
+				}
+			}
+			if oldest == "" {
+				break
+			}
+			delete(w.retained, oldest)
+		}
+	}
+	return nil
+}
+
+// Evict implements the RPC method discarding retained plans: one plan when
+// PlanID is set, the whole registry when it is empty.
+func (w *Worker) Evict(args *EvictArgs, reply *EvictReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if args.PlanID == "" {
+		reply.Existed = len(w.retained) > 0
+		w.retained = make(map[string]*retainedState)
+		return nil
+	}
+	_, reply.Existed = w.retained[args.PlanID]
+	delete(w.retained, args.PlanID)
 	return nil
 }
 
@@ -241,6 +473,7 @@ func (w *Worker) Ping(_ *PingArgs, reply *PingReply) error {
 	defer w.mu.Unlock()
 	reply.Worker = w.name
 	reply.Jobs = len(w.jobs)
+	reply.Retained = len(w.retained)
 	return nil
 }
 

@@ -3,9 +3,7 @@ package exec
 import (
 	"fmt"
 	"math"
-	"time"
 
-	"bandjoin/internal/costmodel"
 	"bandjoin/internal/data"
 	"bandjoin/internal/partition"
 	"bandjoin/internal/sample"
@@ -27,25 +25,17 @@ func Estimate(pt partition.Partitioner, s, t *data.Relation, band data.Band, opt
 	if opts.Sampling.InputSampleSize == 0 {
 		opts.Sampling = sample.DefaultOptions()
 	}
-	if (opts.Model == costmodel.Model{}) {
-		opts.Model = costmodel.Default()
-	}
 	smp, err := sample.Draw(s, t, band, opts.Sampling)
 	if err != nil {
 		return nil, fmt.Errorf("exec: sampling: %w", err)
 	}
-	ctx := &partition.Context{Band: band, Workers: opts.Workers, Sample: smp, Model: opts.Model, Seed: opts.Seed}
-
-	optStart := time.Now()
-	plan, err := pt.Plan(ctx)
+	prep, err := PlanQuery(pt, smp, band, opts)
 	if err != nil {
-		return nil, fmt.Errorf("exec: %s optimization failed: %w", pt.Name(), err)
+		return nil, err
 	}
-	optTime := time.Since(optStart)
-
-	res := EstimatePlan(plan, ctx)
-	res.Partitioner = pt.Name()
-	res.OptimizationTime = optTime
+	res := EstimatePlan(prep.Plan, prep.Ctx)
+	res.Partitioner = prep.Partitioner
+	res.OptimizationTime = prep.OptimizationTime
 	return res, nil
 }
 

@@ -110,9 +110,27 @@ type Result struct {
 	Pairs []Pair
 }
 
-// Run samples the inputs, runs the partitioner's optimization phase, executes
-// the join on the simulated cluster, and returns the full accounting.
-func Run(pt partition.Partitioner, s, t *data.Relation, band data.Band, opts Options) (*Result, error) {
+// Prepared is the output of the optimization stage: a partitioning plan
+// together with the context it was optimized in. It contains everything
+// Execute needs apart from the full inputs, so an engine can cache it and
+// serve repeated queries without re-sampling or re-optimizing.
+type Prepared struct {
+	// Plan is the chosen partitioning.
+	Plan partition.Plan
+	// Ctx is the optimization context (band, workers, samples, model, seed)
+	// the plan was computed for.
+	Ctx *partition.Context
+	// Partitioner is the name of the algorithm that produced the plan.
+	Partitioner string
+	// OptimizationTime is the duration of the partitioner's Plan call.
+	OptimizationTime time.Duration
+}
+
+// PlanQuery runs the optimization stage on an already-drawn sample: it builds
+// the partitioning context and asks the partitioner for a plan. Splitting this
+// from Run lets callers cache the sample (one input scan per dataset pair) and
+// the resulting Prepared plan (one optimization per distinct query shape).
+func PlanQuery(pt partition.Partitioner, smp *sample.Sample, band data.Band, opts Options) (*Prepared, error) {
 	if opts.Workers < 1 {
 		return nil, fmt.Errorf("exec: need at least one worker, got %d", opts.Workers)
 	}
@@ -122,6 +140,31 @@ func Run(pt partition.Partitioner, s, t *data.Relation, band data.Band, opts Opt
 	if (opts.Model == costmodel.Model{}) {
 		opts.Model = costmodel.Default()
 	}
+	ctx := &partition.Context{Band: band, Workers: opts.Workers, Sample: smp, Model: opts.Model, Seed: opts.Seed}
+	optStart := time.Now()
+	plan, err := pt.Plan(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %s optimization failed: %w", pt.Name(), err)
+	}
+	return &Prepared{
+		Plan:             plan,
+		Ctx:              ctx,
+		Partitioner:      pt.Name(),
+		OptimizationTime: time.Since(optStart),
+	}, nil
+}
+
+// Run samples the inputs, runs the partitioner's optimization phase, executes
+// the join on the simulated cluster, and returns the full accounting. It is
+// the one-shot composition of the staged pipeline: sample.Draw → PlanQuery →
+// ExecutePlan.
+func Run(pt partition.Partitioner, s, t *data.Relation, band data.Band, opts Options) (*Result, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("exec: need at least one worker, got %d", opts.Workers)
+	}
+	if err := band.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.Sampling.InputSampleSize == 0 {
 		opts.Sampling = sample.DefaultOptions()
 	}
@@ -130,34 +173,56 @@ func Run(pt partition.Partitioner, s, t *data.Relation, band data.Band, opts Opt
 	if err != nil {
 		return nil, fmt.Errorf("exec: sampling: %w", err)
 	}
-	ctx := &partition.Context{Band: band, Workers: opts.Workers, Sample: smp, Model: opts.Model, Seed: opts.Seed}
-
-	optStart := time.Now()
-	plan, err := pt.Plan(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("exec: %s optimization failed: %w", pt.Name(), err)
-	}
-	optTime := time.Since(optStart)
-
-	res, err := ExecutePlan(plan, s, t, band, opts)
+	prep, err := PlanQuery(pt, smp, band, opts)
 	if err != nil {
 		return nil, err
 	}
-	res.Partitioner = pt.Name()
-	res.OptimizationTime = optTime
-	return res, nil
-}
 
-// partitionInput is the data shuffled to one partition.
-type partitionInput struct {
-	s    *data.Relation
-	sIDs []int64
-	t    *data.Relation
-	tIDs []int64
+	res, err := ExecutePlan(prep.Plan, s, t, band, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Partitioner = prep.Partitioner
+	res.OptimizationTime = prep.OptimizationTime
+	return res, nil
 }
 
 // ExecutePlan runs the shuffle and local joins for an already-computed plan.
 func ExecutePlan(plan partition.Plan, s, t *data.Relation, band data.Band, opts Options) (*Result, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("exec: need at least one worker, got %d", opts.Workers)
+	}
+	parallelism := opts.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+
+	// --- Shuffle (map phase): route every tuple to its partitions.
+	shuffleStart := time.Now()
+	var parts []*PartitionInput
+	var totalInput int64
+	if opts.SerialShuffle {
+		parts, totalInput = ShuffleSerial(plan, s, t)
+	} else {
+		parts, totalInput = parallelShuffle(plan, s, t, parallelism)
+	}
+	shuffleTime := time.Since(shuffleStart)
+
+	res, err := ExecuteShuffled(plan, parts, totalInput, s.Len(), t.Len(), band, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.ShuffleTime = shuffleTime
+	return res, nil
+}
+
+// ExecuteShuffled runs the reduce phase (local joins, worker placement, and
+// accounting) over already-shuffled partition inputs. It is the stage an
+// engine reuses when the shuffled partitions for a plan are retained between
+// queries: a warm query skips the shuffle entirely and pays only for the
+// joins. totalInput is the routed tuple count I the shuffle reported; inputS
+// and inputT are the original relation cardinalities.
+func ExecuteShuffled(plan partition.Plan, parts []*PartitionInput, totalInput int64, inputS, inputT int, band data.Band, opts Options) (*Result, error) {
 	if opts.Workers < 1 {
 		return nil, fmt.Errorf("exec: need at least one worker, got %d", opts.Workers)
 	}
@@ -173,17 +238,6 @@ func ExecutePlan(plan partition.Plan, s, t *data.Relation, band data.Band, opts 
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-
-	// --- Shuffle (map phase): route every tuple to its partitions.
-	shuffleStart := time.Now()
-	var parts []*partitionInput
-	var totalInput int64
-	if opts.SerialShuffle {
-		parts, totalInput = serialShuffle(plan, s, t)
-	} else {
-		parts, totalInput = parallelShuffle(plan, s, t, parallelism)
-	}
-	shuffleTime := time.Since(shuffleStart)
 
 	// --- Reduce phase: one local join per partition, run on a bounded pool.
 	type partResult struct {
@@ -201,7 +255,7 @@ func ExecutePlan(plan partition.Plan, s, t *data.Relation, band data.Band, opts 
 		}
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(pid int, p *partitionInput) {
+		go func(pid int, p *PartitionInput) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			start := time.Now()
@@ -209,10 +263,10 @@ func ExecutePlan(plan partition.Plan, s, t *data.Relation, band data.Band, opts 
 			var emit localjoin.Emit
 			if opts.CollectPairs {
 				emit = func(si, ti int, _, _ []float64) {
-					pairs = append(pairs, Pair{S: p.sIDs[si], T: p.tIDs[ti]})
+					pairs = append(pairs, Pair{S: p.SIDs[si], T: p.TIDs[ti]})
 				}
 			}
-			count := alg.Join(p.s, p.t, band, emit)
+			count := alg.Join(p.S, p.T, band, emit)
 			results[pid] = partResult{output: count, duration: time.Since(start), pairs: pairs}
 		}(pid, p)
 	}
@@ -228,7 +282,7 @@ func ExecutePlan(plan partition.Plan, s, t *data.Relation, band data.Band, opts 
 		if p == nil {
 			continue
 		}
-		partIn[pid] = int64(p.s.Len() + p.t.Len())
+		partIn[pid] = int64(p.Tuples())
 		partOut[pid] = results[pid].output
 		loads[pid] = opts.Model.Load(float64(partIn[pid]), float64(partOut[pid]))
 	}
@@ -242,10 +296,9 @@ func ExecutePlan(plan partition.Plan, s, t *data.Relation, band data.Band, opts 
 	res := &Result{
 		Workers:      opts.Workers,
 		Partitions:   numParts,
-		ShuffleTime:  shuffleTime,
 		JoinWallTime: joinWall,
-		InputS:       s.Len(),
-		InputT:       t.Len(),
+		InputS:       inputS,
+		InputT:       inputT,
 		TotalInput:   totalInput,
 		WorkerInput:  make([]int64, opts.Workers),
 		WorkerOutput: make([]int64, opts.Workers),
@@ -300,7 +353,7 @@ func ExecutePlan(plan partition.Plan, s, t *data.Relation, band data.Band, opts 
 	return res, nil
 }
 
-func countNonEmpty(parts []*partitionInput) int {
+func countNonEmpty(parts []*PartitionInput) int {
 	n := 0
 	for _, p := range parts {
 		if p != nil {

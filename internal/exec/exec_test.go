@@ -12,6 +12,7 @@ import (
 	"bandjoin/internal/localjoin"
 	"bandjoin/internal/onebucket"
 	"bandjoin/internal/partition"
+	"bandjoin/internal/sample"
 )
 
 // bruteForce computes the reference result set.
@@ -194,5 +195,87 @@ func TestExecutePlanWithExplicitAlgorithms(t *testing.T) {
 			t.Fatalf("Run with %s: %v", alg.Name(), err)
 		}
 		checkExactlyOnce(t, res, want)
+	}
+}
+
+// TestPlanQueryComposesToRun: the staged pipeline (sample.Draw → PlanQuery →
+// ExecutePlan) must reproduce Run's accounting and pairs exactly — Run is the
+// one-shot composition the engine's cached stages are pinned against.
+func TestPlanQueryComposesToRun(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.4, 800, 7)
+	band := data.Symmetric(0.25, 0.25)
+	opts := DefaultOptions(4)
+	opts.CollectPairs = true
+	opts.Seed = 3
+
+	direct, err := Run(core.NewRecPartS(), s, tt, band, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	smp, err := sample.Draw(s, tt, band, opts.Sampling)
+	if err != nil {
+		t.Fatalf("Draw: %v", err)
+	}
+	prep, err := PlanQuery(core.NewRecPartS(), smp, band, opts)
+	if err != nil {
+		t.Fatalf("PlanQuery: %v", err)
+	}
+	if prep.Partitioner != direct.Partitioner {
+		t.Errorf("partitioner name %q, want %q", prep.Partitioner, direct.Partitioner)
+	}
+	staged, err := ExecutePlan(prep.Plan, s, tt, band, opts)
+	if err != nil {
+		t.Fatalf("ExecutePlan: %v", err)
+	}
+	if staged.TotalInput != direct.TotalInput || staged.Output != direct.Output ||
+		staged.Im != direct.Im || staged.Om != direct.Om || staged.Partitions != direct.Partitions {
+		t.Errorf("staged (I=%d out=%d Im=%d Om=%d parts=%d) differs from Run (I=%d out=%d Im=%d Om=%d parts=%d)",
+			staged.TotalInput, staged.Output, staged.Im, staged.Om, staged.Partitions,
+			direct.TotalInput, direct.Output, direct.Im, direct.Om, direct.Partitions)
+	}
+	if len(staged.Pairs) != len(direct.Pairs) {
+		t.Fatalf("pair counts differ: staged %d, Run %d", len(staged.Pairs), len(direct.Pairs))
+	}
+	for i := range staged.Pairs {
+		if staged.Pairs[i] != direct.Pairs[i] {
+			t.Fatalf("pair %d differs: staged %v, Run %v", i, staged.Pairs[i], direct.Pairs[i])
+		}
+	}
+}
+
+// TestExecuteShuffledMatchesExecutePlan: running the reduce phase over
+// pre-shuffled retained partitions must match the shuffle-included path.
+func TestExecuteShuffledMatchesExecutePlan(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.4, 600, 13)
+	band := data.Symmetric(0.3, 0.3)
+	plan := planFor(t, core.NewRecPartS(), s, tt, band, 3)
+	opts := DefaultOptions(3)
+	opts.CollectPairs = true
+
+	full, err := ExecutePlan(plan, s, tt, band, opts)
+	if err != nil {
+		t.Fatalf("ExecutePlan: %v", err)
+	}
+	parts, total := Shuffle(plan, s, tt, 0)
+	for round := 0; round < 2; round++ {
+		warm, err := ExecuteShuffled(plan, parts, total, s.Len(), tt.Len(), band, opts)
+		if err != nil {
+			t.Fatalf("ExecuteShuffled round %d: %v", round, err)
+		}
+		if warm.TotalInput != full.TotalInput || warm.Output != full.Output ||
+			warm.Im != full.Im || warm.Om != full.Om {
+			t.Errorf("round %d: warm (I=%d out=%d Im=%d Om=%d) differs from full (I=%d out=%d Im=%d Om=%d)",
+				round, warm.TotalInput, warm.Output, warm.Im, warm.Om,
+				full.TotalInput, full.Output, full.Im, full.Om)
+		}
+		if len(warm.Pairs) != len(full.Pairs) {
+			t.Fatalf("round %d: pair counts differ: %d vs %d", round, len(warm.Pairs), len(full.Pairs))
+		}
+		for i := range warm.Pairs {
+			if warm.Pairs[i] != full.Pairs[i] {
+				t.Fatalf("round %d: pair %d differs", round, i)
+			}
+		}
 	}
 }

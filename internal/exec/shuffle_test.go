@@ -31,7 +31,7 @@ func planFor(t *testing.T, pt partition.Partitioner, s, tt *data.Relation, band 
 // equalParts verifies two shuffle outcomes are bit-identical: same number of
 // partitions, same per-partition sizes, and the same keys and tuple IDs in the
 // same order.
-func equalParts(t *testing.T, serial, par []*partitionInput) {
+func equalParts(t *testing.T, serial, par []*PartitionInput) {
 	t.Helper()
 	if len(serial) != len(par) {
 		t.Fatalf("partition count: serial %d, parallel %d", len(serial), len(par))
@@ -44,26 +44,26 @@ func equalParts(t *testing.T, serial, par []*partitionInput) {
 		if sp == nil {
 			continue
 		}
-		if sp.s.Len() != pp.s.Len() || sp.t.Len() != pp.t.Len() {
+		if sp.S.Len() != pp.S.Len() || sp.T.Len() != pp.T.Len() {
 			t.Fatalf("partition %d sizes: serial (%d,%d), parallel (%d,%d)",
-				pid, sp.s.Len(), sp.t.Len(), pp.s.Len(), pp.t.Len())
+				pid, sp.S.Len(), sp.T.Len(), pp.S.Len(), pp.T.Len())
 		}
-		for i := 0; i < sp.s.Len(); i++ {
-			if sp.sIDs[i] != pp.sIDs[i] {
-				t.Fatalf("partition %d S row %d: serial id %d, parallel id %d", pid, i, sp.sIDs[i], pp.sIDs[i])
+		for i := 0; i < sp.S.Len(); i++ {
+			if sp.SIDs[i] != pp.SIDs[i] {
+				t.Fatalf("partition %d S row %d: serial id %d, parallel id %d", pid, i, sp.SIDs[i], pp.SIDs[i])
 			}
-			for d := 0; d < sp.s.Dims(); d++ {
-				if sp.s.KeyAt(i, d) != pp.s.KeyAt(i, d) {
+			for d := 0; d < sp.S.Dims(); d++ {
+				if sp.S.KeyAt(i, d) != pp.S.KeyAt(i, d) {
 					t.Fatalf("partition %d S row %d dim %d: keys differ", pid, i, d)
 				}
 			}
 		}
-		for i := 0; i < sp.t.Len(); i++ {
-			if sp.tIDs[i] != pp.tIDs[i] {
-				t.Fatalf("partition %d T row %d: serial id %d, parallel id %d", pid, i, sp.tIDs[i], pp.tIDs[i])
+		for i := 0; i < sp.T.Len(); i++ {
+			if sp.TIDs[i] != pp.TIDs[i] {
+				t.Fatalf("partition %d T row %d: serial id %d, parallel id %d", pid, i, sp.TIDs[i], pp.TIDs[i])
 			}
-			for d := 0; d < sp.t.Dims(); d++ {
-				if sp.t.KeyAt(i, d) != pp.t.KeyAt(i, d) {
+			for d := 0; d < sp.T.Dims(); d++ {
+				if sp.T.KeyAt(i, d) != pp.T.KeyAt(i, d) {
 					t.Fatalf("partition %d T row %d dim %d: keys differ", pid, i, d)
 				}
 			}
@@ -92,7 +92,7 @@ func TestShuffleEquivalence(t *testing.T) {
 	for bandName, band := range equivalenceBands() {
 		for _, pt := range equivalencePartitioners() {
 			plan := planFor(t, pt, s, tt, band, 6)
-			serialParts, serialTotal := serialShuffle(plan, s, tt)
+			serialParts, serialTotal := ShuffleSerial(plan, s, tt)
 			for _, shards := range []int{1, 3, 8} {
 				t.Run(fmt.Sprintf("%s/%s/shards=%d", pt.Name(), bandName, shards), func(t *testing.T) {
 					parParts, parTotal := parallelShuffle(plan, s, tt, shards)

@@ -119,29 +119,23 @@ func (g *gridState) lookup(c0, c1 int64) int32 {
 	}
 }
 
-// Join implements Algorithm.
-func (EpsGrid) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
-	ns, nt := s.Len(), t.Len()
-	if ns == 0 || nt == 0 {
-		return 0
-	}
-	dims := t.Dims()
+// epsGridWidths returns the grid cell extents for the band, or ok=false when
+// the grid is undefined (one-dimensional join or a zero extent on either of
+// the first two dimensions).
+func epsGridWidths(dims int, band data.Band) (w0, w1 float64, ok bool) {
 	if dims < 2 {
-		return GridSortScan{}.Join(s, t, band, emit)
+		return 0, 0, false
 	}
-	// Cell extents: one full band reach per side, so an S-tuple's band region
-	// spans at most 3 cells per dimension.
-	w0 := math.Max(band.Low[0], band.High[0])
-	w1 := math.Max(band.Low[1], band.High[1])
-	if w0 <= 0 || w1 <= 0 {
-		return GridSortScan{}.Join(s, t, band, emit)
-	}
+	w0 = math.Max(band.Low[0], band.High[0])
+	w1 = math.Max(band.Low[1], band.High[1])
+	return w0, w1, w0 > 0 && w1 > 0
+}
 
-	sc := scratchPool.Get().(*scratch)
-	g := &sc.grid
+// build assigns every T-tuple to its cell, builds the CSR bucket layout, and
+// gathers rows bucket by bucket so each probe scans contiguously.
+func (g *gridState) build(t *data.Relation, w0, w1 float64) {
+	nt, dims := t.Len(), t.Dims()
 	g.grow(nt, dims)
-
-	// Build: assign every T-tuple to its cell and count occupancies.
 	numCells := int32(0)
 	for i := 0; i < nt; i++ {
 		c0 := int64(math.Floor(t.KeyAt(i, 0) / w0))
@@ -169,7 +163,6 @@ func (EpsGrid) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
 		g.starts[id+1] += g.starts[id]
 		g.cursor[id] = g.starts[id]
 	}
-	// Gather rows bucket by bucket (CSR) so each probe scans contiguously.
 	for i := 0; i < nt; i++ {
 		id := g.cellOf[i]
 		pos := g.cursor[id]
@@ -177,10 +170,13 @@ func (EpsGrid) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
 		copy(g.rows[int(pos)*dims:(int(pos)+1)*dims], t.Key(i))
 		g.perm[pos] = int32(i)
 	}
+}
 
-	// Probe: scan the cells the band region [s−Low, s+High] intersects.
+// probe scans, for every S-tuple, the cells its band region [s−Low, s+High]
+// can intersect, verifying all dimensions per candidate.
+func (g *gridState) probe(s *data.Relation, dims int, band data.Band, w0, w1 float64, emit Emit) int64 {
 	var count int64
-	for i := 0; i < ns; i++ {
+	for i := 0; i < s.Len(); i++ {
 		sk := s.Key(i)
 		cl0 := int64(math.Floor((sk[0] - band.Low[0]) / w0))
 		ch0 := int64(math.Floor((sk[0] + band.High[0]) / w0))
@@ -205,6 +201,25 @@ func (EpsGrid) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
 			}
 		}
 	}
+	return count
+}
+
+// Join implements Algorithm.
+func (EpsGrid) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
+	ns, nt := s.Len(), t.Len()
+	if ns == 0 || nt == 0 {
+		return 0
+	}
+	dims := t.Dims()
+	w0, w1, ok := epsGridWidths(dims, band)
+	if !ok {
+		return GridSortScan{}.Join(s, t, band, emit)
+	}
+
+	sc := scratchPool.Get().(*scratch)
+	g := &sc.grid
+	g.build(t, w0, w1)
+	count := g.probe(s, dims, band, w0, w1, emit)
 	scratchPool.Put(sc)
 	return count
 }

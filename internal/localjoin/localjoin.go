@@ -208,17 +208,10 @@ type SortProbe struct{}
 // Name implements Algorithm.
 func (SortProbe) Name() string { return "sort-probe" }
 
-// Join implements Algorithm.
-func (SortProbe) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
-	n := t.Len()
-	if n == 0 || s.Len() == 0 {
-		return 0
-	}
-	dims := t.Dims()
-	sc := scratchPool.Get().(*scratch)
-	sc.t.build(sc, t)
-	rows, perm := sc.t.rows, sc.t.perm
-
+// probeSortedT runs the sorted-probe loop of S against a dim-0-sorted T
+// (rows/perm as produced by sortedRel.build). It is shared by the one-shot
+// Join and the prepared (cached T side) form.
+func probeSortedT(rows []float64, perm []int32, n, dims int, s *data.Relation, band data.Band, emit Emit) int64 {
 	var count int64
 	countOnly1D := emit == nil && dims == 1
 	for i := 0; i < s.Len(); i++ {
@@ -246,6 +239,19 @@ func (SortProbe) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
 			}
 		}
 	}
+	return count
+}
+
+// Join implements Algorithm.
+func (SortProbe) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
+	n := t.Len()
+	if n == 0 || s.Len() == 0 {
+		return 0
+	}
+	dims := t.Dims()
+	sc := scratchPool.Get().(*scratch)
+	sc.t.build(sc, t)
+	count := probeSortedT(sc.t.rows, sc.t.perm, n, dims, s, band, emit)
 	scratchPool.Put(sc)
 	return count
 }
@@ -262,19 +268,9 @@ type GridSortScan struct{}
 // Name implements Algorithm.
 func (GridSortScan) Name() string { return "grid-sort-scan" }
 
-// Join implements Algorithm.
-func (GridSortScan) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
-	ns, nt := s.Len(), t.Len()
-	if ns == 0 || nt == 0 {
-		return 0
-	}
-	dims := t.Dims()
-	sc := scratchPool.Get().(*scratch)
-	sc.s.build(sc, s)
-	sc.t.build(sc, t)
-	sRows, sPerm := sc.s.rows, sc.s.perm
-	tRows, tPerm := sc.t.rows, sc.t.perm
-
+// scanSortedWindow runs the sliding-window scan of a dim-0-sorted S against a
+// dim-0-sorted T. It is shared by the one-shot Join and the prepared form.
+func scanSortedWindow(sRows []float64, sPerm []int32, ns int, tRows []float64, tPerm []int32, nt, dims int, band data.Band, emit Emit) int64 {
 	var count int64
 	winLo := 0
 	for spos := 0; spos < ns; spos++ {
@@ -298,6 +294,20 @@ func (GridSortScan) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
 			}
 		}
 	}
+	return count
+}
+
+// Join implements Algorithm.
+func (GridSortScan) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
+	ns, nt := s.Len(), t.Len()
+	if ns == 0 || nt == 0 {
+		return 0
+	}
+	dims := t.Dims()
+	sc := scratchPool.Get().(*scratch)
+	sc.s.build(sc, s)
+	sc.t.build(sc, t)
+	count := scanSortedWindow(sc.s.rows, sc.s.perm, ns, sc.t.rows, sc.t.perm, nt, dims, band, emit)
 	scratchPool.Put(sc)
 	return count
 }

@@ -165,3 +165,50 @@ func TestByName(t *testing.T) {
 		t.Error("Default returned nil")
 	}
 }
+
+// TestPreparedMatchesJoin: for every algorithm with a prepared form, probing
+// the prepared T-side structure must produce exactly the pairs — in the same
+// order — as the plain per-query Join.
+func TestPreparedMatchesJoin(t *testing.T) {
+	s, tt := data.ParetoPair(3, 1.4, 400, 7)
+	bands := map[string]data.Band{
+		"band":      data.Symmetric(0.3, 0.3, 0.3),
+		"asym":      data.Asymmetric([]float64{0.4, 0.1, 0.2}, []float64{0.1, 0.3, 0.5}),
+		"equi-dim0": {Low: []float64{0, 0.3, 0.3}, High: []float64{0, 0.3, 0.3}},
+	}
+	algs := []Algorithm{Auto{}, SortProbe{}, GridSortScan{}, EpsGrid{}}
+	for bandName, band := range bands {
+		for _, alg := range algs {
+			type pair struct{ s, t int }
+			var plain, probed []pair
+			wantCount := alg.Join(s, tt, band, func(si, ti int, _, _ []float64) {
+				plain = append(plain, pair{si, ti})
+			})
+			prep := Prepare(alg, s, tt, band)
+			if prep == nil {
+				t.Fatalf("%s/%s: no prepared form", alg.Name(), bandName)
+			}
+			for round := 0; round < 2; round++ {
+				probed = probed[:0]
+				gotCount := prep.Probe(s, func(si, ti int, _, _ []float64) {
+					probed = append(probed, pair{si, ti})
+				})
+				if gotCount != wantCount {
+					t.Fatalf("%s/%s round %d: prepared count %d, plain %d", alg.Name(), bandName, round, gotCount, wantCount)
+				}
+				if len(probed) != len(plain) {
+					t.Fatalf("%s/%s round %d: %d pairs, plain %d", alg.Name(), bandName, round, len(probed), len(plain))
+				}
+				for i := range plain {
+					if plain[i] != probed[i] {
+						t.Fatalf("%s/%s round %d: pair %d = %v, plain %v", alg.Name(), bandName, round, i, probed[i], plain[i])
+					}
+				}
+			}
+		}
+	}
+	// Algorithms without a prepared form decline instead of guessing.
+	if Prepare(NestedLoop{}, s, tt, bands["band"]) != nil {
+		t.Error("NestedLoop unexpectedly has a prepared form")
+	}
+}

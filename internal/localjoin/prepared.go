@@ -1,0 +1,189 @@
+package localjoin
+
+import (
+	"math"
+
+	"bandjoin/internal/data"
+)
+
+// PreparedT is a join structure built once for a fixed (S, T, band) triple
+// and probed by any number of queries. It is the index-retention counterpart
+// of the engine's retained partitions: a worker that keeps a partition
+// resident across queries also keeps the structures its local joins would
+// otherwise rebuild per query — the ε-grid CSR buckets or dim-0-sorted row
+// copies, plus, since the S side is pinned too, each S-tuple's resolved list
+// of candidate cells (the per-probe hash lookups, paid once). Probe must
+// produce exactly the pairs — in the same order — as the corresponding
+// Algorithm.Join over the same inputs.
+//
+// Probe's s must be the relation passed to Prepare (retained partitions are
+// immutable once sealed, so the worker satisfies this by construction). A
+// PreparedT is immutable after Prepare and safe for concurrent Probe calls.
+type PreparedT interface {
+	// Probe joins s against the prepared structure, invoking emit (if
+	// non-nil) per matching pair, and returns the number of result pairs.
+	Probe(s *data.Relation, emit Emit) int64
+}
+
+// Prepare builds the reusable T-side structure the algorithm would otherwise
+// rebuild on every Join of the same (s, t, band), dispatching exactly like
+// the algorithm's own Join (including Auto's per-partition selection, which
+// only consults the fixed sizes and dimensionality). It returns nil when the
+// algorithm has no prepared form (e.g. the nested loop, or the retained
+// baseline oracles), in which case callers fall back to plain Join calls.
+func Prepare(alg Algorithm, s, t *data.Relation, band data.Band) PreparedT {
+	if s.Len() == 0 || t.Len() == 0 {
+		return nil
+	}
+	switch alg.(type) {
+	case Auto:
+		if s.Len() <= autoNestedLoopMax || t.Len() <= autoNestedLoopMax {
+			return nil // nested loop: nothing to prepare, and sorting cannot pay off
+		}
+		if t.Dims() == 1 {
+			return Prepare(SortProbe{}, s, t, band)
+		}
+		return Prepare(EpsGrid{}, s, t, band)
+	case EpsGrid:
+		w0, w1, ok := epsGridWidths(t.Dims(), band)
+		if !ok {
+			return Prepare(GridSortScan{}, s, t, band)
+		}
+		g := &gridState{}
+		g.build(t, w0, w1)
+		p := &preparedEpsGrid{g: g, band: band, dims: t.Dims(), w0: w0, w1: w1}
+		p.resolveCells(s)
+		return p
+	case SortProbe:
+		sr := buildSortedStandalone(t)
+		return &preparedSortProbe{t: sr, n: t.Len(), dims: t.Dims(), band: band}
+	case GridSortScan:
+		sr := buildSortedStandalone(t)
+		return &preparedGridSortScan{t: sr, nt: t.Len(), dims: t.Dims(), band: band}
+	default:
+		return nil
+	}
+}
+
+// buildSortedStandalone materializes r's rows in dimension-0 order into
+// storage owned by the result (unlike sortedRel.build, whose buffers belong
+// to the pooled scratch and must not outlive the call).
+func buildSortedStandalone(r *data.Relation) *sortedRel {
+	sc := scratchPool.Get().(*scratch)
+	var sr sortedRel
+	sr.build(sc, r)
+	// Detach from the scratch before returning it to the pool: steal the
+	// built buffers and leave the scratch's own sortedRels untouched.
+	out := &sortedRel{rows: sr.rows, perm: sr.perm}
+	scratchPool.Put(sc)
+	return out
+}
+
+// preparedEpsGrid is the cached form of EpsGrid: the CSR cell buckets over T
+// plus, per S-tuple, the resolved list of non-empty cells its band region
+// intersects (sStarts/sCells, CSR over S). The plain probe spends most of its
+// time hash-looking-up the ≤ 9 candidate cells per S-tuple, almost all of
+// which are empty for sparse workloads; resolving them once at Prepare turns
+// every later probe into a read of a short precomputed id list.
+type preparedEpsGrid struct {
+	g      *gridState
+	band   data.Band
+	dims   int
+	w0, w1 float64
+
+	sStarts []int32
+	sCells  []int32
+}
+
+// resolveCells records, for every S-tuple, the dense ids of the existing
+// cells its band region intersects, in the exact (c0 asc, c1 asc) order the
+// plain probe visits them, so the emission order is unchanged.
+func (p *preparedEpsGrid) resolveCells(s *data.Relation) {
+	ns := s.Len()
+	p.sStarts = make([]int32, ns+1)
+	p.sCells = make([]int32, 0, ns)
+	for i := 0; i < ns; i++ {
+		sk := s.Key(i)
+		cl0 := int64(math.Floor((sk[0] - p.band.Low[0]) / p.w0))
+		ch0 := int64(math.Floor((sk[0] + p.band.High[0]) / p.w0))
+		cl1 := int64(math.Floor((sk[1] - p.band.Low[1]) / p.w1))
+		ch1 := int64(math.Floor((sk[1] + p.band.High[1]) / p.w1))
+		for c0 := cl0; c0 <= ch0; c0++ {
+			for c1 := cl1; c1 <= ch1; c1++ {
+				if id := p.g.lookup(c0, c1); id >= 0 {
+					p.sCells = append(p.sCells, id)
+				}
+			}
+		}
+		p.sStarts[i+1] = int32(len(p.sCells))
+	}
+}
+
+func (p *preparedEpsGrid) Probe(s *data.Relation, emit Emit) int64 {
+	ns := s.Len()
+	if ns == 0 {
+		return 0
+	}
+	if len(p.sStarts) != ns+1 {
+		// Not the S side this structure was prepared for; fall back to the
+		// hash-lookup probe, which only assumes the T side.
+		return p.g.probe(s, p.dims, p.band, p.w0, p.w1, emit)
+	}
+	g, dims, band := p.g, p.dims, p.band
+	var count int64
+	for i := 0; i < ns; i++ {
+		sk := s.Key(i)
+		for ci := p.sStarts[i]; ci < p.sStarts[i+1]; ci++ {
+			id := p.sCells[ci]
+			for pos := g.starts[id]; pos < g.starts[id+1]; pos++ {
+				base := int(pos) * dims
+				row := g.rows[base : base+dims]
+				if matchesFrom(band, sk, row, 0) {
+					count++
+					if emit != nil {
+						emit(i, int(g.perm[pos]), sk, row)
+					}
+				}
+			}
+		}
+	}
+	return count
+}
+
+// preparedSortProbe is the cached form of SortProbe: T's dim-0-sorted rows,
+// binary-searched per S-tuple.
+type preparedSortProbe struct {
+	t    *sortedRel
+	n    int
+	dims int
+	band data.Band
+}
+
+func (p *preparedSortProbe) Probe(s *data.Relation, emit Emit) int64 {
+	if s.Len() == 0 {
+		return 0
+	}
+	return probeSortedT(p.t.rows, p.t.perm, p.n, p.dims, s, p.band, emit)
+}
+
+// preparedGridSortScan caches T's dim-0-sorted rows; the S side is sorted per
+// probe with pooled scratch (retained partitions are presorted at seal time,
+// so that sort finds sorted input and is linear).
+type preparedGridSortScan struct {
+	t    *sortedRel
+	nt   int
+	dims int
+	band data.Band
+}
+
+func (p *preparedGridSortScan) Probe(s *data.Relation, emit Emit) int64 {
+	ns := s.Len()
+	if ns == 0 {
+		return 0
+	}
+	sc := scratchPool.Get().(*scratch)
+	sc.s.build(sc, s)
+	count := scanSortedWindow(sc.s.rows, sc.s.perm, ns, p.t.rows, p.t.perm, p.nt, p.dims, p.band, emit)
+	scratchPool.Put(sc)
+	return count
+}

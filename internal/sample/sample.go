@@ -53,14 +53,30 @@ func DefaultOptions() Options {
 	return Options{InputSampleSize: 8000, OutputSampleSize: 4000, Seed: 1}
 }
 
-// Draw samples the inputs and the output for the given band condition.
-func Draw(s, t *data.Relation, band data.Band, opts Options) (*Sample, error) {
-	if err := band.Validate(); err != nil {
-		return nil, err
-	}
-	if s.Dims() != band.Dims() || t.Dims() != band.Dims() {
-		return nil, fmt.Errorf("sample: band condition has %d dimensions but inputs have %d and %d",
-			band.Dims(), s.Dims(), t.Dims())
+// InputSample is the band-independent half of the optimization-phase sample:
+// uniform random samples of S and T plus the sampling rates. Drawing it is the
+// only part of the optimization phase that reads the full inputs, so an engine
+// serving many queries over the same registered datasets draws it once and
+// derives the band-dependent output sample (ForBand) per distinct band.
+type InputSample struct {
+	// S and T are uniform random samples of the inputs.
+	S, T *data.Relation
+	// SRate and TRate are the sampling fractions |sample| / |input|.
+	SRate, TRate float64
+	// TotalS and TotalT are the full input cardinalities.
+	TotalS, TotalT int
+	// Opts is the configuration the samples were drawn with; ForBand uses its
+	// OutputSampleSize bound and derives its deterministic subsample RNG from
+	// its Seed.
+	Opts Options
+}
+
+// DrawInputs draws the band-independent input samples. It is the stage of Draw
+// that scans the full inputs; the result can be reused across band conditions
+// via ForBand.
+func DrawInputs(s, t *data.Relation, opts Options) (*InputSample, error) {
+	if s.Dims() != t.Dims() {
+		return nil, fmt.Errorf("sample: inputs have %d and %d dimensions", s.Dims(), t.Dims())
 	}
 	if opts.InputSampleSize <= 0 {
 		opts.InputSampleSize = DefaultOptions().InputSampleSize
@@ -96,17 +112,64 @@ func Draw(s, t *data.Relation, band data.Band, opts Options) (*Sample, error) {
 	sSample := Uniform(s, kS, rng)
 	tSample := Uniform(t, kT, rng)
 
-	out := &Sample{
-		Band:   band,
+	return &InputSample{
 		S:      sSample,
 		T:      tSample,
 		SRate:  rate(sSample.Len(), s.Len()),
 		TRate:  rate(tSample.Len(), t.Len()),
 		TotalS: s.Len(),
 		TotalT: t.Len(),
+		Opts:   opts,
+	}, nil
+}
+
+// ForBand derives the full optimizer-facing Sample for one band condition by
+// joining the cached input samples. It never touches the full inputs, so
+// replanning the same dataset pair for a new ε costs a sample-sized join, not
+// an input scan. The output subsample's RNG is derived deterministically from
+// the draw seed (not from shared RNG state), so repeated calls with the same
+// band produce bit-identical samples — the property the engine's plan-cache
+// equivalence guarantees rest on.
+func (is *InputSample) ForBand(band data.Band) (*Sample, error) {
+	if err := band.Validate(); err != nil {
+		return nil, err
 	}
-	out.sampleOutput(opts.OutputSampleSize, rng)
+	if is.S.Dims() != band.Dims() {
+		return nil, fmt.Errorf("sample: band condition has %d dimensions but samples have %d",
+			band.Dims(), is.S.Dims())
+	}
+	out := &Sample{
+		Band:   band,
+		S:      is.S,
+		T:      is.T,
+		SRate:  is.SRate,
+		TRate:  is.TRate,
+		TotalS: is.TotalS,
+		TotalT: is.TotalT,
+	}
+	// The golden-ratio offset decorrelates this stream from the input-sampling
+	// stream seeded with Opts.Seed itself.
+	rng := rand.New(rand.NewSource(is.Opts.Seed + 0x9e3779b9))
+	out.sampleOutput(is.Opts.OutputSampleSize, rng)
 	return out, nil
+}
+
+// Draw samples the inputs and the output for the given band condition. It is
+// DrawInputs followed by ForBand; callers that serve several bands over the
+// same inputs should hold on to the InputSample instead.
+func Draw(s, t *data.Relation, band data.Band, opts Options) (*Sample, error) {
+	if err := band.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Dims() != band.Dims() || t.Dims() != band.Dims() {
+		return nil, fmt.Errorf("sample: band condition has %d dimensions but inputs have %d and %d",
+			band.Dims(), s.Dims(), t.Dims())
+	}
+	in, err := DrawInputs(s, t, opts)
+	if err != nil {
+		return nil, err
+	}
+	return in.ForBand(band)
 }
 
 func rate(k, n int) float64 {

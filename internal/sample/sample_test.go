@@ -195,3 +195,78 @@ func TestDrawGuaranteesSamplesForOutnumberedInput(t *testing.T) {
 		})
 	}
 }
+
+// TestDrawMatchesStagedDraw: Draw must be exactly DrawInputs followed by
+// ForBand, and ForBand must be repeatable — the cached-sample path an engine
+// takes has to produce bit-identical samples to the one-shot path.
+func TestDrawMatchesStagedDraw(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.5, 3000, 11)
+	band := data.Symmetric(0.2, 0.2)
+	opts := Options{InputSampleSize: 900, OutputSampleSize: 300, Seed: 5}
+
+	oneShot, err := Draw(s, tt, band, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := DrawInputs(s, tt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		staged, err := in.ForBand(band)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if staged.S.Len() != oneShot.S.Len() || staged.T.Len() != oneShot.T.Len() {
+			t.Fatalf("round %d: input sample sizes (%d,%d), one-shot (%d,%d)",
+				round, staged.S.Len(), staged.T.Len(), oneShot.S.Len(), oneShot.T.Len())
+		}
+		for i := 0; i < staged.S.Len(); i++ {
+			for d := 0; d < staged.S.Dims(); d++ {
+				if staged.S.KeyAt(i, d) != oneShot.S.KeyAt(i, d) {
+					t.Fatalf("round %d: S sample row %d differs", round, i)
+				}
+			}
+		}
+		if staged.OutS.Len() != oneShot.OutS.Len() || staged.OutWeight != oneShot.OutWeight {
+			t.Fatalf("round %d: output sample (%d pairs, w=%g), one-shot (%d pairs, w=%g)",
+				round, staged.OutS.Len(), staged.OutWeight, oneShot.OutS.Len(), oneShot.OutWeight)
+		}
+		for i := 0; i < staged.OutS.Len(); i++ {
+			for d := 0; d < staged.OutS.Dims(); d++ {
+				if staged.OutS.KeyAt(i, d) != oneShot.OutS.KeyAt(i, d) || staged.OutT.KeyAt(i, d) != oneShot.OutT.KeyAt(i, d) {
+					t.Fatalf("round %d: output sample pair %d differs", round, i)
+				}
+			}
+		}
+	}
+}
+
+// TestInputSampleReuseAcrossBands: one InputSample serves several band
+// conditions, each matching its own one-shot Draw.
+func TestInputSampleReuseAcrossBands(t *testing.T) {
+	s, tt := data.ParetoPair(2, 1.5, 2000, 17)
+	opts := Options{InputSampleSize: 600, OutputSampleSize: 400, Seed: 9}
+	in, err := DrawInputs(s, tt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.05, 0.2, 0.5} {
+		band := data.Uniform(2, eps)
+		staged, err := in.ForBand(band)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneShot, err := Draw(s, tt, band, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if staged.OutS.Len() != oneShot.OutS.Len() || staged.EstimatedOutput() != oneShot.EstimatedOutput() {
+			t.Errorf("eps=%g: staged estimate %g (%d pairs), one-shot %g (%d pairs)",
+				eps, staged.EstimatedOutput(), staged.OutS.Len(), oneShot.EstimatedOutput(), oneShot.OutS.Len())
+		}
+	}
+	if _, err := in.ForBand(data.Symmetric(1, 1, 1)); err == nil {
+		t.Error("dimension mismatch accepted by ForBand")
+	}
+}
