@@ -112,6 +112,12 @@ type Options struct {
 	// estimates of I, Im, Om instead (useful for very high-duplication
 	// configurations).
 	EstimateOnly bool
+	// PlannerParallelism bounds the worker pool of the default partitioner's
+	// parallel best-split evaluation (0 = GOMAXPROCS, 1 = inline). It applies
+	// only when Partitioner is nil; an explicit partitioner carries its own
+	// configuration (RecPartOptions.PlannerParallelism). Plans are
+	// bit-identical regardless of the value.
+	PlannerParallelism int
 	// Seed makes sampling and randomized assignment deterministic.
 	Seed int64
 

@@ -51,6 +51,9 @@ func main() {
 		clusterJoinPar = flag.Int("cluster-join-parallelism", 0, "partition joins each worker runs concurrently (default: worker GOMAXPROCS)")
 		clusterSerial  = flag.Bool("cluster-serial", false, "use the serial reference data plane instead of the pipelined streaming shuffle")
 
+		plannerPar    = flag.Int("planner-parallelism", 0, "worker pool bound of RecPart's parallel best-split evaluation (0 = GOMAXPROCS)")
+		serialPlanner = flag.Bool("serial-planner", false, "use RecPart's serial reference grower (the oracle) instead of the fast planner")
+
 		repeat   = flag.Int("repeat", 1, "serve the query this many times through an engine; repeats are answered from cached samples, plans, and retained partitions")
 		noRetain = flag.Bool("no-retain", false, "with -repeat: disable partition retention (repeats reuse the plan but reshuffle)")
 	)
@@ -80,7 +83,7 @@ func main() {
 	}
 	band := bandjoin.Symmetric(eps...)
 
-	pt, err := pickPartitioner(*partitioner)
+	pt, err := pickPartitioner(*partitioner, *seed, *plannerPar, *serialPlanner)
 	if err != nil {
 		fatal(err)
 	}
@@ -213,12 +216,16 @@ func parseEps(s string) ([]float64, error) {
 	return out, nil
 }
 
-func pickPartitioner(name string) (bandjoin.Partitioner, error) {
+func pickPartitioner(name string, seed int64, plannerPar int, serialPlanner bool) (bandjoin.Partitioner, error) {
 	switch strings.ToLower(name) {
 	case "recpart":
-		return bandjoin.RecPart(), nil
+		return bandjoin.RecPartWith(bandjoin.RecPartOptions{
+			Symmetric: true, Seed: seed, PlannerParallelism: plannerPar, SerialPlanner: serialPlanner,
+		}), nil
 	case "recpart-s":
-		return bandjoin.RecPartS(), nil
+		return bandjoin.RecPartWith(bandjoin.RecPartOptions{
+			Seed: seed, PlannerParallelism: plannerPar, SerialPlanner: serialPlanner,
+		}), nil
 	case "1-bucket", "onebucket":
 		return bandjoin.OneBucket(), nil
 	case "grid", "grid-eps":

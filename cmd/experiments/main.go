@@ -41,6 +41,12 @@ func main() {
 		pipelinePath   = flag.String("pipeline", "", "run the execution-pipeline benchmark and write the JSON report to this path")
 		pipelineTuples = flag.Int("pipeline-tuples", 0, "per-relation input size of the pipeline benchmark (default 1000000)")
 
+		optimizerPath    = flag.String("optimizer", "", "run the planner benchmark (fast RecPart grower vs the serial oracle across sample sizes) and write the JSON report to this path")
+		optimizerTuples  = flag.Int("optimizer-tuples", 0, "per-relation input size of the optimizer benchmark (default 200000)")
+		optimizerDims    = flag.Int("optimizer-dims", 0, "number of join attributes of the optimizer benchmark (default 3)")
+		optimizerWorkers = flag.Int("optimizer-workers", 0, "planning-time worker count of the optimizer benchmark (default 30)")
+		optimizerRounds  = flag.Int("optimizer-rounds", 0, "rounds per grower and sample size, fastest kept (default 5)")
+
 		enginePath    = flag.String("engine", "", "run the engine-throughput benchmark (cold vs warm-plan vs warm-partitions on the cluster plane) and write the JSON report to this path")
 		engineTuples  = flag.Int("engine-tuples", 0, "per-relation input size of the engine benchmark (default 500000)")
 		engineWorkers = flag.Int("engine-workers", 0, "number of in-process RPC workers of the engine benchmark (default 2)")
@@ -57,6 +63,48 @@ func main() {
 		clusterEps     = flag.Float64("cluster-eps", 0, "symmetric band width of the cluster benchmark (default 0.003)")
 	)
 	flag.Parse()
+
+	if *optimizerPath != "" {
+		cfg := bench.DefaultOptimizerConfig()
+		if *optimizerTuples > 0 {
+			cfg.Tuples = *optimizerTuples
+		}
+		if *optimizerDims > 0 {
+			cfg.Dims = *optimizerDims
+		}
+		if *optimizerWorkers > 0 {
+			cfg.Workers = *optimizerWorkers
+		}
+		if *optimizerRounds > 0 {
+			cfg.Rounds = *optimizerRounds
+		}
+		cfg.Seed = *seed
+		f, err := os.Create(*optimizerPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *optimizerPath, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fmt.Printf("optimizer benchmark: %d x %d tuples, %dD, band %g, w=%d, sample sizes %v...\n",
+			cfg.Tuples, cfg.Tuples, cfg.Dims, cfg.Eps, cfg.Workers, cfg.SampleSizes)
+		rep, err := bench.RunOptimizer(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optimizer benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteOptimizerJSON(f, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *optimizerPath, err)
+			os.Exit(1)
+		}
+		for _, row := range rep.Rows {
+			fmt.Printf("%-9s sample %6d: serial %7.2fms / fast %7.2fms = %.2fx; allocs %6.0f -> %5.0f (%.0fx); identical=%v\n",
+				row.Partitioner, row.SampleSize,
+				1000*row.Serial.WallSeconds, 1000*row.Fast.WallSeconds, row.Speedup,
+				row.Serial.AllocsPerOp, row.Fast.AllocsPerOp, row.AllocReduction, row.PlansIdentical)
+		}
+		fmt.Printf("report written to %s\n", *optimizerPath)
+		return
+	}
 
 	if *enginePath != "" {
 		cfg := bench.DefaultEngineConfig()

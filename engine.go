@@ -9,6 +9,7 @@ import (
 
 	"bandjoin/internal/cluster"
 	"bandjoin/internal/exec"
+	"bandjoin/internal/localjoin"
 	"bandjoin/internal/sample"
 )
 
@@ -320,11 +321,17 @@ func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts 
 		return nil, err
 	}
 
-	// Stage 2: plan (cached per full query shape).
+	// Stage 2: plan (cached per full query shape). The reported optimization
+	// time is this query's actual planning cost — the wall time spent in this
+	// stage — not the cached plan's original cost: a plan-cache hit reports
+	// (approximately) zero, a miss reports the sample derivation plus the
+	// partitioner's optimization, and a query that arrives while an identical
+	// one is planning reports its wait.
+	planStart := time.Now()
 	pk := planKey{
 		s: sName, t: tName, sVer: ds.version, tVer: dt.version,
 		band:     fmt.Sprintf("%v|%v", band.Low, band.High),
-		pt:       fmt.Sprintf("%T%+v", r.Partitioner, r.Partitioner),
+		pt:       partitionerFingerprint(r.Partitioner),
 		workers:  r.Workers,
 		model:    r.Model,
 		sampling: r.Sampling,
@@ -345,6 +352,7 @@ func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts 
 	if pe.err != nil {
 		return nil, pe.err
 	}
+	planTime := time.Since(planStart)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -353,7 +361,7 @@ func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts 
 	if r.EstimateOnly {
 		res := exec.EstimatePlan(pe.prep.Plan, pe.prep.Ctx)
 		res.Partitioner = pe.prep.Partitioner
-		res.OptimizationTime = pe.prep.OptimizationTime
+		res.OptimizationTime = planTime
 		return res, nil
 	}
 	res, err := e.plane.execute(pe.prep, ds.rel, dt.rel, band, r, pe.planID)
@@ -361,8 +369,21 @@ func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts 
 		return nil, err
 	}
 	res.Partitioner = pe.prep.Partitioner
-	res.OptimizationTime = pe.prep.OptimizationTime
+	res.OptimizationTime = planTime
 	return res, nil
+}
+
+// partitionerFingerprint identifies a partitioner configuration for the plan
+// cache. Partitioners that carry execution-only knobs irrelevant to the plans
+// they produce expose a PlanFingerprint that omits them (core.RecPart's
+// grower selection and parallelism), so two queries differing only in such
+// knobs share one cached plan and one retained partition set; everything else
+// falls back to the full configuration dump.
+func partitionerFingerprint(p Partitioner) string {
+	if fp, ok := p.(interface{ PlanFingerprint() string }); ok {
+		return fp.PlanFingerprint()
+	}
+	return fmt.Sprintf("%T%+v", p, p)
 }
 
 // sampleFor returns the sample-cache entry for the key, reporting whether it
@@ -419,12 +440,19 @@ type inProcessPlane struct {
 
 // retainedParts is one retained in-memory shuffle outcome. Its RWMutex plays
 // the same role as the coordinator's shipment record: exactly one shuffle per
-// fingerprint, any number of concurrent warm joins.
+// fingerprint, any number of concurrent warm joins. Alongside the presorted
+// partitions it retains the local join's prepared structures (ε-grid CSR
+// buckets, sorted-row caches, resolved candidate cells), the in-process
+// analogue of the cluster workers' Seal-time prebuild; prepAlg names the
+// algorithm they were built for, and a query using a different local
+// algorithm rebuilds them once.
 type retainedParts struct {
 	mu         sync.RWMutex
 	done       bool
 	parts      []*exec.PartitionInput
 	totalInput int64
+	prepAlg    string
+	prepared   []localjoin.PreparedT
 }
 
 func (p *inProcessPlane) workers() int { return 0 }
@@ -446,6 +474,12 @@ func (p *inProcessPlane) execute(prep *exec.Prepared, s, t *Relation, band Band,
 	}
 	p.mu.Unlock()
 
+	alg := r.Algorithm
+	if alg == nil {
+		alg = localjoin.Default()
+	}
+	algName := alg.Name()
+
 	var shuffleTime time.Duration
 	rec.mu.RLock()
 	if !rec.done {
@@ -454,19 +488,35 @@ func (p *inProcessPlane) execute(prep *exec.Prepared, s, t *Relation, band Band,
 		if !rec.done {
 			start := time.Now()
 			rec.parts, rec.totalInput = exec.Shuffle(prep.Plan, s, t, 0)
-			// Presort once at retention time (the in-process analogue of the
-			// workers' seal-time presort): warm joins then sort in linear time.
+			// Presort and prebuild once at retention time (the in-process
+			// analogue of the workers' seal-time presort + prepare): warm
+			// joins find sorted rows and ready-made join structures.
 			exec.PresortPartitions(rec.parts, 0)
+			rec.prepared = exec.PrepareShuffled(rec.parts, band, alg, 0)
+			rec.prepAlg = algName
 			shuffleTime = time.Since(start)
 			rec.done = true
 		}
 		rec.mu.Unlock()
 		rec.mu.RLock()
 	}
-	parts, totalInput := rec.parts, rec.totalInput
+	if rec.prepAlg != algName {
+		// A query switched local-join algorithms on a retained plan: rebuild
+		// the prepared structures once for the new algorithm (the pattern of
+		// the cluster worker's preparedFor).
+		rec.mu.RUnlock()
+		rec.mu.Lock()
+		if rec.prepAlg != algName {
+			rec.prepared = exec.PrepareShuffled(rec.parts, band, alg, 0)
+			rec.prepAlg = algName
+		}
+		rec.mu.Unlock()
+		rec.mu.RLock()
+	}
+	parts, totalInput, prepared := rec.parts, rec.totalInput, rec.prepared
 	rec.mu.RUnlock()
 
-	res, err := exec.ExecuteShuffled(prep.Plan, parts, totalInput, s.Len(), t.Len(), band, execOpts)
+	res, err := exec.ExecuteShuffledPrepared(prep.Plan, parts, prepared, totalInput, s.Len(), t.Len(), band, execOpts)
 	if err != nil {
 		return nil, err
 	}

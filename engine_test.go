@@ -343,6 +343,7 @@ func TestOptionsValidation(t *testing.T) {
 		{ClusterWindow: -2},
 		{ClusterJoinParallelism: -1},
 		{InputSampleSize: -100},
+		{PlannerParallelism: -3},
 	}
 	for i, opts := range bad {
 		if _, err := bandjoin.Join(s, tt, band, opts); err == nil {
@@ -419,5 +420,114 @@ func TestEngineContextCancellation(t *testing.T) {
 	cancel()
 	if _, err := e.Join(ctx, "s", "t", bandjoin.Uniform(2, 0.5), bandjoin.Options{}); err == nil {
 		t.Error("cancelled context did not abort the query")
+	}
+}
+
+// TestEngineWarmOptimizationTimeIsPerQuery: Result.OptimizationTime reports
+// the query's actual planning cost, not the cached plan's stored cost — a
+// plan-cache hit must report (approximately) zero, while the cold query that
+// populated the cache reports the real optimization time.
+func TestEngineWarmOptimizationTimeIsPerQuery(t *testing.T) {
+	s, tt := bandjoin.Pareto(3, 1.5, 30_000, 31)
+	band := bandjoin.Uniform(3, 0.03)
+	opts := bandjoin.Options{Workers: 4, Seed: 5, InputSampleSize: 8000, OutputSampleSize: 4000}
+
+	e := bandjoin.NewEngine(bandjoin.EngineOptions{})
+	defer e.Close()
+	if err := e.Register("s", s); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := e.Register("t", tt); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	cold, err := e.Join(context.Background(), "s", "t", band, opts)
+	if err != nil {
+		t.Fatalf("cold Join: %v", err)
+	}
+	if cold.OptimizationTime <= 0 {
+		t.Errorf("cold query reports optimization time %v, want > 0", cold.OptimizationTime)
+	}
+	warm, err := e.Join(context.Background(), "s", "t", band, opts)
+	if err != nil {
+		t.Fatalf("warm Join: %v", err)
+	}
+	// The warm query only hashes a cache key; anything close to the cold
+	// query's planning cost means the stored value leaked through again.
+	if warm.OptimizationTime > cold.OptimizationTime/2 {
+		t.Errorf("warm query reports optimization time %v (cold %v), want ~0 on a plan-cache hit",
+			warm.OptimizationTime, cold.OptimizationTime)
+	}
+}
+
+// TestEngineRetainedPreparedAlgorithmSwitch: the in-process retained plane
+// prebuilds local-join structures for the sealing query's algorithm; a later
+// warm query that names a different algorithm must still produce identical
+// pairs (the prepared structures are rebuilt for it, not misused).
+func TestEngineRetainedPreparedAlgorithmSwitch(t *testing.T) {
+	s, tt := bandjoin.Pareto(2, 1.4, 900, 41)
+	band := bandjoin.Uniform(2, 0.12)
+
+	e := bandjoin.NewEngine(bandjoin.EngineOptions{})
+	defer e.Close()
+	if err := e.Register("s", s); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := e.Register("t", tt); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	base := bandjoin.Options{Workers: 3, Seed: 7, CollectPairs: true}
+
+	cold, err := e.Join(context.Background(), "s", "t", band, base)
+	if err != nil {
+		t.Fatalf("cold Join: %v", err)
+	}
+	for _, alg := range []string{"", "sort-probe", "grid-sort-scan", "nested-loop", "eps-grid"} {
+		opts := base
+		opts.LocalAlgorithm = alg
+		warm, err := e.Join(context.Background(), "s", "t", band, opts)
+		if err != nil {
+			t.Fatalf("warm Join (%q): %v", alg, err)
+		}
+		if warm.Output != cold.Output {
+			t.Fatalf("algorithm %q: output %d, want %d", alg, warm.Output, cold.Output)
+		}
+		pairsEqual(t, "cold vs warm "+alg, cold.Pairs, warm.Pairs)
+	}
+}
+
+// TestEnginePlanCacheIgnoresPlannerKnobs: queries that differ only in
+// execution-only planner knobs (grower selection, planner parallelism)
+// produce bit-identical plans, so they must share one cached plan and one
+// retained partition set rather than re-optimizing and re-shuffling.
+func TestEnginePlanCacheIgnoresPlannerKnobs(t *testing.T) {
+	s, tt := bandjoin.Pareto(2, 1.5, 800, 51)
+	band := bandjoin.Uniform(2, 0.1)
+
+	e := bandjoin.NewEngine(bandjoin.EngineOptions{})
+	defer e.Close()
+	if err := e.Register("s", s); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := e.Register("t", tt); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	variants := []bandjoin.Options{
+		{Workers: 3, Seed: 4},
+		{Workers: 3, Seed: 4, PlannerParallelism: 2},
+		{Workers: 3, Seed: 4, Partitioner: bandjoin.RecPartWith(bandjoin.RecPartOptions{Symmetric: true, Seed: 1, SerialPlanner: true})},
+		{Workers: 3, Seed: 4, Partitioner: bandjoin.RecPartWith(bandjoin.RecPartOptions{Symmetric: true, Seed: 1, PlannerParallelism: 3})},
+	}
+	for i, opts := range variants {
+		if _, err := e.Join(context.Background(), "s", "t", band, opts); err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+	}
+	st := e.Stats()
+	if st.CachedPlans != 1 {
+		t.Errorf("%d cached plans, want 1 (planner knobs must not fragment the plan cache)", st.CachedPlans)
+	}
+	if st.PlanHits != int64(len(variants)-1) {
+		t.Errorf("%d plan hits, want %d", st.PlanHits, len(variants)-1)
 	}
 }

@@ -60,7 +60,10 @@ type EngineMeasurement struct {
 	// WallSeconds is the fastest end-to-end query time over the rounds;
 	// the phase columns belong to that round. Cold includes sampling and
 	// optimization; the warm tiers serve both from the engine's caches.
-	WallSeconds         float64 `json:"wall_seconds"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// OptimizationSeconds is the query's actual planning cost: the cold tier
+	// pays the partitioner's optimization, the warm tiers report the
+	// (near-zero) plan-cache lookup — not the cached plan's stored cost.
 	OptimizationSeconds float64 `json:"optimization_seconds"`
 	ShuffleSeconds      float64 `json:"shuffle_seconds"`
 	JoinSeconds         float64 `json:"join_seconds"`

@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"bandjoin/internal/core"
+	"bandjoin/internal/costmodel"
+	"bandjoin/internal/data"
+	"bandjoin/internal/partition"
+	"bandjoin/internal/sample"
+)
+
+// OptimizerConfig scales the planner benchmark: the fast RecPart grower (sort
+// inheritance, arena scratch, parallel best-split) against the serial
+// reference oracle, on the same optimization contexts, across sample sizes.
+type OptimizerConfig struct {
+	// Tuples is the per-relation input size the samples are drawn from.
+	Tuples int
+	// Dims is the number of join attributes.
+	Dims int
+	// Eps is the symmetric per-dimension band width.
+	Eps float64
+	// Workers is the planning-time cluster size w.
+	Workers int
+	// SampleSizes are the optimization-phase input sample sizes to measure;
+	// the output sample is half the input sample, mirroring the defaults.
+	SampleSizes []int
+	// Rounds measures each grower this many times per size, keeping the
+	// fastest round.
+	Rounds int
+	// Seed drives data generation, sampling, and planning.
+	Seed int64
+}
+
+// DefaultOptimizerConfig measures sample sizes 2k/8k/32k on the 3-dimensional
+// Pareto workload of the ablation benchmarks, planning for 30 workers with
+// RecPart-S — the paper's primary configuration (band-width, skew, and
+// scalability experiments, and the cluster/engine benchmarks). The symmetric
+// RecPart is measured alongside at the default sample size.
+func DefaultOptimizerConfig() OptimizerConfig {
+	return OptimizerConfig{
+		Tuples:      200_000,
+		Dims:        3,
+		Eps:         0.03,
+		Workers:     30,
+		SampleSizes: []int{2000, 8000, 32000},
+		Rounds:      5,
+		Seed:        1,
+	}
+}
+
+// OptimizerMeasurement is one (configuration, sample size, grower) cell.
+type OptimizerMeasurement struct {
+	// Grower is "serial-oracle" or "fast".
+	Grower string `json:"grower"`
+	// WallSeconds is the fastest PlanDetailed wall time over the rounds.
+	WallSeconds float64 `json:"wall_seconds"`
+	// AllocsPerOp and BytesPerOp are steady-state allocations per plan
+	// (measured after a warm-up plan, so pools and arenas are primed).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// OptimizerRow compares the two growers on one (partitioner, sample size)
+// configuration and records the resulting plan's quality — which must be
+// identical between the growers (the benchmark fails otherwise).
+type OptimizerRow struct {
+	// Partitioner is "RecPart-S" or "RecPart".
+	Partitioner string `json:"partitioner"`
+	// SampleSize is the optimization-phase input sample size.
+	SampleSize int `json:"sample_size"`
+
+	Serial OptimizerMeasurement `json:"serial"`
+	Fast   OptimizerMeasurement `json:"fast"`
+
+	// Speedup is serial wall time / fast wall time; AllocReduction is the
+	// serial-to-fast ratio of steady-state allocations per plan.
+	Speedup        float64 `json:"speedup"`
+	AllocReduction float64 `json:"alloc_reduction"`
+
+	// PlansIdentical records that the two growers produced bit-identical
+	// growth histories and plan shapes.
+	PlansIdentical bool `json:"plans_identical"`
+
+	// Plan quality of the (shared) resulting plan.
+	Iterations    int     `json:"iterations"`
+	Partitions    int     `json:"partitions"`
+	DupOverhead   float64 `json:"dup_overhead"`
+	LoadOverhead  float64 `json:"load_overhead"`
+	PredictedTime float64 `json:"predicted_time_seconds"`
+}
+
+// OptimizerReport is the machine-readable benchmark artifact
+// (BENCH_optimizer.json).
+type OptimizerReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+
+	Tuples  int     `json:"tuples_per_relation"`
+	Dims    int     `json:"dims"`
+	Eps     float64 `json:"band_width"`
+	Workers int     `json:"workers"`
+	Rounds  int     `json:"rounds"`
+
+	Rows []OptimizerRow `json:"rows"`
+}
+
+// RunOptimizer executes the planner benchmark and returns the report.
+func RunOptimizer(cfg OptimizerConfig) (*OptimizerReport, error) {
+	if cfg.Tuples <= 0 || cfg.Dims <= 0 || len(cfg.SampleSizes) == 0 {
+		return nil, fmt.Errorf("bench: invalid optimizer config %+v", cfg)
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 30
+	}
+	if cfg.Rounds < 1 {
+		cfg.Rounds = 1
+	}
+	s, t := data.ParetoPair(cfg.Dims, 1.5, cfg.Tuples, cfg.Seed)
+	band := data.Uniform(cfg.Dims, cfg.Eps)
+
+	rep := &OptimizerReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Tuples:      cfg.Tuples,
+		Dims:        cfg.Dims,
+		Eps:         cfg.Eps,
+		Workers:     cfg.Workers,
+		Rounds:      cfg.Rounds,
+	}
+
+	type variant struct {
+		name      string
+		symmetric bool
+		sizes     []int
+	}
+	defaultSize := cfg.SampleSizes[len(cfg.SampleSizes)/2]
+	variants := []variant{
+		{name: "RecPart-S", symmetric: false, sizes: cfg.SampleSizes},
+		{name: "RecPart", symmetric: true, sizes: []int{defaultSize}},
+	}
+	for _, v := range variants {
+		for _, size := range v.sizes {
+			smp, err := sample.Draw(s, t, band, sample.Options{
+				InputSampleSize:  size,
+				OutputSampleSize: size / 2,
+				Seed:             cfg.Seed + 8,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: sampling %d: %w", size, err)
+			}
+			ctx := &partition.Context{Band: band, Workers: cfg.Workers, Sample: smp, Model: costmodel.Default(), Seed: cfg.Seed}
+			row, err := measureOptimizerRow(v.name, v.symmetric, size, ctx, cfg.Rounds)
+			if err != nil {
+				return nil, err
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// measureOptimizerRow times both growers on one context and cross-checks that
+// their plans are bit-identical.
+func measureOptimizerRow(ptName string, symmetric bool, size int, ctx *partition.Context, rounds int) (OptimizerRow, error) {
+	mkOpts := func(serial bool) core.Options {
+		o := core.DefaultOptions()
+		o.Symmetric = symmetric
+		o.Serial = serial
+		return o
+	}
+	serialPlan, serialM, err := measureGrower("serial-oracle", core.New(mkOpts(true)), ctx, rounds)
+	if err != nil {
+		return OptimizerRow{}, err
+	}
+	fastPlan, fastM, err := measureGrower("fast", core.New(mkOpts(false)), ctx, rounds)
+	if err != nil {
+		return OptimizerRow{}, err
+	}
+
+	identical := serialPlan.NumPartitions() == fastPlan.NumPartitions() &&
+		serialPlan.Chosen == fastPlan.Chosen &&
+		serialPlan.Leaves == fastPlan.Leaves &&
+		reflect.DeepEqual(serialPlan.History, fastPlan.History) &&
+		reflect.DeepEqual(serialPlan.Regions(), fastPlan.Regions())
+	if !identical {
+		return OptimizerRow{}, fmt.Errorf("bench: %s/%d: fast plan differs from the serial oracle's", ptName, size)
+	}
+
+	fs := fastPlan.FinalStats()
+	row := OptimizerRow{
+		Partitioner:    ptName,
+		SampleSize:     size,
+		Serial:         serialM,
+		Fast:           fastM,
+		Speedup:        ratio(serialM.WallSeconds, fastM.WallSeconds),
+		AllocReduction: ratio(serialM.AllocsPerOp, fastM.AllocsPerOp),
+		PlansIdentical: identical,
+		Iterations:     len(fastPlan.History) - 1,
+		Partitions:     fastPlan.NumPartitions(),
+		DupOverhead:    fs.DupOverhead,
+		LoadOverhead:   fs.LoadOverhead,
+		PredictedTime:  fs.PredictedTime,
+	}
+	return row, nil
+}
+
+// measureGrower times PlanDetailed over the rounds (fastest kept) and
+// measures steady-state allocations per plan after a warm-up run.
+func measureGrower(name string, rp *core.RecPart, ctx *partition.Context, rounds int) (*core.Plan, OptimizerMeasurement, error) {
+	// Warm up pools, arenas, and the scheduler before timing.
+	plan, err := rp.PlanDetailed(ctx)
+	if err != nil {
+		return nil, OptimizerMeasurement{}, fmt.Errorf("bench: %s warm-up plan: %w", name, err)
+	}
+	best := time.Duration(0)
+	for r := 0; r < rounds; r++ {
+		runtime.GC()
+		start := time.Now()
+		if _, err := rp.PlanDetailed(ctx); err != nil {
+			return nil, OptimizerMeasurement{}, fmt.Errorf("bench: %s plan: %w", name, err)
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+
+	// Steady-state allocations: measure a few back-to-back plans without
+	// interleaving GC so pool contents survive between them.
+	const allocRuns = 3
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for r := 0; r < allocRuns; r++ {
+		if _, err := rp.PlanDetailed(ctx); err != nil {
+			return nil, OptimizerMeasurement{}, fmt.Errorf("bench: %s alloc-measure plan: %w", name, err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+
+	m := OptimizerMeasurement{
+		Grower:      name,
+		WallSeconds: best.Seconds(),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / allocRuns,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / allocRuns,
+	}
+	return plan, m, nil
+}
+
+// WriteOptimizerJSON writes the report as indented JSON.
+func WriteOptimizerJSON(w io.Writer, rep *OptimizerReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

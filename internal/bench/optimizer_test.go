@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunOptimizerQuick runs the planner benchmark harness on a small
+// workload: both growers must produce bit-identical plans (enforced inside
+// RunOptimizer), the fast grower must not be slower than the oracle, and the
+// JSON artifact must round-trip.
+func TestRunOptimizerQuick(t *testing.T) {
+	cfg := OptimizerConfig{
+		Tuples:      20_000,
+		Dims:        2,
+		Eps:         0.05,
+		Workers:     8,
+		SampleSizes: []int{1000, 3000},
+		Rounds:      1,
+		Seed:        3,
+	}
+	rep, err := RunOptimizer(cfg)
+	if err != nil {
+		t.Fatalf("RunOptimizer: %v", err)
+	}
+	// RecPart-S at both sizes plus symmetric RecPart at the default size.
+	if len(rep.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if !row.PlansIdentical {
+			t.Errorf("%s/%d: plans not identical", row.Partitioner, row.SampleSize)
+		}
+		if row.Partitions < 1 || row.Iterations < 1 {
+			t.Errorf("%s/%d: degenerate plan (%d partitions, %d iterations)",
+				row.Partitioner, row.SampleSize, row.Partitions, row.Iterations)
+		}
+		if row.Serial.WallSeconds <= 0 || row.Fast.WallSeconds <= 0 {
+			t.Errorf("%s/%d: missing wall times: %+v / %+v",
+				row.Partitioner, row.SampleSize, row.Serial, row.Fast)
+		}
+		if row.Fast.AllocsPerOp >= row.Serial.AllocsPerOp {
+			t.Errorf("%s/%d: fast grower allocates more than the oracle (%.0f >= %.0f)",
+				row.Partitioner, row.SampleSize, row.Fast.AllocsPerOp, row.Serial.AllocsPerOp)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteOptimizerJSON(&buf, rep); err != nil {
+		t.Fatalf("WriteOptimizerJSON: %v", err)
+	}
+	var back OptimizerReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(back.Rows) != len(rep.Rows) {
+		t.Errorf("round-trip lost rows: %d vs %d", len(back.Rows), len(rep.Rows))
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"bandjoin/internal/costmodel"
+	"bandjoin/internal/data"
+	"bandjoin/internal/partition"
+	"bandjoin/internal/sample"
+)
+
+// The plan-equivalence regression suite: the fast grower (sort inheritance,
+// arena scratch, parallel best-split) must make exactly the decisions of the
+// serial reference oracle — bit-identical action logs, histories, and plans —
+// across partitioner variants, dimensionalities, band shapes, and seeds, and
+// regardless of the parallelism level. Run with -race it also exercises the
+// worker pool and the pooled scratch under concurrency.
+
+// equivCase is one workload configuration of the suite.
+type equivCase struct {
+	name      string
+	dims      int
+	symmetric bool
+	band      data.Band
+	seed      int64
+	workers   int
+}
+
+func equivCases() []equivCase {
+	var cases []equivCase
+	for _, dims := range []int{1, 2, 8} {
+		for _, symmetric := range []bool{false, true} {
+			for _, seed := range []int64{1, 7} {
+				cases = append(cases, equivCase{
+					name:      fmt.Sprintf("d=%d/sym=%v/seed=%d", dims, symmetric, seed),
+					dims:      dims,
+					symmetric: symmetric,
+					band:      data.Uniform(dims, 0.05),
+					seed:      seed,
+					workers:   8,
+				})
+			}
+		}
+	}
+	// Asymmetric bands exercise the low/high threshold asymmetry of both
+	// distribute and the sweep.
+	asym2 := data.Asymmetric([]float64{0.0, 0.08}, []float64{0.1, 0.01})
+	cases = append(cases,
+		equivCase{name: "asym/d=2/recpart-s", dims: 2, symmetric: false, band: asym2, seed: 3, workers: 12},
+		equivCase{name: "asym/d=2/recpart", dims: 2, symmetric: true, band: asym2, seed: 3, workers: 12},
+	)
+	return cases
+}
+
+func equivContext(t testing.TB, c equivCase) *partition.Context {
+	t.Helper()
+	s, tt := data.ParetoPair(c.dims, 1.5, 4000, c.seed)
+	smp, err := sample.Draw(s, tt, c.band, sample.Options{InputSampleSize: 1500, OutputSampleSize: 800, Seed: c.seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &partition.Context{Band: c.band, Workers: c.workers, Sample: smp, Model: costmodel.Default(), Seed: 1}
+}
+
+// growBoth runs the serial oracle and the fast grower (at the given
+// parallelism) on the same context and returns both environments.
+func growBoth(ctx *partition.Context, symmetric bool, parallelism int) (serial, fast growEnv, serialChosen, fastChosen int) {
+	opts := DefaultOptions()
+	opts.Symmetric = symmetric
+
+	so := opts
+	so.Serial = true
+	serial, serialChosen = growTree(ctx, so)
+
+	fo := opts
+	fo.Parallelism = parallelism
+	fast, fastChosen = growTree(ctx, fo)
+	return serial, fast, serialChosen, fastChosen
+}
+
+// TestFastGrowerMatchesSerialOracle pins bit-identical action logs and
+// histories between the fast grower and the serial oracle.
+func TestFastGrowerMatchesSerialOracle(t *testing.T) {
+	for _, c := range equivCases() {
+		t.Run(c.name, func(t *testing.T) {
+			ctx := equivContext(t, c)
+			for _, par := range []int{1, 4} {
+				serial, fast, sChosen, fChosen := growBoth(ctx, c.symmetric, par)
+				if sChosen != fChosen {
+					t.Fatalf("par=%d: chosen iteration differs: serial %d, fast %d", par, sChosen, fChosen)
+				}
+				if !reflect.DeepEqual(serial.actions, fast.actions) {
+					n := len(serial.actions)
+					if len(fast.actions) < n {
+						n = len(fast.actions)
+					}
+					for i := 0; i < n; i++ {
+						if serial.actions[i] != fast.actions[i] {
+							t.Fatalf("par=%d: action %d differs: serial %+v, fast %+v", par, i, serial.actions[i], fast.actions[i])
+						}
+					}
+					t.Fatalf("par=%d: action log lengths differ: serial %d, fast %d", par, len(serial.actions), len(fast.actions))
+				}
+				if !reflect.DeepEqual(serial.history, fast.history) {
+					for i := range serial.history {
+						if i < len(fast.history) && serial.history[i] != fast.history[i] {
+							t.Fatalf("par=%d: history entry %d differs:\nserial %+v\nfast   %+v", par, i, serial.history[i], fast.history[i])
+						}
+					}
+					t.Fatalf("par=%d: history lengths differ: serial %d, fast %d", par, len(serial.history), len(fast.history))
+				}
+			}
+		})
+	}
+}
+
+// TestFastPlanMatchesSerialPlan pins the public outcome: the Plans produced
+// behind the two grower implementations assign every probed tuple to the same
+// partitions.
+func TestFastPlanMatchesSerialPlan(t *testing.T) {
+	for _, c := range equivCases() {
+		t.Run(c.name, func(t *testing.T) {
+			ctx := equivContext(t, c)
+			opts := DefaultOptions()
+			opts.Symmetric = c.symmetric
+			so := opts
+			so.Serial = true
+			serialPlan, err := New(so).PlanDetailed(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fastPlan, err := New(opts).PlanDetailed(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPlansIdentical(t, serialPlan, fastPlan, ctx)
+		})
+	}
+}
+
+func assertPlansIdentical(t *testing.T, a, b *Plan, ctx *partition.Context) {
+	t.Helper()
+	if a.NumPartitions() != b.NumPartitions() || a.Leaves != b.Leaves || a.Chosen != b.Chosen {
+		t.Fatalf("plan shapes differ: %d/%d/%d vs %d/%d/%d (partitions/leaves/chosen)",
+			a.NumPartitions(), a.Leaves, a.Chosen, b.NumPartitions(), b.Leaves, b.Chosen)
+	}
+	if !reflect.DeepEqual(a.History, b.History) {
+		t.Fatal("plan histories differ")
+	}
+	if !reflect.DeepEqual(a.Regions(), b.Regions()) {
+		t.Fatal("plan leaf regions differ")
+	}
+	smp := ctx.Sample
+	var da, db []int
+	for i := 0; i < smp.S.Len(); i++ {
+		da = a.AssignS(int64(i), smp.S.Key(i), da[:0])
+		db = b.AssignS(int64(i), smp.S.Key(i), db[:0])
+		if !reflect.DeepEqual(da, db) {
+			t.Fatalf("S tuple %d assigned differently: %v vs %v", i, da, db)
+		}
+	}
+	for i := 0; i < smp.T.Len(); i++ {
+		da = a.AssignT(int64(i), smp.T.Key(i), da[:0])
+		db = b.AssignT(int64(i), smp.T.Key(i), db[:0])
+		if !reflect.DeepEqual(da, db) {
+			t.Fatalf("T tuple %d assigned differently: %v vs %v", i, da, db)
+		}
+	}
+}
+
+// TestConcurrentPlanningMatchesOracle plans the same contexts from many
+// goroutines at once — sharing the planner scratch pool and each using a
+// parallel best-split pool — and checks every result against the serial
+// oracle's. Run under -race this is the concurrency regression test for the
+// fast planner.
+func TestConcurrentPlanningMatchesOracle(t *testing.T) {
+	cases := equivCases()
+	type oracle struct {
+		ctx  *partition.Context
+		plan *Plan
+	}
+	oracles := make([]oracle, len(cases))
+	for i, c := range cases {
+		ctx := equivContext(t, c)
+		so := DefaultOptions()
+		so.Symmetric = c.symmetric
+		so.Serial = true
+		plan, err := New(so).PlanDetailed(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles[i] = oracle{ctx: ctx, plan: plan}
+	}
+
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(cases))
+	for r := 0; r < rounds; r++ {
+		for i, c := range cases {
+			wg.Add(1)
+			go func(i int, c equivCase) {
+				defer wg.Done()
+				opts := DefaultOptions()
+				opts.Symmetric = c.symmetric
+				opts.Parallelism = 3
+				plan, err := New(opts).PlanDetailed(oracles[i].ctx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if plan.NumPartitions() != oracles[i].plan.NumPartitions() ||
+					plan.Chosen != oracles[i].plan.Chosen ||
+					!reflect.DeepEqual(plan.History, oracles[i].plan.History) {
+					errs <- fmt.Errorf("%s: concurrent fast plan differs from oracle", c.name)
+				}
+			}(i, c)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

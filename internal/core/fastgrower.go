@@ -1,0 +1,633 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bandjoin/internal/data"
+)
+
+// fastGrower is the high-performance implementation of Algorithm 1. It makes
+// the same decisions as the serial reference grower (grower.go) — the
+// equivalence suite pins bit-identical action logs and histories — but gets
+// there very differently:
+//
+//   - Sort inheritance. The root sample is argsorted once per dimension into
+//     index arrays; a split then distributes each sorted view to the two
+//     children with a linear stable partition, so every child's per-dimension
+//     sorted views cost O(n·d) instead of the oracle's fresh
+//     O(n·d·log n) sorts per leaf.
+//
+//   - Allocation-free growth. Leaf index slabs are carved from a reusable
+//     arena, growth nodes come from a chunked node arena, and every sweep,
+//     candidate, membership, and statistics buffer lives in a pooled scratch
+//     (the sync.Pool pattern of internal/localjoin and the flat-arena pattern
+//     of internal/exec's shuffle), so steady-state planning performs a
+//     handful of allocations per plan instead of several per leaf per
+//     dimension.
+//
+//   - Incremental iteration statistics. The estimated total input is
+//     maintained incrementally (growEnv.totalInput), the per-iteration
+//     partition loads are written into reused buffers, and LPT placement
+//     reuses its scratch (partition.LPTInto) instead of reallocating sort
+//     order, worker heap, and schedule every iteration.
+//
+//   - Parallel best-split. The per-dimension sweeps of the leaves created by
+//     a split are evaluated on a bounded worker pool (Options.Parallelism)
+//     and merged deterministically in (node, ascending dimension) order with
+//     score.better — the exact visit order of the serial oracle — so plans
+//     are bit-identical regardless of scheduling.
+type fastGrower struct {
+	growEnv
+
+	dims     int
+	numNodes int
+	root     *node
+	leaves   leafHeap
+	sc       *plannerScratch
+	par      int
+}
+
+// ---------------------------------------------------------------------------
+// Arenas and pooled scratch
+
+// i32Arena carves int32 slices from a single reusable buffer. When the buffer
+// is exhausted a larger one replaces it (previously carved slices stay alive
+// through their own references); reset rewinds the write offset, so after a
+// few plans the buffer converges to a size that serves a whole plan with zero
+// allocations.
+type i32Arena struct {
+	buf []int32
+	off int
+}
+
+func (a *i32Arena) alloc(n int) []int32 {
+	if a.off+n > len(a.buf) {
+		size := 2 * len(a.buf)
+		if size < n {
+			size = n
+		}
+		if size < 1<<15 {
+			size = 1 << 15
+		}
+		a.buf = make([]int32, size)
+		a.off = 0
+	}
+	out := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return out
+}
+
+func (a *i32Arena) reset() { a.off = 0 }
+
+// nodeArena hands out growth-phase nodes from fixed-size blocks, so node
+// pointers stay valid as the arena grows. reset rewinds for the next plan;
+// nodes are zeroed on alloc. The final split tree is never built from the
+// arena (replay allocates fresh nodes), so pooling the arena across plans is
+// safe.
+type nodeArena struct {
+	blocks [][]node
+	bi, ni int
+}
+
+const nodeBlockSize = 128
+
+func (a *nodeArena) alloc() *node {
+	if a.bi == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]node, nodeBlockSize))
+	}
+	n := &a.blocks[a.bi][a.ni]
+	*n = node{}
+	a.ni++
+	if a.ni == nodeBlockSize {
+		a.bi++
+		a.ni = 0
+	}
+	return n
+}
+
+func (a *nodeArena) reset() { a.bi, a.ni = 0, 0 }
+
+// evalScratch is one sweep worker's private value buffers.
+type evalScratch struct {
+	sv, tv, ovS, ovT, cands []float64
+	cS, cT                  []int32
+}
+
+// evalTask is one per-dimension sweep of one leaf; result holds the
+// dimension's best candidate after runTasks.
+type evalTask struct {
+	n      *node
+	dim    int
+	lpSq   float64
+	result candidate
+}
+
+// plannerScratch is the reusable state of one fast plan computation, checked
+// out of plannerPool per plan so concurrent planners never share buffers.
+type plannerScratch struct {
+	idx                   i32Arena
+	nodes                 nodeArena
+	membS, membT, membOut []byte
+	leaves                leafHeap
+	stats                 statsScratch
+	evals                 []evalScratch
+	tasks                 []evalTask
+
+	// Root argsort (radix) buffers.
+	radixK, radixK2 []uint64
+	radixI, radixI2 []int32
+}
+
+var plannerPool = sync.Pool{New: func() interface{} { return &plannerScratch{} }}
+
+// growBytes ensures *buf has length n.
+func growBytes(buf *[]byte, n int) {
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	*buf = (*buf)[:n]
+}
+
+const (
+	sideLeft  byte = 1
+	sideRight byte = 2
+)
+
+// ---------------------------------------------------------------------------
+// Growth
+
+// runFastGrower grows the split tree with pooled scratch and returns the
+// populated environment (action log, history) plus the winning iteration.
+func runFastGrower(env growEnv, parallelism int) (growEnv, int) {
+	f := &fastGrower{growEnv: env, dims: env.band.Dims(), par: parallelism}
+	if f.par <= 0 {
+		f.par = runtime.GOMAXPROCS(0)
+	}
+	f.sc = plannerPool.Get().(*plannerScratch)
+	defer f.release()
+	smp := f.ctx.Sample
+	growBytes(&f.sc.membS, smp.S.Len())
+	growBytes(&f.sc.membT, smp.T.Len())
+	growBytes(&f.sc.membOut, smp.OutS.Len())
+	f.initialize()
+	chosen := f.grow()
+	return f.growEnv, chosen
+}
+
+// release returns the scratch to the pool, dropping node references so the
+// previous plan's tree can be collected once its arena slots are reused.
+func (f *fastGrower) release() {
+	for i := range f.leaves {
+		f.leaves[i] = nil
+	}
+	f.sc.leaves = f.leaves[:0]
+	for i := range f.sc.tasks {
+		f.sc.tasks[i] = evalTask{}
+	}
+	f.sc.tasks = f.sc.tasks[:0]
+	f.sc.idx.reset()
+	f.sc.nodes.reset()
+	plannerPool.Put(f.sc)
+	f.sc = nil
+	f.root = nil
+	f.leaves = nil
+}
+
+// initialize builds the root leaf: one argsort of the samples per dimension,
+// the only sorting the fast grower ever performs (lines 1-4 of Algorithm 1).
+func (f *fastGrower) initialize() {
+	smp := f.ctx.Sample
+	d := f.dims
+	root := f.sc.nodes.alloc()
+	root.id = 0
+	root.region = f.rootRegion()
+	root.isLeaf = true
+	root.rows, root.cols = 1, 1
+	root.heapIdx = -1
+	root.nS, root.nT, root.nOut = smp.S.Len(), smp.T.Len(), smp.OutS.Len()
+	root.slab = f.sc.idx.alloc(d * (root.nS + root.nT + 2*root.nOut))
+	for dim := 0; dim < d; dim++ {
+		f.argsortInto(smp.S, root.nS, dim, root.sView(dim))
+		f.argsortInto(smp.T, root.nT, dim, root.tView(d, dim))
+		f.argsortInto(smp.OutS, root.nOut, dim, root.outSView(d, dim))
+		f.argsortInto(smp.OutT, root.nOut, dim, root.outTView(d, dim))
+	}
+	f.setEstimates(root)
+	root.small = root.region.IsSmall(f.band)
+	f.evalBatch(root, nil)
+
+	f.numNodes = 1
+	f.root = root
+	f.leaves = f.sc.leaves[:0]
+	heap.Push(&f.leaves, root)
+	f.totalInput = root.assignedInput()
+	f.history = append(f.history, f.snapshotStats(f.leaves, 0, &f.sc.stats))
+}
+
+// argsortInto writes the indices 0..n-1 of r sorted by dimension dim (ties by
+// index) into out, using a stable byte-wise LSD radix sort over the
+// order-preserving integer encoding of the float keys. Byte positions on
+// which every key agrees are skipped, so the near-constant exponent bytes of
+// typical samples cost only their histogram pass.
+func (f *fastGrower) argsortInto(r *data.Relation, n, dim int, out []int32) {
+	if n == 0 {
+		return
+	}
+	sc := f.sc
+	keys := resizeU64(&sc.radixK, n)
+	idx := resizeI32(&sc.radixI, n)
+	tmpK := resizeU64(&sc.radixK2, n)
+	tmpI := resizeI32(&sc.radixI2, n)
+	for i := 0; i < n; i++ {
+		keys[i] = floatSortKey(r.KeyAt(i, dim))
+		idx[i] = int32(i)
+	}
+	for shift := 0; shift < 64; shift += 8 {
+		var count [256]int
+		for _, k := range keys {
+			count[byte(k>>shift)]++
+		}
+		if count[byte(keys[0]>>shift)] == n {
+			continue // all keys share this byte
+		}
+		pos := 0
+		var start [256]int
+		for b := 0; b < 256; b++ {
+			start[b] = pos
+			pos += count[b]
+		}
+		for i, k := range keys {
+			b := byte(k >> shift)
+			tmpK[start[b]] = k
+			tmpI[start[b]] = idx[i]
+			start[b]++
+		}
+		keys, tmpK = tmpK, keys
+		idx, tmpI = tmpI, idx
+	}
+	copy(out, idx)
+	// The buffers may have swapped an odd number of times; store them back so
+	// every slice the scratch retains is scratch-owned (never a slab view).
+	sc.radixK, sc.radixK2 = keys, tmpK
+	sc.radixI, sc.radixI2 = idx, tmpI
+}
+
+// floatSortKey maps a float64 to a uint64 whose unsigned order matches the
+// float order (negative values are bit-complemented, positives get the sign
+// bit set).
+func floatSortKey(v float64) uint64 {
+	b := math.Float64bits(v)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// resizeU64 returns *buf with length n (contents unspecified).
+func resizeU64(buf *[]uint64, n int) []uint64 {
+	if cap(*buf) < n {
+		*buf = make([]uint64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// resizeI32 returns *buf with length n (contents unspecified).
+func resizeI32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// grow runs the repeat loop until a termination condition fires and returns
+// the index (into the action log) of the winning partitioning.
+func (f *fastGrower) grow() int {
+	for iter := 1; iter <= f.opts.MaxIterations; iter++ {
+		top := f.leaves.peek()
+		if top == nil || !top.best.sc.valid {
+			break
+		}
+		top = heap.Pop(&f.leaves).(*node)
+		f.apply(top)
+		f.history = append(f.history, f.snapshotStats(f.leaves, len(f.actions), &f.sc.stats))
+		if f.shouldStop() {
+			break
+		}
+	}
+	return f.bestIteration()
+}
+
+// apply performs the leaf's best action and re-inserts the affected leaves
+// with fresh best-split scores (lines 7-9 of Algorithm 1), evaluating both
+// fresh children's per-dimension sweeps on the worker pool.
+func (f *fastGrower) apply(n *node) {
+	c := n.best
+	if c.smallAction {
+		prev := n.assignedInput()
+		if c.addRow {
+			n.rows++
+		} else {
+			n.cols++
+		}
+		f.noteSmall(n, prev)
+		n.best = f.evalSmall(n)
+		heap.Push(&f.leaves, n)
+		f.actions = append(f.actions, action{nodeID: n.id, smallAction: true, addRow: c.addRow})
+		return
+	}
+
+	leftRegion, rightRegion := n.region.SplitAt(c.dim, c.val)
+	left := f.sc.nodes.alloc()
+	right := f.sc.nodes.alloc()
+	left.id = f.numNodes
+	right.id = f.numNodes + 1
+	f.numNodes += 2
+	left.region, right.region = leftRegion, rightRegion
+	left.isLeaf, right.isLeaf = true, true
+	left.rows, left.cols = 1, 1
+	right.rows, right.cols = 1, 1
+	left.heapIdx, right.heapIdx = -1, -1
+
+	f.distribute(n, c, left, right)
+	f.setEstimates(left)
+	f.setEstimates(right)
+	left.small = left.region.IsSmall(f.band)
+	right.small = right.region.IsSmall(f.band)
+	f.evalBatch(left, right)
+	f.noteSplit(n, left, right)
+
+	n.isLeaf = false
+	n.dim, n.val, n.kind = c.dim, c.val, c.kind
+	n.left, n.right = left, right
+	n.slab = nil // dead views; the arena space is reclaimed at release
+
+	heap.Push(&f.leaves, left)
+	heap.Push(&f.leaves, right)
+	f.actions = append(f.actions, action{nodeID: n.id, dim: c.dim, val: c.val, kind: c.kind})
+}
+
+// distribute assigns the leaf's sample tuples to the two children of the
+// given split — the same membership predicates as the serial grower's
+// distribute (Algorithm 3) — while inheriting sortedness: membership flags
+// are computed once per tuple from the dimension-0 views, then every
+// dimension's sorted view is split by a linear stable partition, so the
+// children's views are sorted without sorting.
+func (f *fastGrower) distribute(n *node, c candidate, left, right *node) {
+	smp := f.ctx.Sample
+	d := f.dims
+	dim, x := c.dim, c.val
+	low, high := f.band.Low[dim], f.band.High[dim]
+	membS, membT, membOut := f.sc.membS, f.sc.membT, f.sc.membOut
+
+	var lnS, rnS, lnT, rnT, lnOut, rnOut int
+	if c.kind == splitT {
+		// T-split: partition S at x, duplicate T within the band; output
+		// pairs follow their S side.
+		for _, i := range n.sView(0) {
+			if smp.S.KeyAt(int(i), dim) < x {
+				membS[i] = sideLeft
+				lnS++
+			} else {
+				membS[i] = sideRight
+				rnS++
+			}
+		}
+		for _, i := range n.tView(d, 0) {
+			v := smp.T.KeyAt(int(i), dim)
+			var m byte
+			if v < x+high {
+				m = sideLeft
+				lnT++
+			}
+			if v >= x-low {
+				m |= sideRight
+				rnT++
+			}
+			membT[i] = m
+		}
+		for _, i := range n.outSView(d, 0) {
+			if smp.OutS.KeyAt(int(i), dim) < x {
+				membOut[i] = sideLeft
+				lnOut++
+			} else {
+				membOut[i] = sideRight
+				rnOut++
+			}
+		}
+	} else {
+		// S-split: partition T at x, duplicate S near the boundary; output
+		// pairs follow their T side.
+		for _, i := range n.tView(d, 0) {
+			if smp.T.KeyAt(int(i), dim) < x {
+				membT[i] = sideLeft
+				lnT++
+			} else {
+				membT[i] = sideRight
+				rnT++
+			}
+		}
+		for _, i := range n.sView(0) {
+			v := smp.S.KeyAt(int(i), dim)
+			var m byte
+			if v < x+low {
+				m = sideLeft
+				lnS++
+			}
+			if v >= x-high {
+				m |= sideRight
+				rnS++
+			}
+			membS[i] = m
+		}
+		for _, i := range n.outTView(d, 0) {
+			if smp.OutT.KeyAt(int(i), dim) < x {
+				membOut[i] = sideLeft
+				lnOut++
+			} else {
+				membOut[i] = sideRight
+				rnOut++
+			}
+		}
+	}
+
+	left.nS, left.nT, left.nOut = lnS, lnT, lnOut
+	right.nS, right.nT, right.nOut = rnS, rnT, rnOut
+	left.slab = f.sc.idx.alloc(d * (lnS + lnT + 2*lnOut))
+	right.slab = f.sc.idx.alloc(d * (rnS + rnT + 2*rnOut))
+
+	for dd := 0; dd < d; dd++ {
+		stablePartition(n.sView(dd), membS, left.sView(dd), right.sView(dd))
+		stablePartition(n.tView(d, dd), membT, left.tView(d, dd), right.tView(d, dd))
+		stablePartition(n.outSView(d, dd), membOut, left.outSView(d, dd), right.outSView(d, dd))
+		stablePartition(n.outTView(d, dd), membOut, left.outTView(d, dd), right.outTView(d, dd))
+	}
+}
+
+// stablePartition distributes the sorted index view src into left and right
+// according to the membership flags, preserving order (duplicated indices go
+// to both sides). left and right must have the exact flag counts as length.
+func stablePartition(src []int32, memb []byte, left, right []int32) {
+	li, ri := 0, 0
+	for _, i := range src {
+		m := memb[i]
+		if m&sideLeft != 0 {
+			left[li] = i
+			li++
+		}
+		if m&sideRight != 0 {
+			right[ri] = i
+			ri++
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel best-split
+
+// evalBatch computes the best action of the given fresh leaves (b may be
+// nil). Small leaves are scored inline; the regular leaves' per-dimension
+// sweeps are fanned out to the worker pool and reduced in (node, ascending
+// dimension) order, exactly the serial oracle's visit order.
+func (f *fastGrower) evalBatch(a, b *node) {
+	tasks := f.sc.tasks[:0]
+	for _, n := range [2]*node{a, b} {
+		if n == nil {
+			continue
+		}
+		if n.small {
+			n.best = f.evalSmall(n)
+			continue
+		}
+		n.best = candidate{sc: invalidScore()}
+		lp := n.load(f.beta2, f.beta3)
+		if lp <= 0 {
+			continue
+		}
+		lpSq := lp * lp
+		for dim := 0; dim < f.dims; dim++ {
+			if n.region.SmallInDim(dim, f.band) {
+				continue
+			}
+			tasks = append(tasks, evalTask{n: n, dim: dim, lpSq: lpSq})
+		}
+	}
+	f.sc.tasks = tasks
+	if len(tasks) == 0 {
+		return
+	}
+	f.runTasks(tasks)
+	for i := range tasks {
+		t := &tasks[i]
+		if t.result.sc.better(t.n.best.sc) {
+			t.n.best = t.result
+		}
+	}
+}
+
+// runTasks evaluates the sweep tasks on at most f.par goroutines, each with
+// its own value scratch. Tasks only read shared state and write their own
+// result slot, so the reduction in evalBatch is free of ordering effects.
+func (f *fastGrower) runTasks(tasks []evalTask) {
+	workers := f.par
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	for len(f.sc.evals) < workers {
+		f.sc.evals = append(f.sc.evals, evalScratch{})
+	}
+	if workers <= 1 {
+		es := &f.sc.evals[0]
+		for i := range tasks {
+			t := &tasks[i]
+			t.result = f.evalDim(t.n, t.dim, t.lpSq, es)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	work := func(es *evalScratch) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(tasks) {
+				return
+			}
+			t := &tasks[i]
+			t.result = f.evalDim(t.n, t.dim, t.lpSq, es)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(es *evalScratch) {
+			defer wg.Done()
+			work(es)
+		}(&f.sc.evals[w])
+	}
+	work(&f.sc.evals[0])
+	wg.Wait()
+}
+
+// evalDim computes one dimension's best candidate for a leaf: gather the
+// leaf's sorted values from its inherited views (no sorting), merge S and T
+// linearly, form the candidate mid-points, and run the shared sweep.
+func (f *fastGrower) evalDim(n *node, dim int, lpSq float64, es *evalScratch) candidate {
+	smp := f.ctx.Sample
+	d := f.dims
+	es.sv = gatherVals(smp.S, n.sView(dim), dim, es.sv[:0])
+	es.tv = gatherVals(smp.T, n.tView(d, dim), dim, es.tv[:0])
+	es.ovS = gatherVals(smp.OutS, n.outSView(d, dim), dim, es.ovS[:0])
+	es.ovT = gatherVals(smp.OutT, n.outTView(d, dim), dim, es.ovT[:0])
+	es.cands, es.cS, es.cT = candsFromSorted(es.sv, es.tv, n.region.Lo[dim], n.region.Hi[dim],
+		es.cands[:0], es.cS[:0], es.cT[:0])
+	if len(es.cands) == 0 {
+		return candidate{sc: invalidScore()}
+	}
+	return f.sweepDim(dim, es.sv, es.tv, es.ovS, es.ovT, es.cands, es.cS, es.cT, lpSq)
+}
+
+// gatherVals appends dimension dim of the referenced sample tuples to out.
+// idx is sorted by that dimension's value, so out comes out sorted — the same
+// value sequence sortedVals produces for the same membership.
+func gatherVals(r *data.Relation, idx []int32, dim int, out []float64) []float64 {
+	for _, id := range idx {
+		out = append(out, r.KeyAt(int(id), dim))
+	}
+	return out
+}
+
+// candsFromSorted fuses the merge of two ascending value slices with the
+// mid-point generation and below-count bookkeeping of candidatePoints into
+// one pass: at the moment a candidate is emitted, the merge positions are
+// exactly the counts of S and T values strictly below it.
+func candsFromSorted(sv, tv []float64, lo, hi float64, out []float64, cS, cT []int32) ([]float64, []int32, []int32) {
+	i, j := 0, 0
+	have := false
+	var prev float64
+	for i < len(sv) || j < len(tv) {
+		pi, pj := i, j
+		var v float64
+		if j >= len(tv) || (i < len(sv) && sv[i] <= tv[j]) {
+			v = sv[i]
+			i++
+		} else {
+			v = tv[j]
+			j++
+		}
+		if have && v != prev {
+			mid := prev + (v-prev)/2
+			if mid > lo && mid < hi && mid > prev {
+				out = append(out, mid)
+				cS = append(cS, int32(pi))
+				cT = append(cT, int32(pj))
+			}
+		}
+		prev = v
+		have = true
+	}
+	return out, cS, cT
+}

@@ -27,8 +27,14 @@ type action struct {
 	addRow      bool
 }
 
-// grower runs Algorithm 1 on the samples and records per-iteration statistics.
-type grower struct {
+// growEnv is the state and arithmetic shared by the two grower
+// implementations: the serial reference grower below (the correctness oracle)
+// and the fast grower (fastgrower.go). Everything that influences a planning
+// decision — split scoring, the per-iteration statistics, the termination
+// rule, the incremental total-input accounting — lives here and is executed
+// through the same code by both, so the two growers produce bit-identical
+// action logs and histories (the property the equivalence suite pins).
+type growEnv struct {
 	ctx  *partition.Context
 	opts Options
 	band data.Band
@@ -38,9 +44,14 @@ type grower struct {
 	varFactor    float64 // (w−1)/w²
 	smoothing    float64 // δ of the split score ΔVar/(ΔDup+δ)
 
-	nodes   []*node
-	root    *node
-	leaves  leafHeap
+	// Sweep constants with the sampling rates folded in: b2s·count ==
+	// β2·ScaleS(count) (up to rounding), and likewise for T and the output
+	// sample weight. Hoisting the divisions out of the per-candidate loop
+	// roughly halves the sweep's cost; both growers share the folded
+	// arithmetic, so their scores remain bit-identical to each other.
+	b2s, b2t, b3o float64 // β2/SRate, β2/TRate, β3·OutWeight
+	invS, invT    float64 // 1/SRate, 1/TRate (0 when the rate is 0)
+
 	actions []action
 	history []IterationStats
 
@@ -48,11 +59,19 @@ type grower struct {
 	inputLowerBound float64
 	estTotalOutput  float64
 	loadLowerBound  float64
+
+	// totalInput is Σ leaf.assignedInput() over the current leaves — the
+	// estimated total input I including duplicates. It is maintained
+	// incrementally (the split leaf's contribution leaves, its replacements'
+	// enter) through noteSplit/noteSmall rather than re-summed per iteration;
+	// since floating-point addition is order-sensitive, both growers share
+	// these exact update expressions so the value is bit-identical.
+	totalInput float64
 }
 
-func newGrower(ctx *partition.Context, opts Options) *grower {
+func newGrowEnv(ctx *partition.Context, opts Options) growEnv {
 	w := ctx.Workers
-	g := &grower{
+	e := growEnv{
 		ctx:       ctx,
 		opts:      opts.withDefaults(w),
 		band:      ctx.Band,
@@ -61,14 +80,24 @@ func newGrower(ctx *partition.Context, opts Options) *grower {
 		beta3:     ctx.Model.Beta3,
 		varFactor: float64(w-1) / float64(w*w),
 	}
-	g.inputLowerBound = float64(ctx.Sample.TotalS + ctx.Sample.TotalT)
-	g.estTotalOutput = ctx.Sample.EstimatedOutput()
-	g.loadLowerBound = ctx.Model.LowerBoundLoad(g.inputLowerBound, g.estTotalOutput, w)
-	g.smoothing = g.opts.DupSmoothingFraction * g.inputLowerBound
-	if g.smoothing < 1 {
-		g.smoothing = 1
+	e.inputLowerBound = float64(ctx.Sample.TotalS + ctx.Sample.TotalT)
+	e.estTotalOutput = ctx.Sample.EstimatedOutput()
+	e.loadLowerBound = ctx.Model.LowerBoundLoad(e.inputLowerBound, e.estTotalOutput, w)
+	e.smoothing = e.opts.DupSmoothingFraction * e.inputLowerBound
+	if e.smoothing < 1 {
+		e.smoothing = 1
 	}
-	return g
+	smp := ctx.Sample
+	if smp.SRate > 0 {
+		e.invS = 1 / smp.SRate
+		e.b2s = e.beta2 / smp.SRate
+	}
+	if smp.TRate > 0 {
+		e.invT = 1 / smp.TRate
+		e.b2t = e.beta2 / smp.TRate
+	}
+	e.b3o = e.beta3 * smp.OutWeight
+	return e
 }
 
 // rootRegion bounds the split tree's root by the bounding box of the samples,
@@ -76,8 +105,8 @@ func newGrower(ctx *partition.Context, opts Options) *grower {
 // region containment (only on split predicates), so tuples outside the sample
 // bounding box are still routed correctly; the finite box only serves the
 // "small partition" detection and candidate-split filtering.
-func (g *grower) rootRegion() data.Region {
-	d := g.band.Dims()
+func (e *growEnv) rootRegion() data.Region {
+	d := e.band.Dims()
 	lo := make([]float64, d)
 	hi := make([]float64, d)
 	for i := 0; i < d; i++ {
@@ -97,16 +126,62 @@ func (g *grower) rootRegion() data.Region {
 			}
 		}
 	}
-	expand(g.ctx.Sample.S)
-	expand(g.ctx.Sample.T)
+	expand(e.ctx.Sample.S)
+	expand(e.ctx.Sample.T)
 	for i := 0; i < d; i++ {
 		if math.IsInf(lo[i], 0) || math.IsInf(hi[i], 0) {
 			lo[i], hi[i] = 0, 0
 		}
-		lo[i] -= g.band.MaxWidth(i)
-		hi[i] += g.band.MaxWidth(i) + 1e-9
+		lo[i] -= e.band.MaxWidth(i)
+		hi[i] += e.band.MaxWidth(i) + 1e-9
 	}
 	return data.Region{Lo: lo, Hi: hi}
+}
+
+// setEstimates refreshes the leaf's scaled input/output estimates from its
+// sample membership counts.
+func (e *growEnv) setEstimates(n *node) {
+	smp := e.ctx.Sample
+	n.estS = smp.ScaleS(n.nS)
+	n.estT = smp.ScaleT(n.nT)
+	n.estOut = smp.ScaleOut(n.nOut)
+}
+
+// noteSplit folds a regular split into the incremental total-input sum.
+func (e *growEnv) noteSplit(parent, left, right *node) {
+	e.totalInput += left.assignedInput() + right.assignedInput() - parent.assignedInput()
+}
+
+// noteSmall folds a small-leaf grid increment into the incremental
+// total-input sum; prev is the leaf's assignedInput before the increment.
+func (e *growEnv) noteSmall(n *node, prev float64) {
+	e.totalInput += n.assignedInput() - prev
+}
+
+// grower is the straightforward serial implementation of Algorithm 1: one
+// leaf at a time, re-sorting the leaf's sample per dimension for every
+// best-split evaluation, with freshly allocated candidate and statistics
+// buffers. It is retained behind Options.Serial as the reference the fast
+// grower is compared against (the SerialShuffle pattern of internal/exec).
+// Note the scope of that oracle role: the *mechanical* machinery the fast
+// grower replaces — sort inheritance, arenas, membership-flag distribution,
+// the parallel reduction — is independent here and cross-checked by the
+// equivalence suite, while the decision arithmetic itself (sweep scoring,
+// statistics, termination) is deliberately shared through growEnv, because
+// bit-identical plans are impossible under independently-rounded floating
+// point. Bugs in the shared arithmetic are instead caught by the semantic
+// tests (Definition 1 invariants, history monotonicity, plan-quality
+// comparisons), which run against the default fast path.
+type grower struct {
+	growEnv
+
+	nodes  []*node
+	root   *node
+	leaves leafHeap
+}
+
+func newGrower(ctx *partition.Context, opts Options) *grower {
+	return &grower{growEnv: newGrowEnv(ctx, opts)}
 }
 
 // initialize builds the root leaf holding all samples (lines 1-4 of
@@ -141,16 +216,15 @@ func (g *grower) initialize() {
 	g.nodes = []*node{root}
 	g.leaves = leafHeap{}
 	heap.Push(&g.leaves, root)
-	g.history = append(g.history, g.snapshot(0))
+	g.totalInput = root.assignedInput()
+	g.history = append(g.history, g.snapshotStats(g.leaves, 0, nil))
 }
 
 // updateEstimates refreshes the leaf's scaled input/output estimates from its
 // sample membership.
 func (g *grower) updateEstimates(n *node) {
-	smp := g.ctx.Sample
-	n.estS = smp.ScaleS(len(n.sIdx))
-	n.estT = smp.ScaleT(len(n.tIdx))
-	n.estOut = smp.ScaleOut(len(n.outIdx))
+	n.nS, n.nT, n.nOut = len(n.sIdx), len(n.tIdx), len(n.outIdx)
+	g.setEstimates(n)
 }
 
 // grow runs the repeat loop until a termination condition fires and returns
@@ -163,7 +237,7 @@ func (g *grower) grow() int {
 		}
 		top = heap.Pop(&g.leaves).(*node)
 		g.apply(top)
-		g.history = append(g.history, g.snapshot(len(g.actions)))
+		g.history = append(g.history, g.snapshotStats(g.leaves, len(g.actions), nil))
 		if g.shouldStop() {
 			break
 		}
@@ -176,11 +250,13 @@ func (g *grower) grow() int {
 func (g *grower) apply(n *node) {
 	c := n.best
 	if c.smallAction {
+		prev := n.assignedInput()
 		if c.addRow {
 			n.rows++
 		} else {
 			n.cols++
 		}
+		g.noteSmall(n, prev)
 		n.best = g.bestSplit(n)
 		heap.Push(&g.leaves, n)
 		g.actions = append(g.actions, action{nodeID: n.id, smallAction: true, addRow: c.addRow})
@@ -199,6 +275,7 @@ func (g *grower) apply(n *node) {
 	right.small = right.region.IsSmall(g.band)
 	left.best = g.bestSplit(left)
 	right.best = g.bestSplit(right)
+	g.noteSplit(n, left, right)
 
 	n.isLeaf = false
 	n.dim, n.val, n.kind = c.dim, c.val, c.kind
@@ -285,16 +362,16 @@ func (g *grower) bestSplit(n *node) candidate {
 // internal 1-Bucket grid. Adding a row duplicates every T-tuple in the leaf
 // once more (each T-tuple is replicated to all rows of its column); adding a
 // column duplicates every S-tuple once more.
-func (g *grower) evalSmall(n *node) candidate {
-	cur := n.sumSquaredLoads(g.beta2, g.beta3)
+func (e *growEnv) evalSmall(n *node) candidate {
+	cur := n.sumSquaredLoads(e.beta2, e.beta3)
 
-	rowLoad := n.subLoad(g.beta2, g.beta3, n.rows+1, n.cols)
+	rowLoad := n.subLoad(e.beta2, e.beta3, n.rows+1, n.cols)
 	rowSq := float64((n.rows+1)*n.cols) * rowLoad * rowLoad
-	scoreRow := newScore(g.varFactor*(cur-rowSq), n.estT, g.smoothing)
+	scoreRow := newScore(e.varFactor*(cur-rowSq), n.estT, e.smoothing)
 
-	colLoad := n.subLoad(g.beta2, g.beta3, n.rows, n.cols+1)
+	colLoad := n.subLoad(e.beta2, e.beta3, n.rows, n.cols+1)
 	colSq := float64(n.rows*(n.cols+1)) * colLoad * colLoad
-	scoreCol := newScore(g.varFactor*(cur-colSq), n.estS, g.smoothing)
+	scoreCol := newScore(e.varFactor*(cur-colSq), n.estS, e.smoothing)
 
 	if scoreRow.better(scoreCol) {
 		return candidate{sc: scoreRow, smallAction: true, addRow: true}
@@ -308,7 +385,10 @@ func (g *grower) evalSmall(n *node) candidate {
 // evalRegular finds the best decision-tree style split of a regular leaf: for
 // every dimension in which the leaf is not yet small, it sorts the sample and
 // sweeps all mid-points between consecutive values, scoring each as a T-split
-// and (if symmetric partitioning is enabled) as an S-split.
+// and (if symmetric partitioning is enabled) as an S-split. Per-dimension
+// winners are merged in dimension order, which selects exactly the candidate a
+// single interleaved sweep would (score.better is a strict weak order, so the
+// first element of the maximal class wins either way).
 func (g *grower) evalRegular(n *node) candidate {
 	best := candidate{sc: invalidScore()}
 	smp := g.ctx.Sample
@@ -317,7 +397,6 @@ func (g *grower) evalRegular(n *node) candidate {
 	if lp <= 0 {
 		return best
 	}
-	nS, nT, nOut := len(n.sIdx), len(n.tIdx), len(n.outIdx)
 
 	for dim := 0; dim < g.band.Dims(); dim++ {
 		if n.region.SmallInDim(dim, g.band) {
@@ -327,56 +406,105 @@ func (g *grower) evalRegular(n *node) candidate {
 		tv := sortedVals(smp.T, n.tIdx, dim)
 		ovS := sortedVals(smp.OutS, n.outIdx, dim)
 		ovT := sortedVals(smp.OutT, n.outIdx, dim)
-		cands := candidatePoints(sv, tv, n.region.Lo[dim], n.region.Hi[dim])
+		cands, cS, cT := candidatePoints(sv, tv, n.region.Lo[dim], n.region.Hi[dim])
 		if len(cands) == 0 {
 			continue
 		}
-		low, high := g.band.Low[dim], g.band.High[dim]
-
-		// Monotone pointers into the sorted value arrays; every threshold is
-		// a non-decreasing function of the candidate x, so one sweep suffices.
-		var pS, pTHigh, pTLow, pOS int // T-split pointers
-		var pT, pSLow, pSHigh, pOT int // S-split pointers
-		for _, x := range cands {
-			// --- T-split: partition S at x, duplicate T within the band.
-			pS = advance(sv, pS, x)
-			pTHigh = advance(tv, pTHigh, x+high)
-			pTLow = advance(tv, pTLow, x-low)
-			pOS = advance(ovS, pOS, x)
-
-			sLeft, sRight := pS, nS-pS
-			tLeft, tRight := pTHigh, nT-pTLow
-			outLeft, outRight := pOS, nOut-pOS
-			dup := float64(tLeft + tRight - nT)
-			lL := g.beta2*(smp.ScaleS(sLeft)+smp.ScaleT(tLeft)) + g.beta3*smp.ScaleOut(outLeft)
-			lR := g.beta2*(smp.ScaleS(sRight)+smp.ScaleT(tRight)) + g.beta3*smp.ScaleOut(outRight)
-			sc := newScore(g.varFactor*(lpSq-lL*lL-lR*lR), smp.ScaleT(int(dup)), g.smoothing)
-			if sc.better(best.sc) {
-				best = candidate{sc: sc, dim: dim, val: x, kind: splitT}
-			}
-
-			if !g.opts.Symmetric {
-				continue
-			}
-			// --- S-split: partition T at x, duplicate S within the band.
-			pT = advance(tv, pT, x)
-			pSLow = advance(sv, pSLow, x+low)
-			pSHigh = advance(sv, pSHigh, x-high)
-			pOT = advance(ovT, pOT, x)
-
-			tL, tR := pT, nT-pT
-			sL, sR := pSLow, nS-pSHigh
-			oL, oR := pOT, nOut-pOT
-			dupS := float64(sL + sR - nS)
-			lL = g.beta2*(smp.ScaleS(sL)+smp.ScaleT(tL)) + g.beta3*smp.ScaleOut(oL)
-			lR = g.beta2*(smp.ScaleS(sR)+smp.ScaleT(tR)) + g.beta3*smp.ScaleOut(oR)
-			sc = newScore(g.varFactor*(lpSq-lL*lL-lR*lR), smp.ScaleS(int(dupS)), g.smoothing)
-			if sc.better(best.sc) {
-				best = candidate{sc: sc, dim: dim, val: x, kind: splitS}
-			}
+		if c := g.sweepDim(dim, sv, tv, ovS, ovT, cands, cS, cT, lpSq); c.sc.better(best.sc) {
+			best = c
 		}
 	}
 	return best
+}
+
+// sweepDim scores every candidate split point of one dimension and returns the
+// dimension's best candidate, visiting candidates in ascending order and
+// scoring the T-split before the S-split at each point. The value slices must
+// be the leaf's sample values in that dimension, sorted ascending; cands, cS,
+// and cT must come from candidatePoints (or candsFromSorted) over sv and tv:
+// the candidate points plus, per candidate, the number of S and T values
+// strictly below it.
+func (e *growEnv) sweepDim(dim int, sv, tv, ovS, ovT, cands []float64, cS, cT []int32, lpSq float64) candidate {
+	nS, nT, nOut := len(sv), len(tv), len(ovS)
+	low, high := e.band.Low[dim], e.band.High[dim]
+	b2s, b2t, b3o := e.b2s, e.b2t, e.b3o
+	varFactor, smoothing := e.varFactor, e.smoothing
+	symmetric := e.opts.Symmetric
+
+	// The running best is tracked as (ratio, varRed); a challenger wins when
+	// varRed > ratio·(dup'+δ) — the multiply form of the ratio comparison —
+	// so the division is paid only by the rare improving candidate, not by
+	// every scored split. Multiply-form ties are broken by larger variance
+	// reduction, mirroring score.better.
+	bestRatio, bestVarRed, bestDup := math.Inf(-1), math.Inf(-1), 0.0
+	bestX, bestKind := 0.0, splitT
+	found := false
+	consider := func(varRed, dup, x float64, kind splitKind) {
+		if dup < 0 {
+			dup = 0
+		}
+		den := dup + smoothing
+		lhs := bestRatio * den
+		if varRed < lhs || (varRed == lhs && varRed <= bestVarRed) {
+			return
+		}
+		bestRatio = varRed / den
+		bestVarRed = varRed
+		bestDup = dup
+		bestX, bestKind = x, kind
+		found = true
+	}
+
+	// Monotone pointers into the sorted value arrays; every threshold is
+	// a non-decreasing function of the candidate x, so one sweep suffices.
+	// The unshifted counts (S and T values below x itself) ride along with
+	// the candidates, so only the band-shifted thresholds advance here.
+	// The two loads are linked: lL + lR equals the leaf's duplication-free
+	// total plus the duplicated tuples' contribution, so lR is one
+	// fused multiply-add away from lL instead of a second full dot product.
+	base := b2s*float64(nS) + b2t*float64(nT) + b3o*float64(nOut)
+
+	var pTHigh, pTLow, pOS int // T-split pointers
+	var pSLow, pSHigh, pOT int // S-split pointers
+	for ci, x := range cands {
+		// --- T-split: partition S at x, duplicate T within the band.
+		pS := int(cS[ci])
+		pTHigh = advance(tv, pTHigh, x+high)
+		pTLow = advance(tv, pTLow, x-low)
+		pOS = advance(ovS, pOS, x)
+
+		dupT := float64(pTHigh - pTLow) // tLeft + tRight − nT, exactly
+		lL := b2s*float64(pS) + b2t*float64(pTHigh) + b3o*float64(pOS)
+		lR := base - lL + b2t*dupT
+		if varRed := varFactor * (lpSq - lL*lL - lR*lR); varRed > 0 {
+			consider(varRed, dupT*e.invT, x, splitT)
+		}
+
+		if !symmetric {
+			continue
+		}
+		// --- S-split: partition T at x, duplicate S within the band.
+		pT := int(cT[ci])
+		pSLow = advance(sv, pSLow, x+low)
+		pSHigh = advance(sv, pSHigh, x-high)
+		pOT = advance(ovT, pOT, x)
+
+		dupS := float64(pSLow - pSHigh) // sL + sR − nS, exactly
+		lL = b2s*float64(pSLow) + b2t*float64(pT) + b3o*float64(pOT)
+		lR = base - lL + b2s*dupS
+		if varRed := varFactor * (lpSq - lL*lL - lR*lR); varRed > 0 {
+			consider(varRed, dupS*e.invS, x, splitS)
+		}
+	}
+	if !found {
+		return candidate{sc: invalidScore()}
+	}
+	return candidate{
+		sc:   score{valid: true, dup: bestDup, varRed: bestVarRed, ratio: bestRatio},
+		dim:  dim,
+		val:  bestX,
+		kind: bestKind,
+	}
 }
 
 // sortedVals extracts dimension dim of the referenced sample tuples, sorted
@@ -400,13 +528,14 @@ func advance(vals []float64, p int, threshold float64) int {
 }
 
 // candidatePoints returns the mid-points between consecutive distinct values
-// of the combined sample, restricted to the open interval (lo, hi).
-func candidatePoints(sv, tv []float64, lo, hi float64) []float64 {
+// of the combined sample, restricted to the open interval (lo, hi), together
+// with the per-candidate counts of S and T values strictly below each point
+// (the sweep's unshifted pointers, precomputed).
+func candidatePoints(sv, tv []float64, lo, hi float64) (cands []float64, cS, cT []int32) {
 	merged := make([]float64, 0, len(sv)+len(tv))
 	merged = append(merged, sv...)
 	merged = append(merged, tv...)
 	sort.Float64s(merged)
-	out := make([]float64, 0, len(merged))
 	for i := 1; i < len(merged); i++ {
 		a, b := merged[i-1], merged[i]
 		if a == b {
@@ -414,38 +543,72 @@ func candidatePoints(sv, tv []float64, lo, hi float64) []float64 {
 		}
 		mid := a + (b-a)/2
 		if mid > lo && mid < hi && mid > a {
-			out = append(out, mid)
+			cands = append(cands, mid)
 		}
 	}
-	return out
+	cS = make([]int32, len(cands))
+	cT = make([]int32, len(cands))
+	var pS, pT int
+	for i, x := range cands {
+		pS = advance(sv, pS, x)
+		pT = advance(tv, pT, x)
+		cS[i] = int32(pS)
+		cT[i] = int32(pT)
+	}
+	return cands, cS, cT
 }
 
 // ---------------------------------------------------------------------------
 // Per-iteration statistics and termination
 
-// snapshot estimates the quality of the current partitioning: total input
-// including duplicates, and max worker load / input / output under LPT
-// placement of all (sub-)partitions.
-func (g *grower) snapshot(iteration int) IterationStats {
+// statsScratch holds the reusable buffers of snapshotStats. A nil scratch
+// allocates fresh buffers per call (the serial oracle's behavior); the fast
+// grower passes a pooled scratch so the per-iteration statistics are
+// allocation-free in steady state. Either way the computed values are
+// identical.
+type statsScratch struct {
+	inputs, outputs, loads          []float64
+	workerLoad, workerIn, workerOut []float64
+	lpt                             partition.LPTScratch
+}
+
+// snapshotStats estimates the quality of the current partitioning: total input
+// including duplicates (maintained incrementally in e.totalInput), and max
+// worker load / input / output under LPT placement of all (sub-)partitions.
+// The leaves slice is iterated in its given order; both growers pass their
+// leaf heap's backing slice, which evolves identically under identical
+// operation sequences.
+func (e *growEnv) snapshotStats(leaves []*node, iteration int, sc *statsScratch) IterationStats {
 	var inputs, outputs, loads []float64
-	totalInput := 0.0
+	if sc != nil {
+		inputs, outputs, loads = sc.inputs[:0], sc.outputs[:0], sc.loads[:0]
+	}
 	parts := 0
-	for _, leaf := range g.leaves {
-		inputs, outputs, loads = leaf.subPartitionLoads(g.beta2, g.beta3, inputs, outputs, loads)
-		totalInput += leaf.assignedInput()
+	for _, leaf := range leaves {
+		inputs, outputs, loads = leaf.subPartitionLoads(e.beta2, e.beta3, inputs, outputs, loads)
 		parts += leaf.numPartitions()
 	}
-	sched := partition.LPT(loads, g.w)
-	workerLoad := make([]float64, g.w)
-	workerIn := make([]float64, g.w)
-	workerOut := make([]float64, g.w)
+	var sched partition.Schedule
+	var workerLoad, workerIn, workerOut []float64
+	if sc != nil {
+		sc.inputs, sc.outputs, sc.loads = inputs, outputs, loads
+		sched = partition.LPTInto(loads, e.w, &sc.lpt)
+		workerLoad = resetFloats(&sc.workerLoad, e.w)
+		workerIn = resetFloats(&sc.workerIn, e.w)
+		workerOut = resetFloats(&sc.workerOut, e.w)
+	} else {
+		sched = partition.LPT(loads, e.w)
+		workerLoad = make([]float64, e.w)
+		workerIn = make([]float64, e.w)
+		workerOut = make([]float64, e.w)
+	}
 	for p, wk := range sched {
 		workerLoad[wk] += loads[p]
 		workerIn[wk] += inputs[p]
 		workerOut[wk] += outputs[p]
 	}
 	maxW := 0
-	for wk := 1; wk < g.w; wk++ {
+	for wk := 1; wk < e.w; wk++ {
 		if workerLoad[wk] > workerLoad[maxW] {
 			maxW = wk
 		}
@@ -454,66 +617,81 @@ func (g *grower) snapshot(iteration int) IterationStats {
 	st := IterationStats{
 		Iteration:     iteration,
 		Partitions:    parts,
-		EstTotalInput: totalInput,
+		EstTotalInput: e.totalInput,
 		EstMaxLoad:    workerLoad[maxW],
 		EstIm:         workerIn[maxW],
 		EstOm:         workerOut[maxW],
 	}
-	if g.inputLowerBound > 0 {
-		st.DupOverhead = math.Max(0, (totalInput-g.inputLowerBound)/g.inputLowerBound)
+	if e.inputLowerBound > 0 {
+		st.DupOverhead = math.Max(0, (e.totalInput-e.inputLowerBound)/e.inputLowerBound)
 	}
-	if g.loadLowerBound > 0 {
-		st.LoadOverhead = math.Max(0, (st.EstMaxLoad-g.loadLowerBound)/g.loadLowerBound)
+	if e.loadLowerBound > 0 {
+		st.LoadOverhead = math.Max(0, (st.EstMaxLoad-e.loadLowerBound)/e.loadLowerBound)
 	}
-	st.PredictedTime = g.ctx.Model.Predict(totalInput, st.EstIm, st.EstOm)
+	st.PredictedTime = e.ctx.Model.Predict(e.totalInput, st.EstIm, st.EstOm)
 	return st
+}
+
+// resetFloats returns *buf resized to n with all elements zeroed.
+func resetFloats(buf *[]float64, n int) []float64 {
+	b := *buf
+	if cap(b) < n {
+		b = make([]float64, n)
+	} else {
+		b = b[:n]
+		for i := range b {
+			b[i] = 0
+		}
+	}
+	*buf = b
+	return b
 }
 
 // shouldStop evaluates the configured termination condition against the
 // recorded history.
-func (g *grower) shouldStop() bool {
-	last := g.history[len(g.history)-1]
-	switch g.opts.Termination {
+func (e *growEnv) shouldStop() bool {
+	last := e.history[len(e.history)-1]
+	switch e.opts.Termination {
 	case TerminateTheoretical:
 		// Input duplication grows monotonically; once it exceeds the best
 		// load overhead seen, no later partitioning can improve the
 		// max{dup, load} objective.
 		minLoad := math.Inf(1)
-		for _, h := range g.history {
+		for _, h := range e.history {
 			if h.LoadOverhead < minLoad {
 				minLoad = h.LoadOverhead
 			}
 		}
 		return last.DupOverhead > minLoad
 	default:
-		window := g.opts.ImprovementWindow
-		n := len(g.history)
+		window := e.opts.ImprovementWindow
+		n := len(e.history)
 		if n <= window {
 			return false
 		}
 		bestOld := math.Inf(1)
-		for _, h := range g.history[:n-window] {
+		for _, h := range e.history[:n-window] {
 			if h.PredictedTime < bestOld {
 				bestOld = h.PredictedTime
 			}
 		}
 		bestNow := bestOld
-		for _, h := range g.history[n-window:] {
+		for _, h := range e.history[n-window:] {
 			if h.PredictedTime < bestNow {
 				bestNow = h.PredictedTime
 			}
 		}
-		return bestNow > bestOld*(1-g.opts.MinImprovement)
+		return bestNow > bestOld*(1-e.opts.MinImprovement)
 	}
 }
 
 // bestIteration returns the index into the action log whose prefix produced
 // the best objective value.
-func (g *grower) bestIteration() int {
+func (e *growEnv) bestIteration() int {
 	best := 0
 	bestObj := math.Inf(1)
-	for _, h := range g.history {
-		obj := h.objective(g.opts.Termination)
+	for _, h := range e.history {
+		obj := h.objective(e.opts.Termination)
 		if obj < bestObj {
 			bestObj = obj
 			best = h.Iteration
@@ -527,13 +705,14 @@ func (g *grower) bestIteration() int {
 
 // replay rebuilds the split tree produced by the first k actions without
 // recomputing any scores; node IDs are assigned in creation order, so they
-// coincide with the IDs recorded in the action log.
-func (g *grower) replay(k int) (*node, error) {
-	root := &node{id: 0, region: g.rootRegion(), isLeaf: true, rows: 1, cols: 1, heapIdx: -1}
-	root.small = root.region.IsSmall(g.band)
+// coincide with the IDs recorded in the action log. The returned tree is
+// freshly allocated (never from a grower arena), since the Plan retains it.
+func (e *growEnv) replay(k int) (*node, error) {
+	root := &node{id: 0, region: e.rootRegion(), isLeaf: true, rows: 1, cols: 1, heapIdx: -1}
+	root.small = root.region.IsSmall(e.band)
 	nodes := []*node{root}
 	for i := 0; i < k; i++ {
-		a := g.actions[i]
+		a := e.actions[i]
 		if a.nodeID >= len(nodes) {
 			return nil, fmt.Errorf("core: replay action %d references unknown node %d", i, a.nodeID)
 		}
@@ -552,8 +731,8 @@ func (g *grower) replay(k int) (*node, error) {
 		leftRegion, rightRegion := n.region.SplitAt(a.dim, a.val)
 		left := &node{id: len(nodes), region: leftRegion, isLeaf: true, rows: 1, cols: 1, heapIdx: -1}
 		right := &node{id: len(nodes) + 1, region: rightRegion, isLeaf: true, rows: 1, cols: 1, heapIdx: -1}
-		left.small = left.region.IsSmall(g.band)
-		right.small = right.region.IsSmall(g.band)
+		left.small = left.region.IsSmall(e.band)
+		right.small = right.region.IsSmall(e.band)
 		nodes = append(nodes, left, right)
 		n.isLeaf = false
 		n.dim, n.val, n.kind = a.dim, a.val, a.kind

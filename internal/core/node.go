@@ -61,9 +61,19 @@ type node struct {
 	sIdx       []int32
 	tIdx       []int32
 	outIdx     []int32
-	estS       float64 // estimated real S-tuples assigned to this partition (incl. duplicates)
-	estT       float64
-	estOut     float64 // estimated real output produced in this partition
+	// nS/nT/nOut are the leaf's sample membership counts. The serial grower
+	// derives them from the index slices above; the fast grower stores only
+	// the counts plus the per-dimension sorted views in slab.
+	nS, nT, nOut int
+	// slab is the fast grower's sort-inherited leaf state, carved from the
+	// planner arena: dims consecutive segments of the leaf's S sample indices
+	// (each segment sorted by that dimension's value), then dims segments of
+	// T indices, then dims segments of output-pair indices sorted by the OutS
+	// value, then dims segments sorted by the OutT value. See fastgrower.go.
+	slab   []int32
+	estS   float64 // estimated real S-tuples assigned to this partition (incl. duplicates)
+	estT   float64
+	estOut float64 // estimated real output produced in this partition
 
 	best    candidate
 	heapIdx int // index in the leaf priority queue, -1 when not enqueued
@@ -71,6 +81,31 @@ type node struct {
 	// partBase is the first partition index owned by this leaf in the final
 	// plan; a regular leaf owns one partition, a small leaf owns rows*cols.
 	partBase int
+}
+
+// sView returns the leaf's S sample indices sorted by dimension d.
+func (n *node) sView(d int) []int32 {
+	return n.slab[d*n.nS : (d+1)*n.nS]
+}
+
+// tView returns the leaf's T sample indices sorted by dimension d.
+func (n *node) tView(dims, d int) []int32 {
+	base := dims*n.nS + d*n.nT
+	return n.slab[base : base+n.nT]
+}
+
+// outSView returns the leaf's output-pair indices sorted by the OutS value of
+// dimension d.
+func (n *node) outSView(dims, d int) []int32 {
+	base := dims*(n.nS+n.nT) + d*n.nOut
+	return n.slab[base : base+n.nOut]
+}
+
+// outTView returns the leaf's output-pair indices sorted by the OutT value of
+// dimension d.
+func (n *node) outTView(dims, d int) []int32 {
+	base := dims*(n.nS+n.nT+n.nOut) + d*n.nOut
+	return n.slab[base : base+n.nOut]
 }
 
 // load returns the estimated load β2·I_p + β3·O_p of the leaf's partition

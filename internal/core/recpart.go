@@ -37,6 +37,19 @@ func (r *RecPart) Name() string {
 	return "RecPart-S"
 }
 
+// PlanFingerprint returns a canonical description of every option that
+// influences the plans this partitioner produces. The execution-only knobs —
+// Serial and Parallelism — are excluded: plans are bit-identical regardless
+// of them, so caches keyed on the fingerprint (the engine's plan cache and
+// partition-retention registry) share plans and retained partitions across
+// grower implementations and parallelism levels.
+func (r *RecPart) PlanFingerprint() string {
+	o := r.Opts
+	o.Serial = false
+	o.Parallelism = 0
+	return fmt.Sprintf("%T%+v", r, o)
+}
+
 // Plan implements partition.Partitioner: it grows the split tree on the
 // samples, selects the best partitioning seen, and returns a Plan that routes
 // real tuples to partitions.
@@ -54,16 +67,28 @@ func (r *RecPart) PlanDetailed(ctx *partition.Context) (*Plan, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid context: %w", err)
 	}
-	g := newGrower(ctx, r.Opts)
-	g.initialize()
-	chosen := g.grow()
-	root, err := g.replay(chosen)
+	env, chosen := growTree(ctx, r.Opts)
+	root, err := env.replay(chosen)
 	if err != nil {
 		return nil, fmt.Errorf("core: rebuilding winning partitioning: %w", err)
 	}
-	plan := finalizePlan(root, ctx.Band, g.opts.Seed)
-	plan.History = g.history
+	plan := finalizePlan(root, ctx.Band, env.opts.Seed)
+	plan.History = env.history
 	plan.Chosen = chosen
-	plan.Symmetric = g.opts.Symmetric
+	plan.Symmetric = env.opts.Symmetric
 	return plan, nil
+}
+
+// growTree runs the configured grower implementation — the fast planner by
+// default, the serial reference oracle behind Options.Serial — and returns
+// the populated growth environment (action log, history) plus the winning
+// iteration. Both implementations produce bit-identical results.
+func growTree(ctx *partition.Context, opts Options) (growEnv, int) {
+	if opts.Serial {
+		g := newGrower(ctx, opts)
+		g.initialize()
+		chosen := g.grow()
+		return g.growEnv, chosen
+	}
+	return runFastGrower(newGrowEnv(ctx, opts), opts.Parallelism)
 }

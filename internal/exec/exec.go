@@ -216,6 +216,39 @@ func ExecutePlan(plan partition.Plan, s, t *data.Relation, band data.Band, opts 
 	return res, nil
 }
 
+// PrepareShuffled builds, for every non-nil partition, the local join's
+// reusable T-side structure for (p.S, p.T, band) with the given algorithm
+// (nil selects the default), running at most parallelism builds concurrently
+// (< 1 selects GOMAXPROCS). Entries are nil where the algorithm has no
+// prepared form. It is the in-process analogue of the cluster workers'
+// Seal-time prebuild: paid once at retention time, off every warm query's
+// critical path.
+func PrepareShuffled(parts []*PartitionInput, band data.Band, alg localjoin.Algorithm, parallelism int) []localjoin.PreparedT {
+	if alg == nil {
+		alg = localjoin.Default()
+	}
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	prepared := make([]localjoin.PreparedT, len(parts))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for pid, p := range parts {
+		if p == nil {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pid int, p *PartitionInput) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			prepared[pid] = localjoin.Prepare(alg, p.S, p.T, band)
+		}(pid, p)
+	}
+	wg.Wait()
+	return prepared
+}
+
 // ExecuteShuffled runs the reduce phase (local joins, worker placement, and
 // accounting) over already-shuffled partition inputs. It is the stage an
 // engine reuses when the shuffled partitions for a plan are retained between
@@ -223,6 +256,17 @@ func ExecutePlan(plan partition.Plan, s, t *data.Relation, band data.Band, opts 
 // joins. totalInput is the routed tuple count I the shuffle reported; inputS
 // and inputT are the original relation cardinalities.
 func ExecuteShuffled(plan partition.Plan, parts []*PartitionInput, totalInput int64, inputS, inputT int, band data.Band, opts Options) (*Result, error) {
+	return ExecuteShuffledPrepared(plan, parts, nil, totalInput, inputS, inputT, band, opts)
+}
+
+// ExecuteShuffledPrepared is ExecuteShuffled over partitions whose reusable
+// join structures were prebuilt with PrepareShuffled (for the same algorithm
+// and band): partitions with a non-nil entry probe the prepared structure
+// instead of rebuilding sort orders and grid buckets per query. prepared may
+// be nil or sparse; those partitions run the plain per-query join. Results
+// are identical either way (PreparedT.Probe emits exactly the pairs of the
+// corresponding Join, in the same order).
+func ExecuteShuffledPrepared(plan partition.Plan, parts []*PartitionInput, prepared []localjoin.PreparedT, totalInput int64, inputS, inputT int, band data.Band, opts Options) (*Result, error) {
 	if opts.Workers < 1 {
 		return nil, fmt.Errorf("exec: need at least one worker, got %d", opts.Workers)
 	}
@@ -266,7 +310,12 @@ func ExecuteShuffled(plan partition.Plan, parts []*PartitionInput, totalInput in
 					pairs = append(pairs, Pair{S: p.SIDs[si], T: p.TIDs[ti]})
 				}
 			}
-			count := alg.Join(p.S, p.T, band, emit)
+			var count int64
+			if pid < len(prepared) && prepared[pid] != nil {
+				count = prepared[pid].Probe(p.S, emit)
+			} else {
+				count = alg.Join(p.S, p.T, band, emit)
+			}
 			results[pid] = partResult{output: count, duration: time.Since(start), pairs: pairs}
 		}(pid, p)
 	}

@@ -1,8 +1,7 @@
 package partition
 
 import (
-	"container/heap"
-	"sort"
+	"slices"
 )
 
 // Schedule maps each partition index to the worker that will process it.
@@ -26,29 +25,108 @@ func (s Schedule) Workers() int {
 // makespan and models the dynamic load balancing that cluster schedulers
 // (YARN in the paper's setup) perform at runtime.
 func LPT(loads []float64, workers int) Schedule {
+	return LPTInto(loads, workers, nil)
+}
+
+// LPTScratch holds the reusable working buffers of LPTInto. The zero value is
+// ready to use; buffers grow to the largest problem seen and are reused across
+// calls, so a caller scheduling every iteration (e.g. RecPart's per-iteration
+// statistics) allocates nothing in steady state.
+type LPTScratch struct {
+	order      []int
+	heapLoad   []float64
+	heapWorker []int
+	sched      Schedule
+}
+
+// LPTInto is LPT scheduling into reusable buffers. The returned schedule
+// aliases the scratch and is only valid until the next call with the same
+// scratch; a nil scratch allocates fresh buffers (exactly LPT). Given equal
+// inputs, LPT and LPTInto produce identical schedules regardless of scratch
+// reuse. The worker min-heap is stored as two parallel slices and resifted in
+// place, avoiding the interface boxing of container/heap on what is the
+// optimizer's per-iteration hot path.
+func LPTInto(loads []float64, workers int, s *LPTScratch) Schedule {
 	if workers < 1 {
 		workers = 1
 	}
-	order := make([]int, len(loads))
+	if s == nil {
+		s = &LPTScratch{}
+	}
+	order := resizeInts(&s.order, len(loads))
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return loads[order[a]] > loads[order[b]] })
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case loads[a] > loads[b]:
+			return -1
+		case loads[a] < loads[b]:
+			return 1
+		}
+		return 0
+	})
 
-	h := &workerHeap{}
+	// All workers start at load zero, which is already a valid min-heap in
+	// worker order.
+	hl := resizeFloats(&s.heapLoad, workers)
+	hw := resizeInts(&s.heapWorker, workers)
 	for w := 0; w < workers; w++ {
-		*h = append(*h, workerLoad{worker: w})
+		hl[w] = 0
+		hw[w] = w
 	}
-	heap.Init(h)
 
-	sched := make(Schedule, len(loads))
+	sched := s.sched[:0]
+	if cap(sched) < len(loads) {
+		sched = make(Schedule, 0, len(loads))
+	}
+	sched = sched[:len(loads)]
+	s.sched = sched
 	for _, p := range order {
-		least := heap.Pop(h).(workerLoad)
-		sched[p] = least.worker
-		least.load += loads[p]
-		heap.Push(h, least)
+		sched[p] = hw[0]
+		hl[0] += loads[p]
+		siftDownLoad(hl, hw, 0)
 	}
 	return sched
+}
+
+// siftDownLoad restores the min-heap property of the parallel (load, worker)
+// slices after the root's load increased.
+func siftDownLoad(load []float64, worker []int, i int) {
+	n := len(load)
+	for {
+		m := i
+		if l := 2*i + 1; l < n && load[l] < load[m] {
+			m = l
+		}
+		if r := 2*i + 2; r < n && load[r] < load[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		load[i], load[m] = load[m], load[i]
+		worker[i], worker[m] = worker[m], worker[i]
+		i = m
+	}
+}
+
+// resizeInts returns *buf with length n (contents unspecified).
+func resizeInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// resizeFloats returns *buf with length n (contents unspecified).
+func resizeFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // RoundRobin assigns partition i to worker i mod workers.
@@ -129,23 +207,4 @@ func hash64(x uint64) uint64 {
 // column choices).
 func HashID(id int64, salt uint64) uint64 {
 	return hash64(uint64(id)*0x9e3779b97f4a7c15 ^ hash64(salt))
-}
-
-type workerLoad struct {
-	worker int
-	load   float64
-}
-
-type workerHeap []workerLoad
-
-func (h workerHeap) Len() int            { return len(h) }
-func (h workerHeap) Less(i, j int) bool  { return h[i].load < h[j].load }
-func (h workerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *workerHeap) Push(x interface{}) { *h = append(*h, x.(workerLoad)) }
-func (h *workerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }

@@ -51,6 +51,9 @@ func (o Options) resolve() (resolved, error) {
 	if o.ClusterJoinParallelism < 0 {
 		return r, fmt.Errorf("bandjoin: ClusterJoinParallelism must be >= 0, got %d", o.ClusterJoinParallelism)
 	}
+	if o.PlannerParallelism < 0 {
+		return r, fmt.Errorf("bandjoin: PlannerParallelism must be >= 0, got %d", o.PlannerParallelism)
+	}
 
 	r.Workers = o.Workers
 	if r.Workers == 0 {
@@ -58,7 +61,7 @@ func (o Options) resolve() (resolved, error) {
 	}
 	r.Partitioner = o.Partitioner
 	if r.Partitioner == nil {
-		r.Partitioner = RecPart()
+		r.Partitioner = defaultPartitioner(o.PlannerParallelism)
 	}
 	if o.LocalAlgorithm != "" {
 		alg, ok := localjoin.ByName(o.LocalAlgorithm)

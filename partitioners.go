@@ -21,6 +21,15 @@ type RecPartOptions struct {
 	MaxIterations int
 	// Seed drives the deterministic small-partition row/column assignment.
 	Seed int64
+	// SerialPlanner selects the serial reference grower — the correctness
+	// oracle and benchmark baseline — instead of the fast planner (sort
+	// inheritance, reusable arenas, parallel best-split). Both produce
+	// bit-identical plans.
+	SerialPlanner bool
+	// PlannerParallelism bounds the fast planner's worker pool for best-split
+	// evaluation; 0 selects GOMAXPROCS, 1 evaluates inline. Plans are
+	// bit-identical regardless of the value.
+	PlannerParallelism int
 }
 
 // RecPart returns the paper's partitioner with symmetric partitioning and the
@@ -39,6 +48,16 @@ func RecPartWith(opts RecPartOptions) Partitioner {
 	}
 	o.MaxIterations = opts.MaxIterations
 	o.Seed = opts.Seed
+	o.Serial = opts.SerialPlanner
+	o.Parallelism = opts.PlannerParallelism
+	return core.New(o)
+}
+
+// defaultPartitioner returns the partitioner an unset Options.Partitioner
+// resolves to: symmetric RecPart with the given planner parallelism.
+func defaultPartitioner(plannerParallelism int) Partitioner {
+	o := core.DefaultOptions()
+	o.Parallelism = plannerParallelism
 	return core.New(o)
 }
 
