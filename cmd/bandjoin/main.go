@@ -51,6 +51,11 @@ func main() {
 		clusterJoinPar = flag.Int("cluster-join-parallelism", 0, "partition joins each worker runs concurrently (default: worker GOMAXPROCS)")
 		clusterSerial  = flag.Bool("cluster-serial", false, "use the serial reference data plane instead of the pipelined streaming shuffle")
 
+		clusterMinWorkers  = flag.Int("cluster-min-workers", 0, "start the coordinator as long as this many workers are reachable; the rest join via the heartbeat (default: all must be reachable)")
+		clusterCallTimeout = flag.Duration("cluster-call-timeout", 0, "per-attempt deadline of control-plane RPCs (default 15s, negative disables)")
+		clusterJoinTimeout = flag.Duration("cluster-join-timeout", 0, "per-attempt deadline of Join RPCs (default 2m, negative disables)")
+		clusterRetries     = flag.Int("cluster-retries", 0, "transport-error retries per idempotent RPC before failover (default 3, negative disables)")
+
 		plannerPar    = flag.Int("planner-parallelism", 0, "worker pool bound of RecPart's parallel best-split evaluation (0 = GOMAXPROCS)")
 		serialPlanner = flag.Bool("serial-planner", false, "use RecPart's serial reference grower (the oracle) instead of the fast planner")
 
@@ -104,7 +109,13 @@ func main() {
 
 	var cl *bandjoin.Cluster
 	if *clusterAddr != "" {
-		cl, err = bandjoin.ConnectCluster(strings.Split(*clusterAddr, ","))
+		cl, err = bandjoin.ConnectClusterConfig(strings.Split(*clusterAddr, ","), bandjoin.ClusterConfig{
+			MinWorkers:  *clusterMinWorkers,
+			CallTimeout: *clusterCallTimeout,
+			JoinTimeout: *clusterJoinTimeout,
+			MaxRetries:  *clusterRetries,
+			Seed:        *seed,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -139,6 +150,9 @@ func main() {
 	}
 	fmt.Printf("join makespan      %v\n", res.Makespan.Round(time.Millisecond))
 	fmt.Printf("wall time          %v\n", elapsed.Round(time.Millisecond))
+	if res.Degraded || res.Retries > 0 {
+		fmt.Printf("fault tolerance    degraded=%v lost_workers=%d retries=%d\n", res.Degraded, res.LostWorkers, res.Retries)
+	}
 	if *verbose {
 		fmt.Println("per-worker input / output:")
 		for w := range res.WorkerInput {

@@ -7,6 +7,7 @@
 //	recpartd -listen :7070 -name worker-1
 //	recpartd -listen :7070 -max-parallelism 4
 //	recpartd -listen :7070 -max-retained 16
+//	recpartd -listen :7070 -drain-timeout 60s
 //
 // Besides transient per-query job state, the worker keeps a retained-plan
 // registry serving engine queries (bandjoin.Engine): shuffled partitions stay
@@ -15,22 +16,32 @@
 // -max-retained bounds that registry; the least-recently-sealed plan is
 // evicted when the cap is exceeded (coordinators reshuffle it transparently
 // if it is queried again).
+//
+// On SIGINT or SIGTERM the worker shuts down gracefully: it stops accepting
+// connections, rejects new Load/Join/Seal work (coordinators see the refusals
+// as clean errors and fail over), drains the RPCs already in flight for up to
+// -drain-timeout, logs the retained-plan count it is taking down, and exits 0.
 package main
 
 import (
 	"flag"
 	"log"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"bandjoin/internal/cluster"
 )
 
 func main() {
 	var (
-		listen      = flag.String("listen", ":7070", "TCP address to listen on")
-		name        = flag.String("name", "", "worker name reported to the coordinator (default: hostname)")
-		maxPar      = flag.Int("max-parallelism", 0, "cap on concurrent partition joins per job, regardless of what coordinators request (default: GOMAXPROCS)")
-		maxRetained = flag.Int("max-retained", 0, "cap on resident retained plans (engine warm-partition cache); exceeding it evicts the least-recently-sealed plan, and coordinators transparently reshuffle evicted plans (default: unlimited)")
+		listen       = flag.String("listen", ":7070", "TCP address to listen on")
+		name         = flag.String("name", "", "worker name reported to the coordinator (default: hostname)")
+		maxPar       = flag.Int("max-parallelism", 0, "cap on concurrent partition joins per job, regardless of what coordinators request (default: GOMAXPROCS)")
+		maxRetained  = flag.Int("max-retained", 0, "cap on resident retained plans (engine warm-partition cache); exceeding it evicts the least-recently-sealed plan, and coordinators transparently reshuffle evicted plans (default: unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGINT/SIGTERM shutdown waits for in-flight Load/Join RPCs to finish before exiting anyway (0 waits indefinitely)")
 	)
 	flag.Parse()
 
@@ -46,7 +57,33 @@ func main() {
 	w := cluster.NewWorker(workerName)
 	w.SetMaxParallelism(*maxPar)
 	w.SetMaxRetained(*maxRetained)
-	if err := cluster.ListenAndServe(w, *listen); err != nil {
-		log.Fatalf("recpartd: %v", err)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("recpartd: listening on %s: %v", *listen, err)
+	}
+	log.Printf("band-join worker %s listening on %s", workerName, ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- cluster.Serve(w, ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("recpartd: %v", err)
+		}
+	case sig := <-sigs:
+		log.Printf("recpartd: received %v, draining (timeout %v)", sig, *drainTimeout)
+		// Stop accepting first; connections already established keep being
+		// served until their in-flight calls drain (new data-plane calls on
+		// them are rejected by the draining gate).
+		ln.Close()
+		if w.Drain(*drainTimeout) {
+			log.Printf("recpartd: drained cleanly, shutting down with %d retained plans resident", w.Retained())
+		} else {
+			log.Printf("recpartd: drain timeout elapsed with work in flight, shutting down with %d retained plans resident", w.Retained())
+		}
 	}
 }

@@ -270,10 +270,12 @@ func (e *Engine) Close() {
 }
 
 // Join runs the band-join of the registered datasets sName and tName. The
-// ctx is checked between pipeline stages (sampling, optimization, execution);
-// cancellation is best-effort, not mid-stage. Repeated queries are served
-// from the caches: same pair and sampling → no input scan; same full query
-// shape → no optimization; retention on → no shuffle.
+// ctx bounds the whole query: it is checked between pipeline stages and
+// inside execution — between shuffle passes, between partition joins, and (on
+// the cluster plane) on every RPC — so cancellation aborts a running query
+// promptly with ctx.Err(). Repeated queries are served from the caches: same
+// pair and sampling → no input scan; same full query shape → no optimization;
+// retention on → no shuffle.
 func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts Options) (*Result, error) {
 	r, err := opts.resolve()
 	if err != nil {
@@ -364,7 +366,7 @@ func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts 
 		res.OptimizationTime = planTime
 		return res, nil
 	}
-	res, err := e.plane.execute(pe.prep, ds.rel, dt.rel, band, r, pe.planID)
+	res, err := e.plane.execute(ctx, pe.prep, ds.rel, dt.rel, band, r, pe.planID)
 	if err != nil {
 		return nil, err
 	}
@@ -422,9 +424,9 @@ type enginePlane interface {
 	// workers reports the plane's fixed worker count, or 0 if the resolved
 	// option decides.
 	workers() int
-	// execute runs (shuffle +) local joins for a prepared plan. A non-empty
-	// planID enables partition retention under that fingerprint.
-	execute(prep *exec.Prepared, s, t *Relation, band Band, r resolved, planID string) (*Result, error)
+	// execute runs (shuffle +) local joins for a prepared plan, honoring ctx.
+	// A non-empty planID enables partition retention under that fingerprint.
+	execute(ctx context.Context, prep *exec.Prepared, s, t *Relation, band Band, r resolved, planID string) (*Result, error)
 	// evict drops one retained partition set.
 	evict(planID string)
 	// close releases plane-held resources.
@@ -457,10 +459,10 @@ type retainedParts struct {
 
 func (p *inProcessPlane) workers() int { return 0 }
 
-func (p *inProcessPlane) execute(prep *exec.Prepared, s, t *Relation, band Band, r resolved, planID string) (*Result, error) {
+func (p *inProcessPlane) execute(ctx context.Context, prep *exec.Prepared, s, t *Relation, band Band, r resolved, planID string) (*Result, error) {
 	execOpts := r.execOptions()
 	if planID == "" {
-		return exec.ExecutePlan(prep.Plan, s, t, band, execOpts)
+		return exec.ExecutePlan(ctx, prep.Plan, s, t, band, execOpts)
 	}
 
 	p.mu.Lock()
@@ -487,7 +489,14 @@ func (p *inProcessPlane) execute(prep *exec.Prepared, s, t *Relation, band Band,
 		rec.mu.Lock()
 		if !rec.done {
 			start := time.Now()
-			rec.parts, rec.totalInput = exec.Shuffle(prep.Plan, s, t, 0)
+			parts, totalInput, err := exec.Shuffle(ctx, prep.Plan, s, t, 0)
+			if err != nil {
+				// A cancelled shuffle leaves the record unfilled; the next
+				// query redoes it.
+				rec.mu.Unlock()
+				return nil, err
+			}
+			rec.parts, rec.totalInput = parts, totalInput
 			// Presort and prebuild once at retention time (the in-process
 			// analogue of the workers' seal-time presort + prepare): warm
 			// joins find sorted rows and ready-made join structures.
@@ -516,7 +525,7 @@ func (p *inProcessPlane) execute(prep *exec.Prepared, s, t *Relation, band Band,
 	parts, totalInput, prepared := rec.parts, rec.totalInput, rec.prepared
 	rec.mu.RUnlock()
 
-	res, err := exec.ExecuteShuffledPrepared(prep.Plan, parts, prepared, totalInput, s.Len(), t.Len(), band, execOpts)
+	res, err := exec.ExecuteShuffledPrepared(ctx, prep.Plan, parts, prepared, totalInput, s.Len(), t.Len(), band, execOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -544,7 +553,7 @@ type clusterPlane struct {
 
 func (p *clusterPlane) workers() int { return p.coord.Workers() }
 
-func (p *clusterPlane) execute(prep *exec.Prepared, s, t *Relation, band Band, r resolved, planID string) (*Result, error) {
+func (p *clusterPlane) execute(ctx context.Context, prep *exec.Prepared, s, t *Relation, band Band, r resolved, planID string) (*Result, error) {
 	copts := cluster.Options{
 		Algorithm:       r.AlgorithmName,
 		Model:           r.Model,
@@ -557,7 +566,7 @@ func (p *clusterPlane) execute(prep *exec.Prepared, s, t *Relation, band Band, r
 		Seed:            r.Seed,
 		PlanID:          planID,
 	}
-	return p.coord.RunPlan(prep.Plan, prep.Ctx, s, t, band, copts)
+	return p.coord.RunPlan(ctx, prep.Plan, prep.Ctx, s, t, band, copts)
 }
 
 func (p *clusterPlane) evict(planID string) { p.coord.EvictPlan(planID) }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -88,6 +89,11 @@ type ClusterMeasurement struct {
 	// ShuffleTuplesPerSec is routed tuples (total input I) per second of
 	// shuffle time.
 	ShuffleTuplesPerSec float64 `json:"shuffle_tuples_per_sec"`
+	// Degraded, LostWorkers, and Retries surface the coordinator's fault
+	// accounting; all zero on a healthy benchmark run.
+	Degraded    bool `json:"degraded,omitempty"`
+	LostWorkers int  `json:"lost_workers,omitempty"`
+	Retries     int  `json:"retries,omitempty"`
 }
 
 // ClusterReport is the machine-readable benchmark artifact
@@ -235,7 +241,7 @@ func measureCluster(coord *cluster.Coordinator, plan partition.Plan, ctx *partit
 		// from a previous round otherwise bleeds into the next measurement.
 		runtime.GC()
 		start := time.Now()
-		res, err := coord.RunPlan(plan, ctx, s, t, band, opts)
+		res, err := coord.RunPlan(context.Background(), plan, ctx, s, t, band, opts)
 		wall := time.Since(start)
 		if err != nil {
 			return ClusterMeasurement{}, nil, fmt.Errorf("bench: %s RunPlan: %w", plane, err)
@@ -251,6 +257,9 @@ func measureCluster(coord *cluster.Coordinator, plan partition.Plan, ctx *partit
 		JoinSeconds:    best.JoinWallTime.Seconds(),
 		ShuffleBytes:   best.ShuffleBytes,
 		ShuffleRPCs:    best.ShuffleRPCs,
+		Degraded:       best.Degraded,
+		LostWorkers:    best.LostWorkers,
+		Retries:        best.Retries,
 	}
 	if m.ShuffleSeconds > 0 {
 		m.ShuffleTuplesPerSec = float64(best.TotalInput) / m.ShuffleSeconds

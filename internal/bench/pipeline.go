@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -181,7 +182,7 @@ func RunPipeline(cfg PipelineConfig) (*PipelineReport, error) {
 func measurePipeline(plan partition.Plan, s, t *data.Relation, band data.Band, opts exec.Options, rounds int, path string) (PipelineMeasurement, *exec.Result, error) {
 	var best *exec.Result
 	for r := 0; r < rounds; r++ {
-		res, err := exec.ExecutePlan(plan, s, t, band, opts)
+		res, err := exec.ExecutePlan(context.Background(), plan, s, t, band, opts)
 		if err != nil {
 			return PipelineMeasurement{}, nil, fmt.Errorf("bench: %s ExecutePlan: %w", path, err)
 		}

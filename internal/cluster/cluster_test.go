@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -50,7 +51,7 @@ func TestDistributedJoinMatchesBruteForce(t *testing.T) {
 	}
 
 	for _, pt := range []partition.Partitioner{core.NewDefault(), onebucket.New()} {
-		res, err := coord.Run(pt, s, tt, band, Options{CollectPairs: true, ChunkSize: 64})
+		res, err := coord.Run(context.Background(), pt, s, tt, band, Options{CollectPairs: true, ChunkSize: 64})
 		if err != nil {
 			t.Fatalf("Run(%s): %v", pt.Name(), err)
 		}
@@ -97,7 +98,7 @@ func TestDistributedAgreesWithSimulator(t *testing.T) {
 	if err != nil {
 		t.Fatalf("simulator run: %v", err)
 	}
-	dist, err := coord.Run(core.NewRecPartS(), s, tt, band, Options{Seed: 5})
+	dist, err := coord.Run(context.Background(), core.NewRecPartS(), s, tt, band, Options{Seed: 5})
 	if err != nil {
 		t.Fatalf("distributed run: %v", err)
 	}
@@ -149,7 +150,7 @@ func TestClusterMatchesInProcessExact(t *testing.T) {
 		}
 		for _, mode := range modes {
 			t.Run(pt.Name()+"/"+mode.name, func(t *testing.T) {
-				dist, err := coord.Run(pt, s, tt, band, mode.opts)
+				dist, err := coord.Run(context.Background(), pt, s, tt, band, mode.opts)
 				if err != nil {
 					t.Fatalf("distributed run: %v", err)
 				}
@@ -262,7 +263,7 @@ func TestFailedRunLeavesNoJobState(t *testing.T) {
 				// 1-Bucket duplicates T to every partition, so with LPT
 				// placement over two partitions both workers are guaranteed
 				// to receive data before the injected fault fires.
-				_, err = coord.Run(onebucket.New(), s, tt, band, Options{ChunkSize: 64, Serial: serial})
+				_, err = coord.Run(context.Background(), onebucket.New(), s, tt, band, Options{ChunkSize: 64, Serial: serial})
 				if err == nil {
 					t.Fatal("run with a failing worker unexpectedly succeeded")
 				}

@@ -1,8 +1,9 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"net"
 	"net/rpc"
 	"runtime"
 	"sort"
@@ -33,10 +34,23 @@ import (
 // pre-rewrite serial plane (tuple-at-a-time routing, one blocking Load per
 // chunk, sequential per-worker joins) is retained behind Options.Serial as
 // the correctness oracle and benchmark baseline.
+//
+// The coordinator is fault tolerant (see DESIGN.md, "Failure model"): every
+// RPC carries a deadline and honors the query's context, idempotent calls are
+// retried with capped deterministic backoff, and a worker that dies
+// mid-query has its partitions re-placed over the survivors and reshipped
+// from the coordinator's held PartitionInputs — the query completes degraded
+// (Result.Degraded/LostWorkers/Retries) instead of failing. Application
+// errors returned by a worker's method are never retried or failed over:
+// they indicate a semantic problem that reshipping cannot fix, and the query
+// fails cleanly.
 type Coordinator struct {
-	clients []*rpc.Client
-	conns   []*countingConn
-	names   []string
+	workers []*workerClient
+	opts    DialOptions
+
+	hbStop    chan struct{}
+	hbWG      sync.WaitGroup
+	closeOnce sync.Once
 
 	// mu guards retainedPlans, the coordinator-side record of which plan
 	// fingerprints have been fully shipped and sealed on the workers.
@@ -52,74 +66,55 @@ type retainedPlanRec struct {
 	mu         sync.RWMutex
 	shipped    bool
 	totalInput int64
+	// slots are the worker slots holding the sealed shipment. Warm joins
+	// target exactly this set — not the current live set — so a worker that
+	// went down since shipping is detected (and the plan reshipped) rather
+	// than its partitions being silently skipped.
+	slots []int
 }
 
-// countingConn wraps a worker connection and counts wire bytes in both
-// directions, so the result's shuffle-byte accounting reports real post-gob
-// sizes instead of estimates.
-type countingConn struct {
-	net.Conn
-	read    atomic.Int64
-	written atomic.Int64
-}
-
-func (c *countingConn) Read(p []byte) (int, error) {
-	n, err := c.Conn.Read(p)
-	c.read.Add(int64(n))
-	return n, err
-}
-
-func (c *countingConn) Write(p []byte) (int, error) {
-	n, err := c.Conn.Write(p)
-	c.written.Add(int64(n))
-	return n, err
-}
-
-// Dial connects to the given worker addresses.
-func Dial(addrs []string) (*Coordinator, error) {
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("cluster: no worker addresses")
-	}
-	c := &Coordinator{}
-	for _, addr := range addrs {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("cluster: dialing worker %s: %w", addr, err)
-		}
-		cc := &countingConn{Conn: conn}
-		client := rpc.NewClient(cc)
-		var pong PingReply
-		if err := client.Call(ServiceName+".Ping", &PingArgs{}, &pong); err != nil {
-			client.Close()
-			c.Close()
-			return nil, fmt.Errorf("cluster: pinging worker %s: %w", addr, err)
-		}
-		c.clients = append(c.clients, client)
-		c.conns = append(c.conns, cc)
-		c.names = append(c.names, pong.Worker)
-	}
-	return c, nil
-}
-
-// Close closes all worker connections.
+// Close stops the heartbeat and closes all worker connections.
 func (c *Coordinator) Close() {
-	for _, cl := range c.clients {
-		if cl != nil {
-			cl.Close()
+	c.closeOnce.Do(func() {
+		if c.hbStop != nil {
+			close(c.hbStop)
 		}
+	})
+	c.hbWG.Wait()
+	for _, wc := range c.workers {
+		wc.close()
 	}
 }
 
-// Workers returns the number of connected workers.
-func (c *Coordinator) Workers() int { return len(c.clients) }
+// Workers returns the number of configured worker slots (live or not).
+func (c *Coordinator) Workers() int { return len(c.workers) }
+
+// LiveWorkers returns the number of workers not currently marked down.
+func (c *Coordinator) LiveWorkers() int {
+	n := 0
+	for _, wc := range c.workers {
+		if wc.State() != StateDown {
+			n++
+		}
+	}
+	return n
+}
+
+// WorkerStates returns every worker slot's current health state.
+func (c *Coordinator) WorkerStates() []WorkerState {
+	states := make([]WorkerState, len(c.workers))
+	for i, wc := range c.workers {
+		states[i] = wc.State()
+	}
+	return states
+}
 
 // wireBytes returns the total bytes moved over all worker connections in both
-// directions so far.
+// directions so far (counters survive redials).
 func (c *Coordinator) wireBytes() int64 {
 	var total int64
-	for _, cc := range c.conns {
-		total += cc.read.Load() + cc.written.Load()
+	for _, wc := range c.workers {
+		total += wc.read.Load() + wc.written.Load()
 	}
 	return total
 }
@@ -150,7 +145,8 @@ type Options struct {
 	// routing into per-(partition, side) buffers, one blocking Load call per
 	// chunk, and strictly sequential partition joins on every worker. It is
 	// the correctness oracle and the baseline the cluster benchmark measures
-	// the streaming plane against.
+	// the streaming plane against. The serial plane has deadlines but no
+	// failover: a worker failure is a clean error, never a wrong answer.
 	Serial bool
 	// PlanID, when non-empty, is the plan's fingerprint and enables partition
 	// retention: the first run ships the shuffled partitions to the workers'
@@ -191,28 +187,138 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Sentinel errors of the failover machinery.
+var (
+	// errWorkerLost reports that a worker died (failed its liveness probe)
+	// while it held query state that could not be recovered in place. The
+	// retained path reacts by invalidating the shipment and reshipping over
+	// the survivors.
+	errWorkerLost = errors.New("cluster: worker lost mid-query")
+	// errNoLiveWorkers reports that no worker is left to fail over to.
+	errNoLiveWorkers = errors.New("cluster: no live workers")
+)
+
+// runState is the per-query fault accounting: which workers were declared
+// dead, which are excluded as failover targets, how many retries and
+// recovery reshipments happened, and which job IDs need cleanup.
+type runState struct {
+	liveAtStart int
+	wasLive     map[int]bool
+
+	retries    atomic.Int64
+	extraRPCs  atomic.Int64
+	extraBytes atomic.Int64
+
+	mu       sync.Mutex
+	lost     map[int]bool
+	excluded map[int]bool
+	jobs     []string
+}
+
+func (c *Coordinator) newRunState() *runState {
+	rs := &runState{
+		wasLive:  make(map[int]bool),
+		lost:     make(map[int]bool),
+		excluded: make(map[int]bool),
+	}
+	for slot, wc := range c.workers {
+		if wc.State() != StateDown {
+			rs.wasLive[slot] = true
+			rs.liveAtStart++
+		}
+	}
+	return rs
+}
+
+func (rs *runState) retry() { rs.retries.Add(1) }
+
+// noteLost records a worker declared dead during this query and excludes it
+// as a failover target.
+func (rs *runState) noteLost(slot int) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.lost[slot] = true
+	rs.excluded[slot] = true
+}
+
+// exclude removes a worker from this query's failover targets (dead, or alive
+// but persistently failing) without declaring it dead.
+func (rs *runState) exclude(slot int) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.excluded[slot] = true
+}
+
+func (rs *runState) isExcluded(slot int) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.excluded[slot]
+}
+
+func (rs *runState) lostCount() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return len(rs.lost)
+}
+
+func (rs *runState) addJob(id string) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.jobs = append(rs.jobs, id)
+}
+
+func (rs *runState) jobList() []string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([]string(nil), rs.jobs...)
+}
+
+// liveSlots returns the worker slots a query may currently use: not down and
+// not excluded by this query's run state (rs may be nil).
+func (c *Coordinator) liveSlots(rs *runState) []int {
+	var slots []int
+	for slot, wc := range c.workers {
+		if wc.State() == StateDown {
+			continue
+		}
+		if rs != nil && rs.isExcluded(slot) {
+			continue
+		}
+		slots = append(slots, slot)
+	}
+	return slots
+}
+
 // Run executes the band-join of s and t with the given partitioner across the
-// connected workers.
-func (c *Coordinator) Run(pt partition.Partitioner, s, t *data.Relation, band data.Band, opts Options) (*exec.Result, error) {
-	if len(c.clients) == 0 {
+// connected workers. The context bounds the whole query: cancellation aborts
+// in-flight shuffle windows and join pools and returns ctx.Err().
+func (c *Coordinator) Run(ctx context.Context, pt partition.Partitioner, s, t *data.Relation, band data.Band, opts Options) (*exec.Result, error) {
+	if len(c.workers) == 0 {
 		return nil, fmt.Errorf("cluster: coordinator has no workers")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	opts = opts.withDefaults()
 
+	live := len(c.liveSlots(nil))
+	if live == 0 {
+		return nil, errNoLiveWorkers
+	}
 	smp, err := sample.Draw(s, t, band, opts.Sampling)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: sampling: %w", err)
 	}
-	ctx := &partition.Context{Band: band, Workers: len(c.clients), Sample: smp, Model: opts.Model, Seed: opts.Seed}
+	pctx := &partition.Context{Band: band, Workers: live, Sample: smp, Model: opts.Model, Seed: opts.Seed}
 
 	optStart := time.Now()
-	plan, err := pt.Plan(ctx)
+	plan, err := pt.Plan(pctx)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %s optimization failed: %w", pt.Name(), err)
 	}
 	optTime := time.Since(optStart)
 
-	res, err := c.RunPlan(plan, ctx, s, t, band, opts)
+	res, err := c.RunPlan(ctx, plan, pctx, s, t, band, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -221,28 +327,68 @@ func (c *Coordinator) Run(pt partition.Partitioner, s, t *data.Relation, band da
 	return res, nil
 }
 
-// placement returns the partition→worker mapping used by the shuffle. Plans
-// that place their own partitions (Grid-ε) are honored; otherwise partition
-// loads are estimated from the samples and placed with greedy LPT — the
-// stand-in for the load-aware scheduling a cluster scheduler performs.
-func (c *Coordinator) placement(plan partition.Plan, ctx *partition.Context) func(pid int) int {
-	workers := len(c.clients)
+// placementOver returns the partition→index mapping for placing partitions on
+// n workers. Plans that place their own partitions (Grid-ε) are honored;
+// otherwise partition loads are estimated from the samples and placed with
+// greedy LPT — the stand-in for the load-aware scheduling a cluster scheduler
+// performs. The returned index is in [0, n); callers map it through their
+// slot list.
+func placementOver(plan partition.Plan, pctx *partition.Context, n int) func(pid int) int {
 	var lptSched partition.Schedule
 	if _, ok := plan.(partition.WorkerPlacer); !ok {
-		lptSched = partition.LPT(exec.EstimatePartitionLoads(plan, ctx), workers)
+		lptSched = partition.LPT(exec.EstimatePartitionLoads(plan, pctx), n)
 	}
 	return func(pid int) int {
 		if placer, ok := plan.(partition.WorkerPlacer); ok {
-			w := placer.PlaceWorker(pid, workers)
-			if w >= 0 && w < workers {
+			w := placer.PlaceWorker(pid, n)
+			if w >= 0 && w < n {
 				return w
 			}
 		}
 		if pid < len(lptSched) {
 			return lptSched[pid]
 		}
-		return int(partition.HashID(int64(pid), 0xc0ffee) % uint64(workers))
+		return int(partition.HashID(int64(pid), 0xc0ffee) % uint64(n))
 	}
+}
+
+// redistributor returns the function that assigns a pid set to a target slot
+// list: the placement is recomputed over exactly len(targets) workers, so
+// failing over to survivors re-balances the lost partitions the same way the
+// original placement balanced all of them.
+func redistributor(plan partition.Plan, pctx *partition.Context) func(pids, targets []int) map[int][]int {
+	return func(pids, targets []int) map[int][]int {
+		place := placementOver(plan, pctx, len(targets))
+		out := make(map[int][]int)
+		for _, pid := range pids {
+			slot := targets[place(pid)]
+			out[slot] = append(out[slot], pid)
+		}
+		for _, l := range out {
+			sort.Ints(l)
+		}
+		return out
+	}
+}
+
+// nonEmptyPids lists the non-nil partition ids in ascending order.
+func nonEmptyPids(parts []*exec.PartitionInput) []int {
+	pids := make([]int, 0, len(parts))
+	for pid, p := range parts {
+		if p != nil {
+			pids = append(pids, pid)
+		}
+	}
+	return pids
+}
+
+func sortedKeys(m map[int][]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // shuffleStats is the shuffle-phase accounting of one run. A warm retained
@@ -255,88 +401,491 @@ type shuffleStats struct {
 	duration   time.Duration
 }
 
+// slotJoin is one worker's (partial) join contribution: recovery rounds can
+// produce several entries per slot, each covering a disjoint pid set.
+type slotJoin struct {
+	slot  int
+	stats []PartitionStats
+}
+
 // RunPlan shuffles the inputs to the workers per an already-computed plan,
 // runs the local joins, and aggregates the result. It is the execution half
 // of Run, exported so benchmarks can compare data planes on one shared plan.
 // With Options.PlanID set, the shuffled partitions are retained on the
 // workers under that fingerprint and reused — with zero shuffle — by every
 // later RunPlan naming the same fingerprint.
-func (c *Coordinator) RunPlan(plan partition.Plan, ctx *partition.Context, s, t *data.Relation, band data.Band, opts Options) (*exec.Result, error) {
-	if len(c.clients) == 0 {
+func (c *Coordinator) RunPlan(ctx context.Context, plan partition.Plan, pctx *partition.Context, s, t *data.Relation, band data.Band, opts Options) (*exec.Result, error) {
+	if len(c.workers) == 0 {
 		return nil, fmt.Errorf("cluster: coordinator has no workers")
 	}
-	opts = opts.withDefaults()
-	if opts.PlanID != "" {
-		return c.runRetained(plan, ctx, s, t, band, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return c.runTransient(plan, ctx, s, t, band, opts)
+	opts = opts.withDefaults()
+	rs := c.newRunState()
+	if rs.liveAtStart == 0 {
+		return nil, errNoLiveWorkers
+	}
+	if opts.PlanID != "" {
+		return c.runRetained(ctx, plan, pctx, s, t, band, opts, rs)
+	}
+	return c.runTransient(ctx, plan, pctx, s, t, band, opts, rs)
 }
 
 // runTransient is the one-shot path: ship, join, aggregate, and always clear
 // the job state afterwards.
-func (c *Coordinator) runTransient(plan partition.Plan, ctx *partition.Context, s, t *data.Relation, band data.Band, opts Options) (*exec.Result, error) {
+func (c *Coordinator) runTransient(ctx context.Context, plan partition.Plan, pctx *partition.Context, s, t *data.Relation, band data.Band, opts Options, rs *runState) (*exec.Result, error) {
 	// Partition data may already sit on workers when any later step fails;
-	// always clear the job (best effort) so an aborted run cannot leak worker
-	// memory in a long-lived recpartd. Reset is scoped to transient job state,
-	// so retained plans of other queries are untouched.
-	defer c.resetJob(opts.JobID)
+	// always clear every job this query used (primary and recovery rounds,
+	// best effort) so an aborted run cannot leak worker memory in a
+	// long-lived recpartd. Reset is scoped to transient job state, so
+	// retained plans of other queries are untouched.
+	rs.addJob(opts.JobID)
+	defer func() { c.resetJobs(rs.jobList()) }()
 
-	place := c.placement(plan, ctx)
+	if opts.Serial {
+		return c.runTransientSerial(ctx, plan, pctx, s, t, band, opts, rs)
+	}
+
+	redistribute := redistributor(plan, pctx)
+	wireStart := c.wireBytes()
+	shuffleStart := time.Now()
+	parts, totalInput, err := exec.Shuffle(ctx, plan, s, t, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return nil, err
+	}
+	targets := c.liveSlots(rs)
+	if len(targets) == 0 {
+		return nil, errNoLiveWorkers
+	}
+	assignment := redistribute(nonEmptyPids(parts), targets)
+	owned, rpcs, err := c.shipPartitions(ctx, assignment, parts, opts, c.clearTransient(opts.JobID), redistribute, rs)
+	if err != nil {
+		return nil, err
+	}
+	st := shuffleStats{
+		totalInput: totalInput,
+		rpcs:       rpcs,
+		duration:   time.Since(shuffleStart),
+		bytes:      c.wireBytes() - wireStart,
+	}
+
+	joined, joinWall, err := c.runJoinsTransient(ctx, opts.JobID, owned, parts, redistribute, band, opts, rs)
+	if err != nil {
+		return nil, err
+	}
+	return c.aggregate(joined, opts, s, t, st, joinWall, rs), nil
+}
+
+// runTransientSerial is the reference data plane with deadlines but no
+// failover: any worker failure is a clean error. Join replies are still
+// validated against the shipped pid set, so a worker restarting between Load
+// and Join surfaces as an error, never as silently missing results.
+func (c *Coordinator) runTransientSerial(ctx context.Context, plan partition.Plan, pctx *partition.Context, s, t *data.Relation, band data.Band, opts Options, rs *runState) (*exec.Result, error) {
+	targets := c.liveSlots(rs)
+	if len(targets) == 0 {
+		return nil, errNoLiveWorkers
+	}
+	place := placementOver(plan, pctx, len(targets))
+	slotOf := func(pid int) int { return targets[place(pid)] }
 
 	wireStart := c.wireBytes()
 	shuffleStart := time.Now()
 	var st shuffleStats
+	var owned map[int][]int
 	var err error
-	if opts.Serial {
-		st.totalInput, st.rpcs, err = c.shuffleSerial(plan, place, s, t, opts)
-	} else {
-		st.totalInput, st.rpcs, err = c.shuffleStreaming(plan, place, s, t, opts)
-	}
+	st.totalInput, st.rpcs, owned, err = c.shuffleSerial(ctx, plan, slotOf, s, t, opts)
 	if err != nil {
 		return nil, err
 	}
 	st.duration = time.Since(shuffleStart)
 	st.bytes = c.wireBytes() - wireStart
 
-	replies, joinWall, err := c.runJoins(opts.JobID, false, band, opts)
+	joined, joinWall, err := c.runJoinsSimple(ctx, opts.JobID, false, targets, owned, band, opts, rs)
 	if err != nil {
 		return nil, err
 	}
-	return c.aggregate(replies, opts, s, t, st, joinWall), nil
+	return c.aggregate(joined, opts, s, t, st, joinWall, rs), nil
+}
+
+// clearTransient returns the recovery hook that clears one job's partial
+// state on a single worker before reshipping to it.
+func (c *Coordinator) clearTransient(jobID string) func(context.Context, *workerClient) error {
+	return func(ctx context.Context, wc *workerClient) error {
+		var rr ResetReply
+		return wc.call(ctx, ServiceName+".Reset", &ResetArgs{JobID: jobID}, &rr, c.opts.callDeadline(), 1, nil)
+	}
+}
+
+// clearRetained returns the recovery hook that clears one plan's partial
+// shipment on a single worker before reshipping to it.
+func (c *Coordinator) clearRetained(planID string) func(context.Context, *workerClient) error {
+	return func(ctx context.Context, wc *workerClient) error {
+		var er EvictReply
+		return wc.call(ctx, ServiceName+".Evict", &EvictArgs{PlanID: planID}, &er, c.opts.callDeadline(), 1, nil)
+	}
+}
+
+// maxShipAttemptsPerWorker bounds how many times a shipment to one worker is
+// cleared and restarted before the worker is abandoned for the query.
+const maxShipAttemptsPerWorker = 2
+
+// shipPartitions ships an assignment (slot → partition ids) with mid-shuffle
+// failover. Each round ships every slot's pids in parallel; a slot whose
+// shipment fails with a transport error is probed:
+//
+//   - alive → its partial job state is cleared and everything it was given
+//     (including pids shipped in earlier rounds — clearing dropped them) is
+//     reshipped to it, up to maxShipAttemptsPerWorker times, after which the
+//     worker is abandoned for this query and its pids redistributed;
+//   - dead → marked down; everything it ever owned is re-placed over the
+//     surviving workers and reshipped from the coordinator-held parts.
+//
+// Application errors are not failed over: Load is not idempotent, and a
+// worker that rejects a chunk will reject it again; the shipment fails
+// cleanly. The returned map is the final ownership (slot → pids resident
+// there) the join phase must target.
+func (c *Coordinator) shipPartitions(ctx context.Context, assignment map[int][]int, parts []*exec.PartitionInput, opts Options, clear func(context.Context, *workerClient) error, redistribute func(pids, targets []int) map[int][]int, rs *runState) (map[int][]int, int64, error) {
+	owned := make(map[int][]int)
+	attempts := make(map[int]int)
+	var rpcs int64
+	for round := 0; len(assignment) > 0; round++ {
+		if round > 2*len(c.workers)+4 {
+			return nil, rpcs, fmt.Errorf("cluster: shuffle failover did not converge after %d rounds", round)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, rpcs, err
+		}
+		slots := sortedKeys(assignment)
+		type outcome struct {
+			sent int64
+			err  error
+		}
+		outs := make([]outcome, len(slots))
+		var wg sync.WaitGroup
+		for i, slot := range slots {
+			wg.Add(1)
+			go func(i, slot int) {
+				defer wg.Done()
+				outs[i].sent, outs[i].err = c.sendPartitions(ctx, c.workers[slot], assignment[slot], parts, opts)
+			}(i, slot)
+		}
+		wg.Wait()
+
+		next := make(map[int][]int)
+		var orphaned []int // pids whose worker was abandoned this round
+		for i, slot := range slots {
+			rpcs += outs[i].sent
+			pids := assignment[slot]
+			err := outs[i].err
+			if err == nil {
+				owned[slot] = append(owned[slot], pids...)
+				continue
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, rpcs, cerr
+			}
+			wc := c.workers[slot]
+			if !isTransportErr(err) {
+				return nil, rpcs, fmt.Errorf("cluster: shipping to worker %d (%s): %w", slot, wc.name(), err)
+			}
+			rs.retry()
+			attempts[slot]++
+			abandon := false
+			if !wc.probe(ctx) {
+				rs.noteLost(slot)
+				abandon = true
+			} else if attempts[slot] > maxShipAttemptsPerWorker {
+				// Alive but the shipment keeps dying on the wire: stop using
+				// this worker for the query.
+				rs.exclude(slot)
+				abandon = true
+			} else if cerr := clear(ctx, wc); cerr != nil {
+				if isTransportErr(cerr) && !wc.probe(ctx) {
+					rs.noteLost(slot)
+				} else {
+					rs.exclude(slot)
+				}
+				abandon = true
+			}
+			all := append(append([]int(nil), owned[slot]...), pids...)
+			delete(owned, slot)
+			if abandon {
+				orphaned = append(orphaned, all...)
+			} else {
+				next[slot] = all
+			}
+		}
+		if len(orphaned) > 0 {
+			sort.Ints(orphaned)
+			targets := c.liveSlots(rs)
+			if len(targets) == 0 {
+				return nil, rpcs, errNoLiveWorkers
+			}
+			for slot, pids := range redistribute(orphaned, targets) {
+				// A redistribution target may already hold (or be retrying)
+				// pids; the orphans are new to it, so they simply extend its
+				// shipment.
+				next[slot] = append(next[slot], pids...)
+				sort.Ints(next[slot])
+			}
+		}
+		assignment = next
+	}
+	for _, pids := range owned {
+		sort.Ints(pids)
+	}
+	return owned, rpcs, nil
+}
+
+// maxRecoveryRounds bounds how many reship-and-rejoin rounds the join phase
+// attempts when workers keep dying.
+const maxRecoveryRounds = 4
+
+// runJoinsTransient triggers the local joins over the shipped ownership with
+// mid-join failover: a worker that dies during its join — or silently comes
+// back empty after a restart — has its pids reshipped to the survivors under
+// a recovery job ID and just those joins rerun. Every reply is validated
+// against the pid set the worker owns, and each pid's stats are merged
+// exactly once, so recovered queries return the same pairs as undisturbed
+// ones.
+func (c *Coordinator) runJoinsTransient(ctx context.Context, baseJob string, owned map[int][]int, parts []*exec.PartitionInput, redistribute func(pids, targets []int) map[int][]int, band data.Band, opts Options, rs *runState) ([]slotJoin, time.Duration, error) {
+	joinParallelism := opts.JoinParallelism
+	joinStart := time.Now()
+	var collected []slotJoin
+	pending := owned
+	curJob := baseJob
+	for round := 0; len(pending) > 0; round++ {
+		if round > maxRecoveryRounds {
+			return nil, 0, fmt.Errorf("cluster: join failover did not converge after %d recovery rounds", round)
+		}
+		slots := sortedKeys(pending)
+		type outcome struct {
+			reply JoinReply
+			err   error
+		}
+		outs := make([]outcome, len(slots))
+		var wg sync.WaitGroup
+		for i, slot := range slots {
+			wg.Add(1)
+			go func(i, slot int) {
+				defer wg.Done()
+				args := &JoinArgs{
+					JobID:        curJob,
+					Band:         band,
+					Algorithm:    opts.Algorithm,
+					CollectPairs: opts.CollectPairs,
+					Parallelism:  joinParallelism,
+				}
+				outs[i].err = c.workers[slot].call(ctx, ServiceName+".Join", args, &outs[i].reply,
+					c.opts.joinDeadline(), c.opts.MaxRetries, rs.retry)
+			}(i, slot)
+		}
+		wg.Wait()
+
+		var lostPids []int
+		for i, slot := range slots {
+			wc := c.workers[slot]
+			if err := outs[i].err; err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, 0, cerr
+				}
+				if !isTransportErr(err) {
+					return nil, 0, fmt.Errorf("cluster: local joins on worker %d (%s) failed: %w", slot, wc.name(), err)
+				}
+				rs.retry()
+				if !wc.probe(ctx) {
+					rs.noteLost(slot)
+				}
+				// Alive or not, the join would not complete within its
+				// retries; move this round's pids elsewhere. Results merged
+				// from the worker's earlier rounds stay valid — they were
+				// computed and returned before the failure.
+				rs.exclude(slot)
+				lostPids = append(lostPids, pending[slot]...)
+				continue
+			}
+			expected := make(map[int]bool, len(pending[slot]))
+			for _, pid := range pending[slot] {
+				expected[pid] = true
+			}
+			returned := make(map[int]bool, len(outs[i].reply.Partitions))
+			kept := make([]PartitionStats, 0, len(outs[i].reply.Partitions))
+			for _, ps := range outs[i].reply.Partitions {
+				returned[ps.Partition] = true
+				if expected[ps.Partition] {
+					kept = append(kept, ps)
+				}
+			}
+			for _, pid := range pending[slot] {
+				if !returned[pid] {
+					// The worker answered but no longer holds the pid — it
+					// restarted between Load and Join. Its memory of the job
+					// is gone; reship those pids (possibly back to it).
+					lostPids = append(lostPids, pid)
+				}
+			}
+			if len(kept) > 0 {
+				collected = append(collected, slotJoin{slot: slot, stats: kept})
+			}
+		}
+		if len(lostPids) == 0 {
+			break
+		}
+		sort.Ints(lostPids)
+		rs.retry()
+		curJob = fmt.Sprintf("%s#r%d", baseJob, round+1)
+		rs.addJob(curJob)
+		targets := c.liveSlots(rs)
+		if len(targets) == 0 {
+			return nil, 0, errNoLiveWorkers
+		}
+		ropts := opts
+		ropts.JobID = curJob
+		ropts.retain = false
+		wireStart := c.wireBytes()
+		newOwned, rpcs, err := c.shipPartitions(ctx, redistribute(lostPids, targets), parts, ropts, c.clearTransient(curJob), redistribute, rs)
+		rs.extraRPCs.Add(rpcs)
+		rs.extraBytes.Add(c.wireBytes() - wireStart)
+		if err != nil {
+			return nil, 0, err
+		}
+		pending = newOwned
+	}
+	return collected, time.Since(joinStart), nil
+}
+
+// runJoinsSimple triggers the local joins of one job (or retained plan) on
+// the given slots in parallel, with retries but no failover. expected, when
+// non-nil, is the pid set each slot must report (slots absent from it are
+// queried but expected to hold nothing); a shortfall means the worker lost
+// state mid-query and is an error. A worker that fails its liveness probe
+// yields errWorkerLost, which the retained path turns into an invalidate-and-
+// reship.
+func (c *Coordinator) runJoinsSimple(ctx context.Context, jobID string, retained bool, slots []int, expected map[int][]int, band data.Band, opts Options, rs *runState) ([]slotJoin, time.Duration, error) {
+	joinParallelism := opts.JoinParallelism
+	if opts.Serial {
+		joinParallelism = 1
+	}
+	joinStart := time.Now()
+	outs := make([]JoinReply, len(slots))
+	errs := make([]error, len(slots))
+	var wg sync.WaitGroup
+	for i, slot := range slots {
+		wg.Add(1)
+		go func(i, slot int) {
+			defer wg.Done()
+			args := &JoinArgs{
+				JobID:        jobID,
+				Band:         band,
+				Algorithm:    opts.Algorithm,
+				CollectPairs: opts.CollectPairs,
+				Parallelism:  joinParallelism,
+				Retained:     retained,
+			}
+			errs[i] = c.workers[slot].call(ctx, ServiceName+".Join", args, &outs[i],
+				c.opts.joinDeadline(), c.opts.MaxRetries, rs.retry)
+		}(i, slot)
+	}
+	wg.Wait()
+	joinWall := time.Since(joinStart)
+
+	joined := make([]slotJoin, 0, len(slots))
+	for i, slot := range slots {
+		wc := c.workers[slot]
+		if err := errs[i]; err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, 0, cerr
+			}
+			if isTransportErr(err) {
+				if !wc.probe(ctx) {
+					rs.noteLost(slot)
+				}
+				return nil, 0, fmt.Errorf("cluster: local joins on worker %d (%s): %w (%v)", slot, wc.name(), errWorkerLost, err)
+			}
+			return nil, 0, fmt.Errorf("cluster: local joins on worker %d (%s) failed: %w", slot, wc.name(), err)
+		}
+		if expected != nil {
+			returned := make(map[int]bool, len(outs[i].Partitions))
+			for _, ps := range outs[i].Partitions {
+				returned[ps.Partition] = true
+			}
+			for _, pid := range expected[slot] {
+				if !returned[pid] {
+					return nil, 0, fmt.Errorf("cluster: worker %d (%s) lost partition %d between Load and Join: %w",
+						slot, wc.name(), pid, errWorkerLost)
+				}
+			}
+		}
+		joined = append(joined, slotJoin{slot: slot, stats: outs[i].Partitions})
+	}
+	return joined, joinWall, nil
 }
 
 // errStalePlanRec signals that a shipment record was superseded (evicted and
 // re-created) while a query held it; the caller re-fetches and retries.
 var errStalePlanRec = fmt.Errorf("cluster: retained-plan record superseded")
 
+// maxRetainedAttempts bounds how often a retained query reships a plan that
+// keeps disappearing (evictions, worker deaths) before giving up.
+const maxRetainedAttempts = 6
+
 // runRetained serves a query whose plan fingerprint is retained on the
 // workers: the first run ships and seals the partitions, later runs join the
-// resident data directly. If a worker lost the plan (retention-cap eviction
-// or restart), the join fails with ErrUnknownRetainedPlan and the coordinator
-// falls back to a cold reshipment. The record is re-fetched every attempt so
-// a concurrent EvictPlan can never leave two goroutines shipping the same
-// fingerprint through different records.
-func (c *Coordinator) runRetained(plan partition.Plan, ctx *partition.Context, s, t *data.Relation, band data.Band, opts Options) (*exec.Result, error) {
+// resident data directly. If a worker lost the plan (retention-cap eviction,
+// restart, or death), the shipment record is invalidated and the coordinator
+// falls back to a cold reshipment over the currently live workers. The record
+// is re-fetched every attempt so a concurrent EvictPlan can never leave two
+// goroutines shipping the same fingerprint through different records.
+func (c *Coordinator) runRetained(ctx context.Context, plan partition.Plan, pctx *partition.Context, s, t *data.Relation, band data.Band, opts Options, rs *runState) (*exec.Result, error) {
 	var lastErr error
-	for attempt := 0; attempt < 4; attempt++ {
+	for attempt := 0; attempt < maxRetainedAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rec := c.retainedRec(opts.PlanID)
-		st, err := c.ensureShipped(rec, plan, ctx, s, t, band, opts)
+		st, slots, err := c.ensureShipped(ctx, rec, plan, pctx, s, t, band, opts, rs)
 		if err == errStalePlanRec {
 			lastErr = err
+			continue
+		}
+		if errors.Is(err, errWorkerLost) {
+			lastErr = err
+			c.EvictPlan(opts.PlanID)
 			continue
 		}
 		if err != nil {
 			return nil, err
 		}
-		replies, joinWall, err := c.runJoins(opts.PlanID, true, band, opts)
-		if err == nil {
-			return c.aggregate(replies, opts, s, t, st, joinWall), nil
+		// A worker holding part of the shipment went down since it was
+		// sealed: its partitions are unreachable, so invalidate and reship
+		// over the survivors rather than silently returning partial results.
+		stale := false
+		for _, slot := range slots {
+			if c.workers[slot].State() == StateDown {
+				if rs.wasLive[slot] {
+					rs.noteLost(slot)
+				}
+				stale = true
+			}
 		}
-		if !strings.Contains(err.Error(), ErrUnknownRetainedPlan) {
+		if stale {
+			lastErr = errWorkerLost
+			c.EvictPlan(opts.PlanID)
+			continue
+		}
+		joined, joinWall, err := c.runJoinsSimple(ctx, opts.PlanID, true, slots, nil, band, opts, rs)
+		if err == nil {
+			return c.aggregate(joined, opts, s, t, st, joinWall, rs), nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		if !errors.Is(err, errWorkerLost) && !strings.Contains(err.Error(), ErrUnknownRetainedPlan) {
 			return nil, err
 		}
-		// A worker no longer holds the plan (retention-cap eviction or
-		// restart): drop the stale record and reship.
+		// A worker no longer holds the plan (retention-cap eviction, restart,
+		// or death): drop the stale record and reship.
 		lastErr = err
 		c.EvictPlan(opts.PlanID)
 	}
@@ -362,20 +911,22 @@ func (c *Coordinator) retainedRec(planID string) *retainedPlanRec {
 // ensureShipped makes the plan's partitions resident and sealed on the
 // workers, shipping them if this is the first query (or the previous shipment
 // failed). Exactly one shuffle runs per fingerprint; concurrent first queries
-// block on the record's write lock and then proceed warm.
-func (c *Coordinator) ensureShipped(rec *retainedPlanRec, plan partition.Plan, ctx *partition.Context, s, t *data.Relation, band data.Band, opts Options) (shuffleStats, error) {
+// block on the record's write lock and then proceed warm. It returns the slot
+// set holding the sealed shipment, which the warm join must target.
+func (c *Coordinator) ensureShipped(ctx context.Context, rec *retainedPlanRec, plan partition.Plan, pctx *partition.Context, s, t *data.Relation, band data.Band, opts Options, rs *runState) (shuffleStats, []int, error) {
 	rec.mu.RLock()
 	if rec.shipped {
 		st := shuffleStats{totalInput: rec.totalInput}
+		slots := append([]int(nil), rec.slots...)
 		rec.mu.RUnlock()
-		return st, nil
+		return st, slots, nil
 	}
 	rec.mu.RUnlock()
 
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
 	if rec.shipped {
-		return shuffleStats{totalInput: rec.totalInput}, nil
+		return shuffleStats{totalInput: rec.totalInput}, append([]int(nil), rec.slots...), nil
 	}
 	// A concurrent EvictPlan may have removed this record from the map while
 	// we waited for the lock; shipping through a superseded record could
@@ -385,7 +936,7 @@ func (c *Coordinator) ensureShipped(rec *retainedPlanRec, plan partition.Plan, c
 	stale := c.retainedPlans[opts.PlanID] != rec
 	c.mu.Unlock()
 	if stale {
-		return shuffleStats{}, errStalePlanRec
+		return shuffleStats{}, nil, errStalePlanRec
 	}
 	// Clear any half-shipped remnants of a previously failed shipment before
 	// loading: the registry accumulates across Load calls.
@@ -393,41 +944,93 @@ func (c *Coordinator) ensureShipped(rec *retainedPlanRec, plan partition.Plan, c
 
 	opts.JobID = opts.PlanID
 	opts.retain = true
-	place := c.placement(plan, ctx)
 
+	redistribute := redistributor(plan, pctx)
 	wireStart := c.wireBytes()
 	start := time.Now()
 	var st shuffleStats
-	var err error
+	var owned map[int][]int
+	targets := c.liveSlots(rs)
+	if len(targets) == 0 {
+		return shuffleStats{}, nil, errNoLiveWorkers
+	}
 	if opts.Serial {
-		st.totalInput, st.rpcs, err = c.shuffleSerial(plan, place, s, t, opts)
+		place := placementOver(plan, pctx, len(targets))
+		slotOf := func(pid int) int { return targets[place(pid)] }
+		var err error
+		st.totalInput, st.rpcs, owned, err = c.shuffleSerial(ctx, plan, slotOf, s, t, opts)
+		if err != nil {
+			c.evictWorkers(opts.PlanID)
+			return shuffleStats{}, nil, err
+		}
 	} else {
-		st.totalInput, st.rpcs, err = c.shuffleStreaming(plan, place, s, t, opts)
+		parts, totalInput, err := exec.Shuffle(ctx, plan, s, t, runtime.GOMAXPROCS(0))
+		if err != nil {
+			return shuffleStats{}, nil, err
+		}
+		st.totalInput = totalInput
+		assignment := redistribute(nonEmptyPids(parts), targets)
+		owned, st.rpcs, err = c.shipPartitions(ctx, assignment, parts, opts, c.clearRetained(opts.PlanID), redistribute, rs)
+		if err != nil {
+			c.evictWorkers(opts.PlanID)
+			return shuffleStats{}, nil, err
+		}
 	}
-	if err != nil {
-		c.evictWorkers(opts.PlanID)
-		return shuffleStats{}, err
+
+	// Seal on every slot that may serve this plan — both the owners and the
+	// empty live workers, so "sealed with zero partitions" stays
+	// distinguishable from "evicted" at join time.
+	sealSet := make(map[int]bool)
+	for slot := range owned {
+		sealSet[slot] = true
 	}
-	for w, cl := range c.clients {
+	for _, slot := range c.liveSlots(rs) {
+		sealSet[slot] = true
+	}
+	sealed := make([]int, 0, len(sealSet))
+	for slot := range sealSet {
+		sealed = append(sealed, slot)
+	}
+	sort.Ints(sealed)
+	final := sealed[:0]
+	for _, slot := range sealed {
+		wc := c.workers[slot]
 		var sr SealReply
 		sealArgs := &SealArgs{PlanID: opts.PlanID, Band: band, Algorithm: opts.Algorithm}
-		if err := cl.Call(ServiceName+".Seal", sealArgs, &sr); err != nil {
-			c.evictWorkers(opts.PlanID)
-			return shuffleStats{}, fmt.Errorf("cluster: sealing plan on worker %d (%s): %w", w, c.names[w], err)
+		err := wc.call(ctx, ServiceName+".Seal", sealArgs, &sr, c.opts.callDeadline(), c.opts.MaxRetries, rs.retry)
+		if err == nil {
+			final = append(final, slot)
+			continue
 		}
+		if isTransportErr(err) && len(owned[slot]) == 0 && !wc.probe(ctx) {
+			// An empty worker died before sealing: it holds nothing of this
+			// plan, so the shipment is complete without it.
+			rs.noteLost(slot)
+			continue
+		}
+		c.evictWorkers(opts.PlanID)
+		if isTransportErr(err) {
+			if !wc.probe(ctx) {
+				rs.noteLost(slot)
+			}
+			return shuffleStats{}, nil, fmt.Errorf("cluster: sealing plan on worker %d (%s): %w (%v)", slot, wc.name(), errWorkerLost, err)
+		}
+		return shuffleStats{}, nil, fmt.Errorf("cluster: sealing plan on worker %d (%s): %w", slot, wc.name(), err)
 	}
 	st.duration = time.Since(start)
 	st.bytes = c.wireBytes() - wireStart
 	rec.shipped = true
 	rec.totalInput = st.totalInput
-	return st, nil
+	rec.slots = append([]int(nil), final...)
+	return st, append([]int(nil), final...), nil
 }
 
 // EvictPlan discards one retained plan from every worker and removes the
 // coordinator's shipment record (so the record map cannot grow without bound
 // in a long-lived coordinator); the next query naming the fingerprint ships
 // cold through a fresh record. It is the invalidation hook engines call when
-// a dataset is replaced.
+// a dataset is replaced, and the failover path's invalidation when a worker
+// holding part of a shipment dies.
 func (c *Coordinator) EvictPlan(planID string) {
 	c.mu.Lock()
 	rec := c.retainedPlans[planID]
@@ -440,6 +1043,7 @@ func (c *Coordinator) EvictPlan(planID string) {
 	// its plan is evicted from the workers.
 	rec.mu.Lock()
 	rec.shipped = false
+	rec.slots = nil
 	c.mu.Lock()
 	if c.retainedPlans[planID] == rec {
 		delete(c.retainedPlans, planID)
@@ -450,55 +1054,21 @@ func (c *Coordinator) EvictPlan(planID string) {
 }
 
 // evictWorkers drops the plan from every worker's registry, best effort.
+// Cleanup runs on a background context: it must proceed even when the query's
+// context is already cancelled.
 func (c *Coordinator) evictWorkers(planID string) {
-	for _, cl := range c.clients {
+	for _, wc := range c.workers {
 		var er EvictReply
-		_ = cl.Call(ServiceName+".Evict", &EvictArgs{PlanID: planID}, &er)
+		_ = wc.call(context.Background(), ServiceName+".Evict", &EvictArgs{PlanID: planID}, &er, c.opts.callDeadline(), 1, nil)
 	}
-}
-
-// runJoins triggers the local joins of one job (or retained plan) on all
-// workers in parallel and collects the replies.
-func (c *Coordinator) runJoins(jobID string, retained bool, band data.Band, opts Options) ([]JoinReply, time.Duration, error) {
-	workers := len(c.clients)
-	joinParallelism := opts.JoinParallelism
-	if opts.Serial {
-		joinParallelism = 1
-	}
-	joinStart := time.Now()
-	replies := make([]JoinReply, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := range c.clients {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			args := &JoinArgs{
-				JobID:        jobID,
-				Band:         band,
-				Algorithm:    opts.Algorithm,
-				CollectPairs: opts.CollectPairs,
-				Parallelism:  joinParallelism,
-				Retained:     retained,
-			}
-			errs[w] = c.clients[w].Call(ServiceName+".Join", args, &replies[w])
-		}(w)
-	}
-	wg.Wait()
-	joinWall := time.Since(joinStart)
-	for w, err := range errs {
-		if err != nil {
-			return nil, 0, fmt.Errorf("cluster: local joins on worker %d failed: %w", w, err)
-		}
-	}
-	return replies, joinWall, nil
 }
 
 // aggregate folds the workers' join replies into the Result. Workers reply
-// with partitions sorted by id, so iterating workers in order makes the
-// aggregation deterministic across runs.
-func (c *Coordinator) aggregate(replies []JoinReply, opts Options, s, t *data.Relation, st shuffleStats, joinWall time.Duration) *exec.Result {
-	workers := len(c.clients)
+// with partitions sorted by id, and slots are visited in collection order
+// (deterministic), so the aggregation is deterministic across runs; pairs are
+// sorted at the end either way.
+func (c *Coordinator) aggregate(joined []slotJoin, opts Options, s, t *data.Relation, st shuffleStats, joinWall time.Duration, rs *runState) *exec.Result {
+	workers := len(c.workers)
 	res := &exec.Result{
 		Workers:      workers,
 		ShuffleTime:  st.duration,
@@ -506,19 +1076,22 @@ func (c *Coordinator) aggregate(replies []JoinReply, opts Options, s, t *data.Re
 		InputS:       s.Len(),
 		InputT:       t.Len(),
 		TotalInput:   st.totalInput,
-		ShuffleBytes: st.bytes,
-		ShuffleRPCs:  st.rpcs,
+		ShuffleBytes: st.bytes + rs.extraBytes.Load(),
+		ShuffleRPCs:  st.rpcs + rs.extraRPCs.Load(),
+		Retries:      int(rs.retries.Load()),
+		LostWorkers:  rs.lostCount(),
 		WorkerInput:  make([]int64, workers),
 		WorkerOutput: make([]int64, workers),
 	}
+	res.Degraded = res.LostWorkers > 0 || rs.liveAtStart < workers
 	workerBusy := make([]time.Duration, workers)
-	for w, reply := range replies {
-		for _, ps := range reply.Partitions {
+	for _, sj := range joined {
+		for _, ps := range sj.stats {
 			res.Partitions++
-			res.WorkerInput[w] += int64(ps.InputS + ps.InputT)
-			res.WorkerOutput[w] += ps.Output
+			res.WorkerInput[sj.slot] += int64(ps.InputS + ps.InputT)
+			res.WorkerOutput[sj.slot] += ps.Output
 			res.Output += ps.Output
-			workerBusy[w] += time.Duration(ps.JoinNanos)
+			workerBusy[sj.slot] += time.Duration(ps.JoinNanos)
 			if opts.CollectPairs {
 				for i := range ps.PairS {
 					res.Pairs = append(res.Pairs, exec.Pair{S: ps.PairS[i], T: ps.PairT[i]})
@@ -561,70 +1134,53 @@ func (c *Coordinator) aggregate(replies []JoinReply, opts Options, s, t *data.Re
 	return res
 }
 
-// shuffleStreaming is the pipelined data plane: the inputs are routed with the
-// shared parallel two-pass shuffle, then every worker's partitions are
-// streamed by a dedicated sender goroutine with a bounded window of
-// asynchronous Load RPCs in flight.
-func (c *Coordinator) shuffleStreaming(plan partition.Plan, place func(int) int, s, t *data.Relation, opts Options) (int64, int64, error) {
-	workers := len(c.clients)
-	parts, totalInput := exec.Shuffle(plan, s, t, runtime.GOMAXPROCS(0))
-
-	// Per-worker partition lists come out in ascending partition order, so
-	// every run ships an identical chunk stream.
-	perWorker := make([][]int, workers)
-	for pid, p := range parts {
-		if p == nil {
-			continue
-		}
-		w := place(pid)
-		perWorker[w] = append(perWorker[w], pid)
-	}
-
-	errs := make([]error, workers)
-	rpcs := make([]int64, workers)
-	var wg sync.WaitGroup
-	for w := range c.clients {
-		if len(perWorker[w]) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rpcs[w], errs[w] = c.sendPartitions(w, perWorker[w], parts, opts)
-		}(w)
-	}
-	wg.Wait()
-	var sent int64
-	for _, n := range rpcs {
-		sent += n
-	}
-	for w, err := range errs {
-		if err != nil {
-			return 0, 0, fmt.Errorf("cluster: shipping to worker %d (%s): %w", w, c.names[w], err)
-		}
-	}
-	return totalInput, sent, nil
-}
-
 // sendPartitions streams one worker's partitions in fixed-size chunks, keeping
 // at most opts.Window Load RPCs in flight. Chunks travel in the packed wire
 // representation (raw key and ID bytes straight out of the shuffle arenas),
 // so the per-chunk costs are a memcpy-grade pack on each end plus the wire.
-func (c *Coordinator) sendPartitions(w int, pids []int, parts []*exec.PartitionInput, opts Options) (int64, error) {
-	client := c.clients[w]
-	done := make(chan *rpc.Call, opts.Window)
+// Each wait for a window slot is bounded by the call deadline and the query
+// context; either firing drops the connection, aborting the whole in-flight
+// window at once.
+func (c *Coordinator) sendPartitions(ctx context.Context, wc *workerClient, pids []int, parts []*exec.PartitionInput, opts Options) (int64, error) {
+	cl, err := wc.conn()
+	if err != nil {
+		wc.markSuspect()
+		return 0, err
+	}
+	deadline := c.opts.callDeadline()
+	done := make(chan *rpc.Call, opts.Window+1)
 	inFlight := 0
 	var sent int64
 	var firstErr error
-	collect := func(call *rpc.Call) {
-		inFlight--
-		if call.Error != nil && firstErr == nil {
-			firstErr = call.Error
+	collect := func() {
+		var timerC <-chan time.Time
+		if deadline > 0 {
+			timer := time.NewTimer(deadline)
+			defer timer.Stop()
+			timerC = timer.C
+		}
+		select {
+		case <-ctx.Done():
+			firstErr = ctx.Err()
+			wc.dropConn(cl)
+		case <-timerC:
+			firstErr = fmt.Errorf("%w: Load to worker %d (%s) after %v", errCallTimeout, wc.idx, wc.name(), deadline)
+			wc.dropConn(cl)
+			wc.markSuspect()
+		case call := <-done:
+			inFlight--
+			if call.Error != nil && firstErr == nil {
+				firstErr = call.Error
+				if isTransportErr(call.Error) {
+					wc.dropConn(cl)
+					wc.markSuspect()
+				}
+			}
 		}
 	}
 	send := func(pid int, side string, dims int, keys, ids []byte, total int) {
 		for inFlight >= opts.Window {
-			collect(<-done)
+			collect()
 			if firstErr != nil {
 				return
 			}
@@ -636,7 +1192,7 @@ func (c *Coordinator) sendPartitions(w int, pids []int, parts []*exec.PartitionI
 			Packed:    &PackedChunk{Dims: dims, Keys: keys, IDs: ids, SideTotal: total},
 			Retain:    opts.retain,
 		}
-		client.Go(ServiceName+".Load", args, &LoadReply{}, done)
+		cl.Go(ServiceName+".Load", args, &LoadReply{}, done)
 		inFlight++
 		sent++
 	}
@@ -651,12 +1207,13 @@ func (c *Coordinator) sendPartitions(w int, pids []int, parts []*exec.PartitionI
 			send(pid, "T", p.T.Dims(), p.T.PackKeysLE(lo, hi), data.PackInt64sLE(p.TIDs[lo:hi]), p.T.Len())
 		}
 	}
-	for inFlight > 0 {
-		collect(<-done)
+	for inFlight > 0 && firstErr == nil {
+		collect()
 	}
 	if firstErr != nil {
 		return sent, firstErr
 	}
+	wc.markUp()
 	return sent, nil
 }
 
@@ -669,25 +1226,41 @@ type shuffleBuffer struct {
 
 // shuffleSerial is the retained reference data plane: every tuple is routed
 // individually into growable per-(partition, side) buffers, and each full
-// chunk is shipped with a blocking Load call before routing continues.
-func (c *Coordinator) shuffleSerial(plan partition.Plan, place func(int) int, s, t *data.Relation, opts Options) (int64, int64, error) {
+// chunk is shipped with a blocking (deadline-guarded) Load call before
+// routing continues. Load is not idempotent, so it is never retried here; any
+// failure is a clean error. The returned ownership map (slot → pids) lets the
+// join phase validate that no worker silently lost state.
+func (c *Coordinator) shuffleSerial(ctx context.Context, plan partition.Plan, slotOf func(int) int, s, t *data.Relation, opts Options) (int64, int64, map[int][]int, error) {
 	type bufKey struct {
 		pid  int
 		side string
 	}
 	buffers := make(map[bufKey]*shuffleBuffer)
+	owned := make(map[int][]int)
+	ownedSeen := make(map[int]map[int]bool)
 	var totalInput, rpcs int64
 
 	flush := func(pid int, side string, buf *shuffleBuffer) error {
 		if buf.chunk.Len() == 0 {
 			return nil
 		}
-		w := place(pid)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		slot := slotOf(pid)
+		wc := c.workers[slot]
 		args := &LoadArgs{JobID: opts.JobID, Partition: pid, Side: side, Chunk: buf.chunk, IDs: buf.ids, Retain: opts.retain}
 		var reply LoadReply
 		rpcs++
-		if err := c.clients[w].Call(ServiceName+".Load", args, &reply); err != nil {
-			return fmt.Errorf("cluster: shipping partition %d to worker %d: %w", pid, w, err)
+		if err := wc.call(ctx, ServiceName+".Load", args, &reply, c.opts.callDeadline(), 0, nil); err != nil {
+			return fmt.Errorf("cluster: shipping partition %d to worker %d: %w", pid, slot, err)
+		}
+		if ownedSeen[slot] == nil {
+			ownedSeen[slot] = make(map[int]bool)
+		}
+		if !ownedSeen[slot][pid] {
+			ownedSeen[slot][pid] = true
+			owned[slot] = append(owned[slot], pid)
 		}
 		dims := buf.chunk.Dims()
 		buf.chunk = data.NewRelation(side+"-chunk", dims)
@@ -716,7 +1289,7 @@ func (c *Coordinator) shuffleSerial(plan partition.Plan, place func(int) int, s,
 		totalInput += int64(len(dst))
 		for _, pid := range dst {
 			if err := add(pid, "S", key, int64(i), s.Dims()); err != nil {
-				return 0, 0, err
+				return 0, 0, nil, err
 			}
 		}
 	}
@@ -726,24 +1299,32 @@ func (c *Coordinator) shuffleSerial(plan partition.Plan, place func(int) int, s,
 		totalInput += int64(len(dst))
 		for _, pid := range dst {
 			if err := add(pid, "T", key, int64(i), t.Dims()); err != nil {
-				return 0, 0, err
+				return 0, 0, nil, err
 			}
 		}
 	}
 	for k, buf := range buffers {
 		if err := flush(k.pid, k.side, buf); err != nil {
-			return 0, 0, err
+			return 0, 0, nil, err
 		}
 	}
-	return totalInput, rpcs, nil
+	for _, pids := range owned {
+		sort.Ints(pids)
+	}
+	return totalInput, rpcs, owned, nil
 }
 
-// resetJob discards the job's partition state on every worker, best effort.
+// resetJobs discards the jobs' partition state on every worker, best effort.
 // It runs deferred on success and on every error path, so a run that fails
-// mid-shuffle or mid-join retains nothing on the workers.
-func (c *Coordinator) resetJob(jobID string) {
-	for _, cl := range c.clients {
-		var rr ResetReply
-		_ = cl.Call(ServiceName+".Reset", &ResetArgs{JobID: jobID}, &rr)
+// mid-shuffle or mid-join retains nothing on the workers. Cleanup uses a
+// background context (the query's may already be cancelled) and retries once:
+// a Reset lost to a transient blip must not leak a job in a long-lived
+// recpartd.
+func (c *Coordinator) resetJobs(jobIDs []string) {
+	for _, jobID := range jobIDs {
+		for _, wc := range c.workers {
+			var rr ResetReply
+			_ = wc.call(context.Background(), ServiceName+".Reset", &ResetArgs{JobID: jobID}, &rr, c.opts.callDeadline(), 1, nil)
+		}
 	}
 }

@@ -181,4 +181,7 @@ type PingReply struct {
 	Worker   string
 	Jobs     int
 	Retained int
+	// Draining reports that the worker is shutting down gracefully: it still
+	// answers Ping but rejects new Load/Join/Seal work.
+	Draining bool
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -65,14 +66,14 @@ func TestRetainedPlanZeroShuffleRerun(t *testing.T) {
 	for _, serial := range []bool{false, true} {
 		t.Run(fmt.Sprintf("serial=%v", serial), func(t *testing.T) {
 			opts := Options{PlanID: fmt.Sprintf("test-plan-serial=%v", serial), CollectPairs: true, ChunkSize: 128, Serial: serial}
-			cold, err := coord.RunPlan(plan, ctx, s, tt, band, opts)
+			cold, err := coord.RunPlan(context.Background(), plan, ctx, s, tt, band, opts)
 			if err != nil {
 				t.Fatalf("cold RunPlan: %v", err)
 			}
 			if cold.ShuffleBytes == 0 || cold.ShuffleRPCs == 0 {
 				t.Fatalf("cold run reports no shuffle traffic (bytes=%d rpcs=%d)", cold.ShuffleBytes, cold.ShuffleRPCs)
 			}
-			warm, err := coord.RunPlan(plan, ctx, s, tt, band, opts)
+			warm, err := coord.RunPlan(context.Background(), plan, ctx, s, tt, band, opts)
 			if err != nil {
 				t.Fatalf("warm RunPlan: %v", err)
 			}
@@ -179,7 +180,7 @@ func TestFailedQueryPreservesRetainedRegistry(t *testing.T) {
 
 	plan, ctx := retainPlanFor(t, core.NewRecPartS(), s, tt, band, 2)
 	opts := Options{PlanID: "retained-under-fire", CollectPairs: true, ChunkSize: 64}
-	cold, err := coord.RunPlan(plan, ctx, s, tt, band, opts)
+	cold, err := coord.RunPlan(context.Background(), plan, ctx, s, tt, band, opts)
 	if err != nil {
 		t.Fatalf("cold retained RunPlan: %v", err)
 	}
@@ -191,7 +192,7 @@ func TestFailedQueryPreservesRetainedRegistry(t *testing.T) {
 	// Inject: a transient query now dies mid-shuffle; its deferred Reset
 	// fires on both workers.
 	flaky.fail.Store(true)
-	if _, err := coord.RunPlan(plan, ctx, s, tt, band, Options{ChunkSize: 64}); err == nil {
+	if _, err := coord.RunPlan(context.Background(), plan, ctx, s, tt, band, Options{ChunkSize: 64}); err == nil {
 		t.Fatal("transient run with a failing worker unexpectedly succeeded")
 	}
 	flaky.fail.Store(false)
@@ -209,7 +210,7 @@ func TestFailedQueryPreservesRetainedRegistry(t *testing.T) {
 		}
 	}
 
-	warm, err := coord.RunPlan(plan, ctx, s, tt, band, opts)
+	warm, err := coord.RunPlan(context.Background(), plan, ctx, s, tt, band, opts)
 	if err != nil {
 		t.Fatalf("warm RunPlan after failed transient query: %v", err)
 	}
@@ -240,7 +241,7 @@ func TestRetainedEvictionFallsBackToCold(t *testing.T) {
 	plan, ctx := retainPlanFor(t, core.NewRecPartS(), s, tt, band, 2)
 	opts := Options{PlanID: "evicted-behind-back", CollectPairs: true, ChunkSize: 64}
 
-	cold, err := coord.RunPlan(plan, ctx, s, tt, band, opts)
+	cold, err := coord.RunPlan(context.Background(), plan, ctx, s, tt, band, opts)
 	if err != nil {
 		t.Fatalf("cold RunPlan: %v", err)
 	}
@@ -252,7 +253,7 @@ func TestRetainedEvictionFallsBackToCold(t *testing.T) {
 		}
 	}
 
-	reshipped, err := coord.RunPlan(plan, ctx, s, tt, band, opts)
+	reshipped, err := coord.RunPlan(context.Background(), plan, ctx, s, tt, band, opts)
 	if err != nil {
 		t.Fatalf("RunPlan after worker-side eviction: %v", err)
 	}
@@ -261,7 +262,7 @@ func TestRetainedEvictionFallsBackToCold(t *testing.T) {
 	}
 	samePairs(t, "cold vs fallback", cold.Pairs, reshipped.Pairs)
 
-	warm, err := coord.RunPlan(plan, ctx, s, tt, band, opts)
+	warm, err := coord.RunPlan(context.Background(), plan, ctx, s, tt, band, opts)
 	if err != nil {
 		t.Fatalf("warm RunPlan after fallback: %v", err)
 	}

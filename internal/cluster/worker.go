@@ -42,10 +42,60 @@ type Worker struct {
 	// ErrUnknownRetainedPlan and fall back to a cold shuffle).
 	maxRetained int
 
-	mu       sync.Mutex // guards jobs, retained, sealSeq
+	mu       sync.Mutex // guards jobs, retained, sealSeq, draining
 	jobs     map[string]*jobState
 	retained map[string]*retainedState
 	sealSeq  uint64
+
+	// draining rejects new data-plane work (Load, Join, Seal) while inflight
+	// tracks the calls already running, so a graceful shutdown can stop taking
+	// queries yet let the ones in progress finish (see Drain).
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// beginWork admits one data-plane RPC, or rejects it if the worker is
+// draining. The WaitGroup Add happens under the same lock as the draining
+// check, so Drain can never observe the flag set yet miss an admitted call.
+func (w *Worker) beginWork() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.draining {
+		return fmt.Errorf("cluster: worker %s is draining", w.name)
+	}
+	w.inflight.Add(1)
+	return nil
+}
+
+func (w *Worker) endWork() { w.inflight.Done() }
+
+// Drain puts the worker into draining mode — new Load/Join/Seal calls are
+// rejected while Ping, Reset, and Evict keep working — and waits up to
+// timeout for the in-flight data-plane calls to finish. It reports whether
+// everything drained in time; timeout <= 0 waits indefinitely. Drain is the
+// graceful-shutdown half of cmd/recpartd's signal handling (the other half is
+// closing the listener).
+func (w *Worker) Drain(timeout time.Duration) bool {
+	w.mu.Lock()
+	w.draining = true
+	w.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		w.inflight.Wait()
+		close(done)
+	}()
+	if timeout <= 0 {
+		<-done
+		return true
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return true
+	case <-timer.C:
+		return false
+	}
 }
 
 // jobState holds one job's partitions. Its mutex guards only the partitions
@@ -152,6 +202,10 @@ func (w *Worker) Retained() int {
 // Load implements the RPC method receiving partition input, in either the
 // reference representation (Chunk + IDs) or the streaming plane's packed one.
 func (w *Worker) Load(args *LoadArgs, reply *LoadReply) error {
+	if err := w.beginWork(); err != nil {
+		return err
+	}
+	defer w.endWork()
 	var n, dims int
 	switch {
 	case args.Packed != nil && args.Chunk != nil:
@@ -243,6 +297,10 @@ func (w *Worker) Load(args *LoadArgs, reply *LoadReply) error {
 // and the reply lists partitions in ascending partition-id order so result
 // aggregation and logs are deterministic across runs.
 func (w *Worker) Join(args *JoinArgs, reply *JoinReply) error {
+	if err := w.beginWork(); err != nil {
+		return err
+	}
+	defer w.endWork()
 	alg := localjoin.Default()
 	if args.Algorithm != "" {
 		a, ok := localjoin.ByName(args.Algorithm)
@@ -368,6 +426,10 @@ func (w *Worker) Reset(args *ResetArgs, _ *ResetReply) error {
 // so warm joins' internal sorts find presorted input and run linearly. If the
 // retention cap is exceeded, the least-recently-sealed other plan is evicted.
 func (w *Worker) Seal(args *SealArgs, reply *SealReply) error {
+	if err := w.beginWork(); err != nil {
+		return err
+	}
+	defer w.endWork()
 	if args.PlanID == "" {
 		return fmt.Errorf("cluster: worker %s: Seal requires a plan id", w.name)
 	}
@@ -474,6 +536,7 @@ func (w *Worker) Ping(_ *PingArgs, reply *PingReply) error {
 	reply.Worker = w.name
 	reply.Jobs = len(w.jobs)
 	reply.Retained = len(w.retained)
+	reply.Draining = w.draining
 	return nil
 }
 

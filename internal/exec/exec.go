@@ -18,6 +18,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -102,6 +103,16 @@ type Result struct {
 	ShuffleBytes int64
 	ShuffleRPCs  int64
 
+	// Fault-tolerance accounting, filled only by the cluster coordinator.
+	// Degraded reports that the query ran on fewer workers than the cluster
+	// was configured with (a worker was down at query start or died
+	// mid-query). LostWorkers counts workers declared dead during this query;
+	// Retries counts RPC retries and recovery reshipments the query needed.
+	// All zero for in-process runs and for undisturbed cluster runs.
+	Degraded    bool
+	LostWorkers int
+	Retries     int
+
 	// Per-worker accounting.
 	WorkerInput  []int64
 	WorkerOutput []int64
@@ -178,7 +189,7 @@ func Run(pt partition.Partitioner, s, t *data.Relation, band data.Band, opts Opt
 		return nil, err
 	}
 
-	res, err := ExecutePlan(prep.Plan, s, t, band, opts)
+	res, err := ExecutePlan(context.Background(), prep.Plan, s, t, band, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +199,9 @@ func Run(pt partition.Partitioner, s, t *data.Relation, band data.Band, opts Opt
 }
 
 // ExecutePlan runs the shuffle and local joins for an already-computed plan.
-func ExecutePlan(plan partition.Plan, s, t *data.Relation, band data.Band, opts Options) (*Result, error) {
+// Cancelling ctx aborts the run between shuffle passes and between local
+// joins, returning ctx.Err().
+func ExecutePlan(ctx context.Context, plan partition.Plan, s, t *data.Relation, band data.Band, opts Options) (*Result, error) {
 	if opts.Workers < 1 {
 		return nil, fmt.Errorf("exec: need at least one worker, got %d", opts.Workers)
 	}
@@ -203,12 +216,19 @@ func ExecutePlan(plan partition.Plan, s, t *data.Relation, band data.Band, opts 
 	var totalInput int64
 	if opts.SerialShuffle {
 		parts, totalInput = ShuffleSerial(plan, s, t)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	} else {
-		parts, totalInput = parallelShuffle(plan, s, t, parallelism)
+		var err error
+		parts, totalInput, err = parallelShuffle(ctx, plan, s, t, parallelism)
+		if err != nil {
+			return nil, err
+		}
 	}
 	shuffleTime := time.Since(shuffleStart)
 
-	res, err := ExecuteShuffled(plan, parts, totalInput, s.Len(), t.Len(), band, opts)
+	res, err := ExecuteShuffled(ctx, plan, parts, totalInput, s.Len(), t.Len(), band, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -255,8 +275,8 @@ func PrepareShuffled(parts []*PartitionInput, band data.Band, alg localjoin.Algo
 // queries: a warm query skips the shuffle entirely and pays only for the
 // joins. totalInput is the routed tuple count I the shuffle reported; inputS
 // and inputT are the original relation cardinalities.
-func ExecuteShuffled(plan partition.Plan, parts []*PartitionInput, totalInput int64, inputS, inputT int, band data.Band, opts Options) (*Result, error) {
-	return ExecuteShuffledPrepared(plan, parts, nil, totalInput, inputS, inputT, band, opts)
+func ExecuteShuffled(ctx context.Context, plan partition.Plan, parts []*PartitionInput, totalInput int64, inputS, inputT int, band data.Band, opts Options) (*Result, error) {
+	return ExecuteShuffledPrepared(ctx, plan, parts, nil, totalInput, inputS, inputT, band, opts)
 }
 
 // ExecuteShuffledPrepared is ExecuteShuffled over partitions whose reusable
@@ -266,7 +286,7 @@ func ExecuteShuffled(plan partition.Plan, parts []*PartitionInput, totalInput in
 // be nil or sparse; those partitions run the plain per-query join. Results
 // are identical either way (PreparedT.Probe emits exactly the pairs of the
 // corresponding Join, in the same order).
-func ExecuteShuffledPrepared(plan partition.Plan, parts []*PartitionInput, prepared []localjoin.PreparedT, totalInput int64, inputS, inputT int, band data.Band, opts Options) (*Result, error) {
+func ExecuteShuffledPrepared(ctx context.Context, plan partition.Plan, parts []*PartitionInput, prepared []localjoin.PreparedT, totalInput int64, inputS, inputT int, band data.Band, opts Options) (*Result, error) {
 	if opts.Workers < 1 {
 		return nil, fmt.Errorf("exec: need at least one worker, got %d", opts.Workers)
 	}
@@ -297,6 +317,12 @@ func ExecuteShuffledPrepared(plan partition.Plan, parts []*PartitionInput, prepa
 		if p == nil {
 			continue
 		}
+		// Cancellation is checked before dispatching each partition, so a
+		// cancelled query stops after the joins already in flight rather than
+		// draining the whole partition list.
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(pid int, p *PartitionInput) {
@@ -320,6 +346,9 @@ func ExecuteShuffledPrepared(plan partition.Plan, parts []*PartitionInput, prepa
 		}(pid, p)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	joinWall := time.Since(joinStart)
 
 	// --- Place partitions on workers and aggregate per-worker accounting.

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -224,7 +225,7 @@ func TestPlanQueryComposesToRun(t *testing.T) {
 	if prep.Partitioner != direct.Partitioner {
 		t.Errorf("partitioner name %q, want %q", prep.Partitioner, direct.Partitioner)
 	}
-	staged, err := ExecutePlan(prep.Plan, s, tt, band, opts)
+	staged, err := ExecutePlan(context.Background(), prep.Plan, s, tt, band, opts)
 	if err != nil {
 		t.Fatalf("ExecutePlan: %v", err)
 	}
@@ -253,13 +254,16 @@ func TestExecuteShuffledMatchesExecutePlan(t *testing.T) {
 	opts := DefaultOptions(3)
 	opts.CollectPairs = true
 
-	full, err := ExecutePlan(plan, s, tt, band, opts)
+	full, err := ExecutePlan(context.Background(), plan, s, tt, band, opts)
 	if err != nil {
 		t.Fatalf("ExecutePlan: %v", err)
 	}
-	parts, total := Shuffle(plan, s, tt, 0)
+	parts, total, err := Shuffle(context.Background(), plan, s, tt, 0)
+	if err != nil {
+		t.Fatalf("Shuffle: %v", err)
+	}
 	for round := 0; round < 2; round++ {
-		warm, err := ExecuteShuffled(plan, parts, total, s.Len(), tt.Len(), band, opts)
+		warm, err := ExecuteShuffled(context.Background(), plan, parts, total, s.Len(), tt.Len(), band, opts)
 		if err != nil {
 			t.Fatalf("ExecuteShuffled round %d: %v", round, err)
 		}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -111,12 +112,13 @@ func PresortPartitions(parts []*PartitionInput, parallelism int) {
 // total routed tuple count I (input including duplicates). Entries for empty
 // partitions are nil. parallelism bounds the shard goroutines; values < 1
 // select GOMAXPROCS. It is the routing stage the RPC coordinator
-// (internal/cluster) shares with the in-process executor.
-func Shuffle(plan partition.Plan, s, t *data.Relation, parallelism int) ([]*PartitionInput, int64) {
+// (internal/cluster) shares with the in-process executor. Cancelling ctx
+// aborts the shuffle between its two passes, returning ctx.Err().
+func Shuffle(ctx context.Context, plan partition.Plan, s, t *data.Relation, parallelism int) ([]*PartitionInput, int64, error) {
 	if parallelism < 1 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	return parallelShuffle(plan, s, t, parallelism)
+	return parallelShuffle(ctx, plan, s, t, parallelism)
 }
 
 // ShuffleSerial is the retained single-threaded reference shuffle, exported as
@@ -285,9 +287,12 @@ func (sb *sideBuffers) partitionRows(pid, dims int) ([]float64, []int64) {
 // parallelShuffle shards each input into at most `shards` ranges and builds
 // every partition with the two-pass count/prefix-sum/write scheme described
 // above; at most `shards` goroutines run at any time across both relations.
-func parallelShuffle(plan partition.Plan, s, t *data.Relation, shards int) ([]*PartitionInput, int64) {
+func parallelShuffle(ctx context.Context, plan partition.Plan, s, t *data.Relation, shards int) ([]*PartitionInput, int64, error) {
 	if shards < 1 {
 		shards = 1
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
 	}
 	var sb, tb sideBuffers
 	sb.shards = shardRanges(s.Len(), shards)
@@ -329,6 +334,12 @@ func parallelShuffle(plan partition.Plan, s, t *data.Relation, shards int) ([]*P
 		}
 	})
 
+	// Pass 1 is the expensive half (every Assign call); honor a cancellation
+	// that arrived during it before committing to the arena writes of pass 2.
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+
 	// All partitions are known now, even for lazily-discovering plans.
 	numParts := plan.NumPartitions()
 	for k := range sb.assigns {
@@ -369,5 +380,8 @@ func parallelShuffle(plan partition.Plan, s, t *data.Relation, shards int) ([]*P
 			TIDs: tIDs,
 		}
 	}
-	return parts, totalInput
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	return parts, totalInput, nil
 }

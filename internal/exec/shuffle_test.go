@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -95,7 +96,10 @@ func TestShuffleEquivalence(t *testing.T) {
 			serialParts, serialTotal := ShuffleSerial(plan, s, tt)
 			for _, shards := range []int{1, 3, 8} {
 				t.Run(fmt.Sprintf("%s/%s/shards=%d", pt.Name(), bandName, shards), func(t *testing.T) {
-					parParts, parTotal := parallelShuffle(plan, s, tt, shards)
+					parParts, parTotal, err := parallelShuffle(context.Background(), plan, s, tt, shards)
+					if err != nil {
+						t.Fatalf("parallelShuffle: %v", err)
+					}
 					if serialTotal != parTotal {
 						t.Fatalf("total input: serial %d, parallel %d", serialTotal, parTotal)
 					}
@@ -118,14 +122,14 @@ func TestExecutePlanSerialVsParallel(t *testing.T) {
 				serialOpts := DefaultOptions(5)
 				serialOpts.SerialShuffle = true
 				serialOpts.CollectPairs = true
-				serialRes, err := ExecutePlan(plan, s, tt, band, serialOpts)
+				serialRes, err := ExecutePlan(context.Background(), plan, s, tt, band, serialOpts)
 				if err != nil {
 					t.Fatalf("serial ExecutePlan: %v", err)
 				}
 				parOpts := DefaultOptions(5)
 				parOpts.CollectPairs = true
 				parOpts.Parallelism = 7
-				parRes, err := ExecutePlan(plan, s, tt, band, parOpts)
+				parRes, err := ExecutePlan(context.Background(), plan, s, tt, band, parOpts)
 				if err != nil {
 					t.Fatalf("parallel ExecutePlan: %v", err)
 				}
@@ -166,7 +170,10 @@ func TestParallelShuffleRace(t *testing.T) {
 			plan := planFor(t, pt, s, tt, band, 8)
 			var wantTotal int64 = -1
 			for round := 0; round < 3; round++ {
-				parts, total := parallelShuffle(plan, s, tt, 16)
+				parts, total, err := parallelShuffle(context.Background(), plan, s, tt, 16)
+				if err != nil {
+					t.Fatalf("parallelShuffle: %v", err)
+				}
 				if wantTotal == -1 {
 					wantTotal = total
 				} else if total != wantTotal {
