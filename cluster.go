@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bandjoin/internal/cluster"
+	"bandjoin/internal/obs"
 )
 
 // Cluster is a connection to a set of band-join workers reachable over RPC.
@@ -96,6 +97,19 @@ func (c *Cluster) Workers() int { return c.coord.Workers() }
 
 // LiveWorkers returns the number of workers currently considered healthy.
 func (c *Cluster) LiveWorkers() int { return c.coord.LiveWorkers() }
+
+// Metrics returns the coordinator-side metrics registry (shuffle totals,
+// failover counters, worker health transitions), servable over HTTP together
+// with an engine's registry via obs.Serve.
+func (c *Cluster) Metrics() *obs.Registry { return c.coord.Metrics() }
+
+// ClusterStats is the cluster-wide observability snapshot Stats collects.
+type ClusterStats = cluster.ClusterStats
+
+// Stats collects every worker's counters (over the Stats RPC) plus the
+// coordinator-side aggregates. Unreachable workers are reported with their
+// error rather than omitted.
+func (c *Cluster) Stats(ctx context.Context) *ClusterStats { return c.coord.Stats(ctx) }
 
 // Close disconnects from the workers and, for a local cluster, shuts them
 // down.

@@ -20,6 +20,16 @@
 // bytes. Per-query wall time and shuffle traffic are printed, demonstrating
 // the serving model. -no-retain disables partition retention (repeats still
 // reuse the cached sample and plan but reshuffle).
+//
+// Observability:
+//
+//	-trace         dumps each query's structured trace (stage spans,
+//	               cache-tier outcomes, bytes moved, fault events) as JSON to
+//	               stderr
+//	-stats         prints the cluster-wide worker counters (Stats RPC) after
+//	               the run (-cluster only)
+//	-metrics-addr  serves the engine's (and coordinator's) /metrics,
+//	               /debug/vars, and /debug/pprof over HTTP while running
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"time"
 
 	"bandjoin"
+	"bandjoin/internal/obs"
 )
 
 func main() {
@@ -61,6 +72,10 @@ func main() {
 
 		repeat   = flag.Int("repeat", 1, "serve the query this many times through an engine; repeats are answered from cached samples, plans, and retained partitions")
 		noRetain = flag.Bool("no-retain", false, "with -repeat: disable partition retention (repeats reuse the plan but reshuffle)")
+
+		trace       = flag.Bool("trace", false, "dump each query's structured trace as JSON to stderr")
+		stats       = flag.Bool("stats", false, "print the cluster-wide worker stats after the run (requires -cluster)")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP address serving /metrics, /debug/vars, and /debug/pprof while the tool runs (empty disables)")
 	)
 	flag.Parse()
 
@@ -122,15 +137,34 @@ func main() {
 		defer cl.Close()
 	}
 
-	start := time.Now()
-	var res *bandjoin.Result
-	if *repeat > 1 {
-		res, err = serveRepeats(cl, s, t, band, opts, *repeat, *noRetain)
-	} else if cl != nil {
-		res, err = cl.Join(s, t, band, opts)
+	// Every run is served through one Engine (single queries included — they
+	// disable retention, matching the throwaway-engine behavior of
+	// bandjoin.Join), so the engine's metrics registry and per-query traces
+	// exist on every path.
+	eopts := bandjoin.EngineOptions{DisableRetention: *noRetain || *repeat == 1}
+	var engine *bandjoin.Engine
+	if cl != nil {
+		engine = cl.NewEngine(eopts)
 	} else {
-		res, err = bandjoin.Join(s, t, band, opts)
+		engine = bandjoin.NewEngine(eopts)
 	}
+	defer engine.Close()
+
+	if *metricsAddr != "" {
+		regs := []*obs.Registry{engine.Metrics()}
+		if cl != nil {
+			regs = append(regs, cl.Metrics())
+		}
+		addr, stop, err := obs.Serve(*metricsAddr, regs...)
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener on %s: %w", *metricsAddr, err))
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "bandjoin: metrics on http://%s/metrics\n", addr)
+	}
+
+	start := time.Now()
+	res, err := serveQueries(engine, cl != nil, s, t, band, opts, *repeat, *trace)
 	if err != nil {
 		fatal(err)
 	}
@@ -159,20 +193,20 @@ func main() {
 			fmt.Printf("  worker %2d: %10d / %10d\n", w, res.WorkerInput[w], res.WorkerOutput[w])
 		}
 	}
+	if *stats {
+		if cl == nil {
+			fmt.Fprintln(os.Stderr, "bandjoin: -stats requires -cluster; skipping")
+		} else {
+			fmt.Print(cl.Stats(context.Background()).String())
+		}
+	}
 }
 
-// serveRepeats runs the query n times through an engine, printing per-query
-// wall time and shuffle traffic, and returns the last result. The first query
-// is cold; repeats are served from the engine's caches.
-func serveRepeats(cl *bandjoin.Cluster, s, t *bandjoin.Relation, band bandjoin.Band, opts bandjoin.Options, n int, noRetain bool) (*bandjoin.Result, error) {
-	eopts := bandjoin.EngineOptions{DisableRetention: noRetain}
-	var engine *bandjoin.Engine
-	if cl != nil {
-		engine = cl.NewEngine(eopts)
-	} else {
-		engine = bandjoin.NewEngine(eopts)
-	}
-	defer engine.Close()
+// serveQueries runs the query n times through the engine, printing per-query
+// wall time and shuffle traffic when n > 1, and returns the last result. The
+// first query is cold; repeats are served from the engine's caches. With
+// trace set, each query's structured trace is dumped as JSON to stderr.
+func serveQueries(engine *bandjoin.Engine, onCluster bool, s, t *bandjoin.Relation, band bandjoin.Band, opts bandjoin.Options, n int, trace bool) (*bandjoin.Result, error) {
 	if err := engine.Register("s", s); err != nil {
 		return nil, err
 	}
@@ -190,6 +224,14 @@ func serveRepeats(cl *bandjoin.Cluster, s, t *bandjoin.Relation, band bandjoin.B
 			return nil, fmt.Errorf("query %d: %w", q+1, err)
 		}
 		wall := time.Since(qStart)
+		if trace && res.Trace != nil {
+			if js, jerr := res.Trace.JSON(); jerr == nil {
+				fmt.Fprintf(os.Stderr, "%s\n", js)
+			}
+		}
+		if n == 1 {
+			break
+		}
 		tier := "warm"
 		if q == 0 {
 			tier, coldWall = "cold", wall
@@ -197,7 +239,7 @@ func serveRepeats(cl *bandjoin.Cluster, s, t *bandjoin.Relation, band bandjoin.B
 		line := fmt.Sprintf("query %2d (%s): wall %v  opt %v  shuffle %v",
 			q+1, tier, wall.Round(time.Millisecond), res.OptimizationTime.Round(time.Millisecond),
 			res.ShuffleTime.Round(time.Millisecond))
-		if cl != nil {
+		if onCluster {
 			line += fmt.Sprintf("  wire %d RPCs / %.1f MB", res.ShuffleRPCs, float64(res.ShuffleBytes)/(1<<20))
 		}
 		if q > 0 && wall > 0 {

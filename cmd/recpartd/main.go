@@ -8,6 +8,12 @@
 //	recpartd -listen :7070 -max-parallelism 4
 //	recpartd -listen :7070 -max-retained 16
 //	recpartd -listen :7070 -drain-timeout 60s
+//	recpartd -listen :7070 -metrics-addr :9090
+//
+// With -metrics-addr the worker serves its observability surface over HTTP:
+// /metrics (Prometheus text format: load/join counters, retained bytes, pool
+// occupancy, latency histograms), /debug/vars (expvar JSON), and
+// /debug/pprof/* (live profiling).
 //
 // Besides transient per-query job state, the worker keeps a retained-plan
 // registry serving engine queries (bandjoin.Engine): shuffled partitions stay
@@ -33,6 +39,7 @@ import (
 	"time"
 
 	"bandjoin/internal/cluster"
+	"bandjoin/internal/obs"
 )
 
 func main() {
@@ -42,6 +49,7 @@ func main() {
 		maxPar       = flag.Int("max-parallelism", 0, "cap on concurrent partition joins per job, regardless of what coordinators request (default: GOMAXPROCS)")
 		maxRetained  = flag.Int("max-retained", 0, "cap on resident retained plans (engine warm-partition cache); exceeding it evicts the least-recently-sealed plan, and coordinators transparently reshuffle evicted plans (default: unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGINT/SIGTERM shutdown waits for in-flight Load/Join RPCs to finish before exiting anyway (0 waits indefinitely)")
+		metricsAddr  = flag.String("metrics-addr", "", "HTTP address serving /metrics (Prometheus), /debug/vars (expvar), and /debug/pprof (empty disables)")
 	)
 	flag.Parse()
 
@@ -57,6 +65,15 @@ func main() {
 	w := cluster.NewWorker(workerName)
 	w.SetMaxParallelism(*maxPar)
 	w.SetMaxRetained(*maxRetained)
+
+	if *metricsAddr != "" {
+		addr, stop, err := obs.Serve(*metricsAddr, w.Metrics())
+		if err != nil {
+			log.Fatalf("recpartd: metrics listener on %s: %v", *metricsAddr, err)
+		}
+		defer stop()
+		log.Printf("recpartd: metrics on http://%s/metrics", addr)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"bandjoin/internal/cluster"
 	"bandjoin/internal/exec"
 	"bandjoin/internal/localjoin"
+	"bandjoin/internal/obs"
 	"bandjoin/internal/sample"
 )
 
@@ -48,10 +49,88 @@ type Engine struct {
 	plans    map[planKey]*planEntry
 	closed   bool
 
-	queries    atomic.Int64
-	sampleHits atomic.Int64
-	planHits   atomic.Int64
+	m *engineMetrics
 }
+
+// engineMetrics is the engine's observability surface: per-tier cache
+// hit/miss counters, latency histograms, data-plane totals, and scrape-time
+// occupancy gauges, all in the engine's own registry (see Engine.Metrics).
+type engineMetrics struct {
+	reg *obs.Registry
+
+	queries     *obs.Counter
+	queryErrors *obs.Counter
+
+	sampleHits, sampleMisses     *obs.Counter
+	planHits, planMisses         *obs.Counter
+	retainedHits, retainedMisses *obs.Counter
+
+	shuffleBytes *obs.Counter
+	shuffleRPCs  *obs.Counter
+
+	querySeconds *obs.Histogram
+	planSeconds  *obs.Histogram
+}
+
+func newEngineMetrics(e *Engine) *engineMetrics {
+	reg := obs.NewRegistry()
+	hits := "Engine cache hits by tier (sample, plan, retained)."
+	misses := "Engine cache misses by tier (sample, plan, retained)."
+	m := &engineMetrics{
+		reg:            reg,
+		queries:        reg.Counter("bandjoin_engine_queries_total", "Join calls served by the engine."),
+		queryErrors:    reg.Counter("bandjoin_engine_query_errors_total", "Join calls that returned an error."),
+		sampleHits:     reg.Counter("bandjoin_engine_cache_hits_total", hits, "tier", "sample"),
+		sampleMisses:   reg.Counter("bandjoin_engine_cache_misses_total", misses, "tier", "sample"),
+		planHits:       reg.Counter("bandjoin_engine_cache_hits_total", hits, "tier", "plan"),
+		planMisses:     reg.Counter("bandjoin_engine_cache_misses_total", misses, "tier", "plan"),
+		retainedHits:   reg.Counter("bandjoin_engine_cache_hits_total", hits, "tier", "retained"),
+		retainedMisses: reg.Counter("bandjoin_engine_cache_misses_total", misses, "tier", "retained"),
+		shuffleBytes:   reg.Counter("bandjoin_engine_shuffle_bytes_total", "Wire bytes moved by engine queries (cluster plane)."),
+		shuffleRPCs:    reg.Counter("bandjoin_engine_shuffle_rpcs_total", "Load RPCs issued by engine queries (cluster plane)."),
+		querySeconds:   reg.Histogram("bandjoin_engine_query_seconds", "End-to-end Join latency.", obs.LatencyBuckets()),
+		planSeconds:    reg.Histogram("bandjoin_engine_plan_seconds", "Per-query planning-stage latency (≈0 on plan-cache hits).", obs.LatencyBuckets()),
+	}
+	entries := "Engine cache occupancy by tier (entries)."
+	reg.GaugeFunc("bandjoin_engine_cache_entries", entries, func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(len(e.datasets))
+	}, "tier", "dataset")
+	reg.GaugeFunc("bandjoin_engine_cache_entries", entries, func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(len(e.samples))
+	}, "tier", "sample")
+	reg.GaugeFunc("bandjoin_engine_cache_entries", entries, func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(len(e.plans))
+	}, "tier", "plan")
+	reg.GaugeFunc("bandjoin_engine_cache_entries", entries, func() float64 {
+		plans, _ := e.plane.retained()
+		return float64(plans)
+	}, "tier", "retained")
+	bytesHelp := "Engine cache occupancy by tier (approximate key/ID bytes)."
+	reg.GaugeFunc("bandjoin_engine_cache_bytes", bytesHelp, func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		var total int64
+		for _, se := range e.samples {
+			total += se.bytes.Load()
+		}
+		return float64(total)
+	}, "tier", "sample")
+	reg.GaugeFunc("bandjoin_engine_cache_bytes", bytesHelp, func() float64 {
+		_, bytes := e.plane.retained()
+		return float64(bytes)
+	}, "tier", "retained")
+	return m
+}
+
+// Metrics returns the engine's metrics registry, servable via obs.Handler /
+// obs.Serve alongside other components' registries.
+func (e *Engine) Metrics() *obs.Registry { return e.m.reg }
 
 // EngineOptions configures an Engine.
 type EngineOptions struct {
@@ -81,7 +160,7 @@ func (c *Cluster) NewEngine(opts EngineOptions) *Engine {
 }
 
 func newEngine(p enginePlane, opts EngineOptions) *Engine {
-	return &Engine{
+	e := &Engine{
 		id:        fmt.Sprintf("eng%d-%d", engineSeq.Add(1), time.Now().UnixNano()),
 		plane:     p,
 		retention: !opts.DisableRetention,
@@ -89,6 +168,8 @@ func newEngine(p enginePlane, opts EngineOptions) *Engine {
 		samples:   make(map[sampleKey]*sampleEntry),
 		plans:     make(map[planKey]*planEntry),
 	}
+	e.m = newEngineMetrics(e)
+	return e
 }
 
 type engineDataset struct {
@@ -108,6 +189,10 @@ type sampleEntry struct {
 	once sync.Once
 	in   *sample.InputSample
 	err  error
+	// bytes is the drawn sample's approximate footprint, stored after the
+	// once completes so the occupancy gauge can read it without racing the
+	// draw.
+	bytes atomic.Int64
 }
 
 // planKey identifies one cached plan: the dataset pair plus everything the
@@ -227,11 +312,12 @@ type EngineStats struct {
 	Datasets      int
 	CachedSamples int
 	CachedPlans   int
-	// Queries counts Join calls; SampleHits and PlanHits count how many of
-	// them were served from the respective cache.
-	Queries    int64
-	SampleHits int64
-	PlanHits   int64
+	// Queries counts Join calls; SampleHits, PlanHits, and RetainedHits count
+	// how many of them were served from the respective cache tier.
+	Queries      int64
+	SampleHits   int64
+	PlanHits     int64
+	RetainedHits int64
 }
 
 // Stats returns a snapshot of the engine's cache counters.
@@ -242,9 +328,10 @@ func (e *Engine) Stats() EngineStats {
 		Datasets:      len(e.datasets),
 		CachedSamples: len(e.samples),
 		CachedPlans:   len(e.plans),
-		Queries:       e.queries.Load(),
-		SampleHits:    e.sampleHits.Load(),
-		PlanHits:      e.planHits.Load(),
+		Queries:       e.m.queries.Value(),
+		SampleHits:    e.m.sampleHits.Value(),
+		PlanHits:      e.m.planHits.Value(),
+		RetainedHits:  e.m.retainedHits.Value(),
 	}
 }
 
@@ -276,7 +363,17 @@ func (e *Engine) Close() {
 // promptly with ctx.Err(). Repeated queries are served from the caches: same
 // pair and sampling → no input scan; same full query shape → no optimization;
 // retention on → no shuffle.
-func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts Options) (*Result, error) {
+//
+// Every successful query carries a structured trace (Result.Trace): timed
+// spans for the sample/plan/shuffle/join/merge stages, the cache-tier
+// outcomes, bytes moved, and any fault events the coordinator recorded.
+func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts Options) (res *Result, err error) {
+	start := time.Now()
+	defer func() {
+		if err != nil {
+			e.m.queryErrors.Inc()
+		}
+	}()
 	r, err := opts.resolve()
 	if err != nil {
 		return nil, err
@@ -306,19 +403,34 @@ func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts 
 		return nil, fmt.Errorf("bandjoin: band condition has %d dimensions but inputs have %d and %d",
 			band.Dims(), ds.rel.Dims(), dt.rel.Dims())
 	}
-	e.queries.Add(1)
+	e.m.queries.Inc()
+	tr := &exec.QueryTrace{
+		S: sName, T: tName,
+		Band:         fmt.Sprintf("%v|%v", band.Low, band.High),
+		StartedAt:    start,
+		RetainedTier: exec.TierOff,
+	}
 
 	// Stage 1: input sample (cached per dataset pair and sampling config).
+	sampleStart := time.Now()
 	se, hit := e.sampleFor(sampleKey{s: sName, t: tName, sVer: ds.version, tVer: dt.version, sampling: r.Sampling})
+	tr.SampleTier = exec.TierMiss
 	if hit {
-		e.sampleHits.Add(1)
+		e.m.sampleHits.Inc()
+		tr.SampleTier = exec.TierHit
+	} else {
+		e.m.sampleMisses.Inc()
 	}
 	se.once.Do(func() {
 		se.in, se.err = sample.DrawInputs(ds.rel, dt.rel, r.Sampling)
+		if se.err == nil {
+			se.bytes.Store(inputSampleBytes(se.in))
+		}
 	})
 	if se.err != nil {
 		return nil, fmt.Errorf("bandjoin: sampling: %w", se.err)
 	}
+	tr.AddSpan("sample", sampleStart, time.Now(), tr.SampleTier)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -340,8 +452,12 @@ func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts 
 		seed:     r.Seed,
 	}
 	pe, hit := e.planFor(pk)
+	tr.PlanTier = exec.TierMiss
 	if hit {
-		e.planHits.Add(1)
+		e.m.planHits.Inc()
+		tr.PlanTier = exec.TierHit
+	} else {
+		e.m.planMisses.Inc()
 	}
 	pe.once.Do(func() {
 		smp, err := se.in.ForBand(band)
@@ -355,6 +471,9 @@ func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts 
 		return nil, pe.err
 	}
 	planTime := time.Since(planStart)
+	e.m.planSeconds.ObserveDuration(planTime)
+	tr.AddSpan("plan", planStart, time.Now(), tr.PlanTier)
+	tr.Partitioner = pe.prep.Partitioner
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -364,15 +483,72 @@ func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts 
 		res := exec.EstimatePlan(pe.prep.Plan, pe.prep.Ctx)
 		res.Partitioner = pe.prep.Partitioner
 		res.OptimizationTime = planTime
+		e.finishTrace(tr, res, start, time.Now())
 		return res, nil
 	}
-	res, err := e.plane.execute(ctx, pe.prep, ds.rel, dt.rel, band, r, pe.planID)
+	execStart := time.Now()
+	res, err = e.plane.execute(ctx, pe.prep, ds.rel, dt.rel, band, r, pe.planID)
 	if err != nil {
 		return nil, err
 	}
 	res.Partitioner = pe.prep.Partitioner
 	res.OptimizationTime = planTime
+
+	if pe.planID != "" {
+		if res.WarmPartitions {
+			e.m.retainedHits.Inc()
+			tr.RetainedTier = exec.TierHit
+		} else {
+			e.m.retainedMisses.Inc()
+			tr.RetainedTier = exec.TierMiss
+		}
+	}
+	e.m.shuffleBytes.Add(res.ShuffleBytes)
+	e.m.shuffleRPCs.Add(res.ShuffleRPCs)
+
+	// The execution stages are reconstructed from the result's measured
+	// durations: shuffle (when anything moved), then the parallel joins, then
+	// whatever remains of the wall time as merge/aggregation.
+	end := time.Now()
+	shuffleEnd := execStart.Add(res.ShuffleTime)
+	if res.ShuffleTime > 0 {
+		tr.AddSpan("shuffle", execStart, shuffleEnd, fmt.Sprintf("bytes=%d rpcs=%d", res.ShuffleBytes, res.ShuffleRPCs))
+	}
+	joinEnd := shuffleEnd.Add(res.JoinWallTime)
+	tr.AddSpan("join", shuffleEnd, joinEnd, fmt.Sprintf("partitions=%d tier=%s", res.Partitions, tr.RetainedTier))
+	if end.After(joinEnd) {
+		tr.AddSpan("merge", joinEnd, end, "")
+	}
+	tr.AddEvents(res.FaultEvents)
+	e.finishTrace(tr, res, start, end)
+	e.m.querySeconds.ObserveDuration(end.Sub(start))
 	return res, nil
+}
+
+// finishTrace copies the result's accounting into the trace and attaches it.
+func (e *Engine) finishTrace(tr *exec.QueryTrace, res *Result, start, end time.Time) {
+	tr.WallMicros = end.Sub(start).Microseconds()
+	tr.ShuffleBytes = res.ShuffleBytes
+	tr.ShuffleRPCs = res.ShuffleRPCs
+	tr.Output = res.Output
+	tr.Retries = res.Retries
+	tr.LostWorkers = res.LostWorkers
+	tr.FailoverRounds = res.FailoverRounds
+	tr.Degraded = res.Degraded
+	res.Trace = tr
+}
+
+// inputSampleBytes approximates a drawn input sample's resident footprint
+// (key bytes of both sampled relations).
+func inputSampleBytes(in *sample.InputSample) int64 {
+	var total int64
+	if in.S != nil {
+		total += int64(in.S.Len()) * int64(in.S.Dims()) * 8
+	}
+	if in.T != nil {
+		total += int64(in.T.Len()) * int64(in.T.Dims()) * 8
+	}
+	return total
 }
 
 // partitionerFingerprint identifies a partitioner configuration for the plan
@@ -429,6 +605,10 @@ type enginePlane interface {
 	execute(ctx context.Context, prep *exec.Prepared, s, t *Relation, band Band, r resolved, planID string) (*Result, error)
 	// evict drops one retained partition set.
 	evict(planID string)
+	// retained reports the plane's retained-partition occupancy: resident
+	// plan count and (for planes that hold the data locally) approximate
+	// resident bytes. Scrape-time only; never on a query path.
+	retained() (plans int, bytes int64)
 	// close releases plane-held resources.
 	close()
 }
@@ -455,6 +635,11 @@ type retainedParts struct {
 	totalInput int64
 	prepAlg    string
 	prepared   []localjoin.PreparedT
+
+	// bytes is the retained partitions' approximate footprint (key and ID
+	// bytes), stored when the record fills so the occupancy gauge can read it
+	// without taking the record's lock against a running shuffle.
+	bytes atomic.Int64
 }
 
 func (p *inProcessPlane) workers() int { return 0 }
@@ -483,11 +668,13 @@ func (p *inProcessPlane) execute(ctx context.Context, prep *exec.Prepared, s, t 
 	algName := alg.Name()
 
 	var shuffleTime time.Duration
+	warm := true
 	rec.mu.RLock()
 	if !rec.done {
 		rec.mu.RUnlock()
 		rec.mu.Lock()
 		if !rec.done {
+			warm = false
 			start := time.Now()
 			parts, totalInput, err := exec.Shuffle(ctx, prep.Plan, s, t, 0)
 			if err != nil {
@@ -503,6 +690,7 @@ func (p *inProcessPlane) execute(ctx context.Context, prep *exec.Prepared, s, t 
 			exec.PresortPartitions(rec.parts, 0)
 			rec.prepared = exec.PrepareShuffled(rec.parts, band, alg, 0)
 			rec.prepAlg = algName
+			rec.bytes.Store(partitionBytes(rec.parts))
 			shuffleTime = time.Since(start)
 			rec.done = true
 		}
@@ -530,13 +718,37 @@ func (p *inProcessPlane) execute(ctx context.Context, prep *exec.Prepared, s, t 
 		return nil, err
 	}
 	res.ShuffleTime = shuffleTime
+	res.WarmPartitions = warm
 	return res, nil
+}
+
+// partitionBytes sums the partitions' key and ID bytes.
+func partitionBytes(parts []*exec.PartitionInput) int64 {
+	var total int64
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		total += int64(p.S.Len()+p.T.Len())*int64(p.S.Dims())*8 +
+			int64(len(p.SIDs)+len(p.TIDs))*8
+	}
+	return total
 }
 
 func (p *inProcessPlane) evict(planID string) {
 	p.mu.Lock()
 	delete(p.parts, planID)
 	p.mu.Unlock()
+}
+
+func (p *inProcessPlane) retained() (int, int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var bytes int64
+	for _, rec := range p.parts {
+		bytes += rec.bytes.Load()
+	}
+	return len(p.parts), bytes
 }
 
 func (p *inProcessPlane) close() {
@@ -570,5 +782,9 @@ func (p *clusterPlane) execute(ctx context.Context, prep *exec.Prepared, s, t *R
 }
 
 func (p *clusterPlane) evict(planID string) { p.coord.EvictPlan(planID) }
+
+// retained reports the coordinator's sealed-shipment count; the bytes live on
+// the workers, whose own registries report them (bandjoin_worker_retained_bytes).
+func (p *clusterPlane) retained() (int, int64) { return p.coord.RetainedPlans(), 0 }
 
 func (p *clusterPlane) close() {}

@@ -205,3 +205,7 @@ func (s *chaosService) Evict(args *cluster.EvictArgs, reply *cluster.EvictReply)
 func (s *chaosService) Ping(args *cluster.PingArgs, reply *cluster.PingReply) error {
 	return s.node.intercept("Ping", s.conn, func() error { return s.node.worker.Ping(args, reply) })
 }
+
+func (s *chaosService) Stats(args *cluster.StatsArgs, reply *cluster.StatsReply) error {
+	return s.node.intercept("Stats", s.conn, func() error { return s.node.worker.Stats(args, reply) })
+}

@@ -228,6 +228,10 @@ type workerClient struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// onTransition, when set (before the client is shared across goroutines),
+	// observes every health-state change — the coordinator's metrics hook.
+	onTransition func(from, to WorkerState)
 }
 
 func newWorkerClient(idx int, addr string, opts DialOptions) *workerClient {
@@ -240,18 +244,29 @@ func newWorkerClient(idx int, addr string, opts DialOptions) *workerClient {
 // State returns the worker's current health state.
 func (wc *workerClient) State() WorkerState { return WorkerState(wc.state.Load()) }
 
+// setState moves the health state and reports the transition (if any) to the
+// hook. Swap makes the old state unambiguous under concurrent markers.
+func (wc *workerClient) setState(to WorkerState) {
+	from := WorkerState(wc.state.Swap(int32(to)))
+	if from != to && wc.onTransition != nil {
+		wc.onTransition(from, to)
+	}
+}
+
 func (wc *workerClient) markUp() {
-	wc.state.Store(int32(StateUp))
+	wc.setState(StateUp)
 	wc.hbFails.Store(0)
 }
 
 // markSuspect demotes an up worker after a transport failure; a down worker
 // stays down (only a successful call resurrects it).
 func (wc *workerClient) markSuspect() {
-	wc.state.CompareAndSwap(int32(StateUp), int32(StateSuspect))
+	if wc.state.CompareAndSwap(int32(StateUp), int32(StateSuspect)) && wc.onTransition != nil {
+		wc.onTransition(StateUp, StateSuspect)
+	}
 }
 
-func (wc *workerClient) markDown() { wc.state.Store(int32(StateDown)) }
+func (wc *workerClient) markDown() { wc.setState(StateDown) }
 
 // name returns the worker's self-reported display name (its address until the
 // first successful Ping).
@@ -486,10 +501,12 @@ func DialConfig(addrs []string, opts DialOptions) (*Coordinator, error) {
 		return nil, fmt.Errorf("cluster: MinWorkers %d exceeds the %d worker addresses", opts.MinWorkers, len(addrs))
 	}
 	c := &Coordinator{opts: opts, hbStop: make(chan struct{})}
+	c.m = newCoordMetrics(c)
 	reachable := 0
 	var firstErr error
 	for i, addr := range addrs {
 		wc := newWorkerClient(i, addr, opts)
+		wc.onTransition = c.m.transition
 		if _, err := wc.conn(); err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("cluster: dialing worker %s: %w", addr, err)

@@ -15,6 +15,7 @@ import (
 	"bandjoin/internal/costmodel"
 	"bandjoin/internal/data"
 	"bandjoin/internal/exec"
+	"bandjoin/internal/obs"
 	"bandjoin/internal/partition"
 	"bandjoin/internal/sample"
 )
@@ -56,6 +57,76 @@ type Coordinator struct {
 	// fingerprints have been fully shipped and sealed on the workers.
 	mu            sync.Mutex
 	retainedPlans map[string]*retainedPlanRec
+
+	m *coordMetrics
+}
+
+// coordMetrics is the coordinator's observability surface: per-run data-plane
+// totals, fault-path counters (retries, failover rounds, lost workers), and
+// worker health transitions, plus occupancy gauges. Counters are folded in
+// once per query at aggregation time; transitions are recorded by the worker
+// clients as they happen.
+type coordMetrics struct {
+	reg *obs.Registry
+
+	runs           *obs.Counter
+	shuffleBytes   *obs.Counter
+	shuffleRPCs    *obs.Counter
+	retries        *obs.Counter
+	failoverRounds *obs.Counter
+	workersLost    *obs.Counter
+	transUp        *obs.Counter
+	transSuspect   *obs.Counter
+	transDown      *obs.Counter
+}
+
+func newCoordMetrics(c *Coordinator) *coordMetrics {
+	reg := obs.NewRegistry()
+	m := &coordMetrics{
+		reg:            reg,
+		runs:           reg.Counter("bandjoin_coord_runs_total", "Distributed queries executed."),
+		shuffleBytes:   reg.Counter("bandjoin_coord_shuffle_bytes_total", "Wire bytes moved by shuffles, including failover reshipments."),
+		shuffleRPCs:    reg.Counter("bandjoin_coord_shuffle_rpcs_total", "Load RPCs issued by shuffles."),
+		retries:        reg.Counter("bandjoin_coord_retries_total", "RPC retries and recovery escalations."),
+		failoverRounds: reg.Counter("bandjoin_coord_failover_rounds_total", "Failover rounds (shuffle, join, or retained reshipment)."),
+		workersLost:    reg.Counter("bandjoin_coord_workers_lost_total", "Workers declared dead mid-query."),
+		transUp:        reg.Counter("bandjoin_coord_worker_transitions_total", "Worker health transitions by destination state.", "to", "up"),
+		transSuspect:   reg.Counter("bandjoin_coord_worker_transitions_total", "Worker health transitions by destination state.", "to", "suspect"),
+		transDown:      reg.Counter("bandjoin_coord_worker_transitions_total", "Worker health transitions by destination state.", "to", "down"),
+	}
+	reg.GaugeFunc("bandjoin_coord_workers", "Configured worker slots.", func() float64 {
+		return float64(len(c.workers))
+	})
+	reg.GaugeFunc("bandjoin_coord_live_workers", "Workers not currently marked down.", func() float64 {
+		return float64(c.LiveWorkers())
+	})
+	reg.GaugeFunc("bandjoin_coord_retained_plans", "Plan fingerprints with a sealed shipment record.", func() float64 {
+		return float64(c.RetainedPlans())
+	})
+	return m
+}
+
+// transition is the worker clients' health-transition hook.
+func (m *coordMetrics) transition(_, to WorkerState) {
+	switch to {
+	case StateUp:
+		m.transUp.Inc()
+	case StateSuspect:
+		m.transSuspect.Inc()
+	case StateDown:
+		m.transDown.Inc()
+	}
+}
+
+// Metrics returns the coordinator's metrics registry.
+func (c *Coordinator) Metrics() *obs.Registry { return c.m.reg }
+
+// RetainedPlans returns the number of plan fingerprints the coordinator
+// currently records as shipped (warm) on the workers.
+func (c *Coordinator) RetainedPlans() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.retainedPlans)
 }
 
 // retainedPlanRec tracks one retained plan's shipment. Its RWMutex serializes
@@ -206,6 +277,7 @@ type runState struct {
 	wasLive     map[int]bool
 
 	retries    atomic.Int64
+	failovers  atomic.Int64
 	extraRPCs  atomic.Int64
 	extraBytes atomic.Int64
 
@@ -213,6 +285,9 @@ type runState struct {
 	lost     map[int]bool
 	excluded map[int]bool
 	jobs     []string
+	// events is the query's fault timeline (worker losses, failover rounds),
+	// surfaced on the Result so the engine can fold it into the QueryTrace.
+	events []exec.TraceEvent
 }
 
 func (c *Coordinator) newRunState() *runState {
@@ -237,8 +312,28 @@ func (rs *runState) retry() { rs.retries.Add(1) }
 func (rs *runState) noteLost(slot int) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	rs.lost[slot] = true
+	if !rs.lost[slot] {
+		rs.lost[slot] = true
+		rs.events = append(rs.events, exec.TraceEvent{
+			At: time.Now(), Name: "worker_lost", Detail: fmt.Sprintf("slot=%d", slot),
+		})
+	}
 	rs.excluded[slot] = true
+}
+
+// failover records one recovery round: partitions were re-placed and
+// reshipped (or a retained plan invalidated) after a failure.
+func (rs *runState) failover(name, detail string) {
+	rs.failovers.Add(1)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.events = append(rs.events, exec.TraceEvent{At: time.Now(), Name: name, Detail: detail})
+}
+
+func (rs *runState) eventList() []exec.TraceEvent {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([]exec.TraceEvent(nil), rs.events...)
 }
 
 // exclude removes a worker from this query's failover targets (dead, or alive
@@ -618,6 +713,7 @@ func (c *Coordinator) shipPartitions(ctx context.Context, assignment map[int][]i
 		}
 		if len(orphaned) > 0 {
 			sort.Ints(orphaned)
+			rs.failover("shuffle_failover", fmt.Sprintf("pids=%d", len(orphaned)))
 			targets := c.liveSlots(rs)
 			if len(targets) == 0 {
 				return nil, rpcs, errNoLiveWorkers
@@ -735,6 +831,7 @@ func (c *Coordinator) runJoinsTransient(ctx context.Context, baseJob string, own
 		sort.Ints(lostPids)
 		rs.retry()
 		curJob = fmt.Sprintf("%s#r%d", baseJob, round+1)
+		rs.failover("join_failover", fmt.Sprintf("pids=%d job=%s", len(lostPids), curJob))
 		rs.addJob(curJob)
 		targets := c.liveSlots(rs)
 		if len(targets) == 0 {
@@ -844,13 +941,14 @@ func (c *Coordinator) runRetained(ctx context.Context, plan partition.Plan, pctx
 			return nil, err
 		}
 		rec := c.retainedRec(opts.PlanID)
-		st, slots, err := c.ensureShipped(ctx, rec, plan, pctx, s, t, band, opts, rs)
+		st, slots, warm, err := c.ensureShipped(ctx, rec, plan, pctx, s, t, band, opts, rs)
 		if err == errStalePlanRec {
 			lastErr = err
 			continue
 		}
 		if errors.Is(err, errWorkerLost) {
 			lastErr = err
+			rs.failover("retained_failover", "worker lost during shipment")
 			c.EvictPlan(opts.PlanID)
 			continue
 		}
@@ -871,12 +969,15 @@ func (c *Coordinator) runRetained(ctx context.Context, plan partition.Plan, pctx
 		}
 		if stale {
 			lastErr = errWorkerLost
+			rs.failover("retained_failover", "shipment holder went down since sealing")
 			c.EvictPlan(opts.PlanID)
 			continue
 		}
 		joined, joinWall, err := c.runJoinsSimple(ctx, opts.PlanID, true, slots, nil, band, opts, rs)
 		if err == nil {
-			return c.aggregate(joined, opts, s, t, st, joinWall, rs), nil
+			res := c.aggregate(joined, opts, s, t, st, joinWall, rs)
+			res.WarmPartitions = warm
+			return res, nil
 		}
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
@@ -887,6 +988,7 @@ func (c *Coordinator) runRetained(ctx context.Context, plan partition.Plan, pctx
 		// A worker no longer holds the plan (retention-cap eviction, restart,
 		// or death): drop the stale record and reship.
 		lastErr = err
+		rs.failover("retained_failover", "plan lost at join time; reshipping")
 		c.EvictPlan(opts.PlanID)
 	}
 	return nil, fmt.Errorf("cluster: retained plan %q kept disappearing: %w", opts.PlanID, lastErr)
@@ -912,21 +1014,23 @@ func (c *Coordinator) retainedRec(planID string) *retainedPlanRec {
 // workers, shipping them if this is the first query (or the previous shipment
 // failed). Exactly one shuffle runs per fingerprint; concurrent first queries
 // block on the record's write lock and then proceed warm. It returns the slot
-// set holding the sealed shipment, which the warm join must target.
-func (c *Coordinator) ensureShipped(ctx context.Context, rec *retainedPlanRec, plan partition.Plan, pctx *partition.Context, s, t *data.Relation, band data.Band, opts Options, rs *runState) (shuffleStats, []int, error) {
+// set holding the sealed shipment, which the warm join must target, and
+// whether the shipment was already resident (warm) — the retained-tier
+// outcome the trace reports.
+func (c *Coordinator) ensureShipped(ctx context.Context, rec *retainedPlanRec, plan partition.Plan, pctx *partition.Context, s, t *data.Relation, band data.Band, opts Options, rs *runState) (shuffleStats, []int, bool, error) {
 	rec.mu.RLock()
 	if rec.shipped {
 		st := shuffleStats{totalInput: rec.totalInput}
 		slots := append([]int(nil), rec.slots...)
 		rec.mu.RUnlock()
-		return st, slots, nil
+		return st, slots, true, nil
 	}
 	rec.mu.RUnlock()
 
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
 	if rec.shipped {
-		return shuffleStats{totalInput: rec.totalInput}, append([]int(nil), rec.slots...), nil
+		return shuffleStats{totalInput: rec.totalInput}, append([]int(nil), rec.slots...), true, nil
 	}
 	// A concurrent EvictPlan may have removed this record from the map while
 	// we waited for the lock; shipping through a superseded record could
@@ -936,7 +1040,7 @@ func (c *Coordinator) ensureShipped(ctx context.Context, rec *retainedPlanRec, p
 	stale := c.retainedPlans[opts.PlanID] != rec
 	c.mu.Unlock()
 	if stale {
-		return shuffleStats{}, nil, errStalePlanRec
+		return shuffleStats{}, nil, false, errStalePlanRec
 	}
 	// Clear any half-shipped remnants of a previously failed shipment before
 	// loading: the registry accumulates across Load calls.
@@ -952,7 +1056,7 @@ func (c *Coordinator) ensureShipped(ctx context.Context, rec *retainedPlanRec, p
 	var owned map[int][]int
 	targets := c.liveSlots(rs)
 	if len(targets) == 0 {
-		return shuffleStats{}, nil, errNoLiveWorkers
+		return shuffleStats{}, nil, false, errNoLiveWorkers
 	}
 	if opts.Serial {
 		place := placementOver(plan, pctx, len(targets))
@@ -961,19 +1065,19 @@ func (c *Coordinator) ensureShipped(ctx context.Context, rec *retainedPlanRec, p
 		st.totalInput, st.rpcs, owned, err = c.shuffleSerial(ctx, plan, slotOf, s, t, opts)
 		if err != nil {
 			c.evictWorkers(opts.PlanID)
-			return shuffleStats{}, nil, err
+			return shuffleStats{}, nil, false, err
 		}
 	} else {
 		parts, totalInput, err := exec.Shuffle(ctx, plan, s, t, runtime.GOMAXPROCS(0))
 		if err != nil {
-			return shuffleStats{}, nil, err
+			return shuffleStats{}, nil, false, err
 		}
 		st.totalInput = totalInput
 		assignment := redistribute(nonEmptyPids(parts), targets)
 		owned, st.rpcs, err = c.shipPartitions(ctx, assignment, parts, opts, c.clearRetained(opts.PlanID), redistribute, rs)
 		if err != nil {
 			c.evictWorkers(opts.PlanID)
-			return shuffleStats{}, nil, err
+			return shuffleStats{}, nil, false, err
 		}
 	}
 
@@ -1013,16 +1117,16 @@ func (c *Coordinator) ensureShipped(ctx context.Context, rec *retainedPlanRec, p
 			if !wc.probe(ctx) {
 				rs.noteLost(slot)
 			}
-			return shuffleStats{}, nil, fmt.Errorf("cluster: sealing plan on worker %d (%s): %w (%v)", slot, wc.name(), errWorkerLost, err)
+			return shuffleStats{}, nil, false, fmt.Errorf("cluster: sealing plan on worker %d (%s): %w (%v)", slot, wc.name(), errWorkerLost, err)
 		}
-		return shuffleStats{}, nil, fmt.Errorf("cluster: sealing plan on worker %d (%s): %w", slot, wc.name(), err)
+		return shuffleStats{}, nil, false, fmt.Errorf("cluster: sealing plan on worker %d (%s): %w", slot, wc.name(), err)
 	}
 	st.duration = time.Since(start)
 	st.bytes = c.wireBytes() - wireStart
 	rec.shipped = true
 	rec.totalInput = st.totalInput
 	rec.slots = append([]int(nil), final...)
-	return st, append([]int(nil), final...), nil
+	return st, append([]int(nil), final...), false, nil
 }
 
 // EvictPlan discards one retained plan from every worker and removes the
@@ -1084,6 +1188,14 @@ func (c *Coordinator) aggregate(joined []slotJoin, opts Options, s, t *data.Rela
 		WorkerOutput: make([]int64, workers),
 	}
 	res.Degraded = res.LostWorkers > 0 || rs.liveAtStart < workers
+	res.FailoverRounds = int(rs.failovers.Load())
+	res.FaultEvents = rs.eventList()
+	c.m.runs.Inc()
+	c.m.shuffleBytes.Add(res.ShuffleBytes)
+	c.m.shuffleRPCs.Add(res.ShuffleRPCs)
+	c.m.retries.Add(int64(res.Retries))
+	c.m.failoverRounds.Add(int64(res.FailoverRounds))
+	c.m.workersLost.Add(int64(res.LostWorkers))
 	workerBusy := make([]time.Duration, workers)
 	for _, sj := range joined {
 		for _, ps := range sj.stats {

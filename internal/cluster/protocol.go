@@ -172,6 +172,44 @@ type EvictReply struct {
 	Existed bool
 }
 
+// StatsArgs requests a worker's observability counters.
+type StatsArgs struct{}
+
+// StatsReply is one worker's cumulative observability snapshot: occupancy
+// (jobs, retained plans/bytes), data-plane totals (Load/Join RPCs, tuples,
+// bytes, pairs), retained-tier outcomes, and pool state. Like Ping, Stats
+// answers while draining — an operator watching a drain needs the numbers
+// most right then.
+type StatsReply struct {
+	Worker   string
+	Draining bool
+
+	// Occupancy.
+	Jobs           int
+	RetainedPlans  int
+	RetainedBytes  int64
+	TransientBytes int64
+	JoinInflight   int64
+
+	// Load path.
+	LoadRPCs     int64
+	LoadTuples   int64
+	LoadBytes    int64
+	LoadRejected int64
+
+	// Join path.
+	JoinRPCs         int64
+	PartitionsJoined int64
+	PairsEmitted     int64
+	JoinNanos        int64
+	RetainedHits     int64
+	RetainedMisses   int64
+
+	// Retention lifecycle.
+	Seals     int64
+	Evictions int64
+}
+
 // PingArgs checks worker liveness.
 type PingArgs struct{}
 

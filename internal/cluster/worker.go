@@ -14,6 +14,7 @@ import (
 	"bandjoin/internal/data"
 	"bandjoin/internal/exec"
 	"bandjoin/internal/localjoin"
+	"bandjoin/internal/obs"
 )
 
 // Worker is the RPC service a worker machine runs. It accumulates partition
@@ -52,7 +53,88 @@ type Worker struct {
 	// queries yet let the ones in progress finish (see Drain).
 	draining bool
 	inflight sync.WaitGroup
+
+	m *workerMetrics
 }
+
+// workerMetrics is the worker's observability surface: data-plane counters
+// (Load/Join RPCs, tuples, bytes, pairs), retained-tier outcomes, the join
+// pool's occupancy, per-partition join latency, and scrape-time occupancy
+// gauges, all in the worker's own registry (see Worker.Metrics). Counter
+// updates on the Load/Join paths are single atomics.
+type workerMetrics struct {
+	reg *obs.Registry
+
+	loadRPCs     *obs.Counter
+	loadTuples   *obs.Counter
+	loadBytes    *obs.Counter
+	loadRejected *obs.Counter
+
+	joinRPCs         *obs.Counter
+	partitionsJoined *obs.Counter
+	pairsEmitted     *obs.Counter
+	retainedHits     *obs.Counter
+	retainedMisses   *obs.Counter
+	joinInflight     *obs.Gauge
+
+	seals     *obs.Counter
+	evictions *obs.Counter
+
+	partitionJoinSeconds *obs.Histogram
+	loadChunkBytes       *obs.Histogram
+}
+
+func newWorkerMetrics(w *Worker) *workerMetrics {
+	reg := obs.NewRegistry()
+	m := &workerMetrics{
+		reg:              reg,
+		loadRPCs:         reg.Counter("bandjoin_worker_load_rpcs_total", "Load RPCs accepted."),
+		loadTuples:       reg.Counter("bandjoin_worker_load_tuples_total", "Tuples received via Load."),
+		loadBytes:        reg.Counter("bandjoin_worker_load_bytes_total", "Payload bytes (keys+IDs) received via Load."),
+		loadRejected:     reg.Counter("bandjoin_worker_load_rejected_total", "Data-plane RPCs rejected while draining."),
+		joinRPCs:         reg.Counter("bandjoin_worker_join_rpcs_total", "Join RPCs served."),
+		partitionsJoined: reg.Counter("bandjoin_worker_partitions_joined_total", "Partition-level local joins executed."),
+		pairsEmitted:     reg.Counter("bandjoin_worker_pairs_emitted_total", "Result pairs produced by local joins."),
+		retainedHits:     reg.Counter("bandjoin_worker_retained_join_total", "Retained-plan join outcomes.", "outcome", "hit"),
+		retainedMisses:   reg.Counter("bandjoin_worker_retained_join_total", "Retained-plan join outcomes.", "outcome", "miss"),
+		joinInflight:     reg.Gauge("bandjoin_worker_join_pool_inflight", "Partition joins currently running."),
+		seals:            reg.Counter("bandjoin_worker_seals_total", "Retained plans sealed."),
+		evictions:        reg.Counter("bandjoin_worker_evictions_total", "Retained plans evicted (explicit or cap)."),
+		partitionJoinSeconds: reg.Histogram("bandjoin_worker_partition_join_seconds",
+			"Per-partition local-join latency.", obs.LatencyBuckets()),
+		loadChunkBytes: reg.Histogram("bandjoin_worker_load_chunk_bytes",
+			"Per-Load payload size (keys+IDs).", obs.ByteBuckets()),
+	}
+	reg.GaugeFunc("bandjoin_worker_jobs", "Resident transient jobs.", func() float64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return float64(len(w.jobs))
+	})
+	reg.GaugeFunc("bandjoin_worker_retained_plans", "Resident retained plans.", func() float64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return float64(len(w.retained))
+	})
+	reg.GaugeFunc("bandjoin_worker_retained_bytes", "Approximate key/ID bytes held by retained plans.", func() float64 {
+		return float64(w.retainedBytes())
+	})
+	reg.GaugeFunc("bandjoin_worker_transient_bytes", "Approximate key/ID bytes held by transient jobs.", func() float64 {
+		return float64(w.transientBytes())
+	})
+	reg.GaugeFunc("bandjoin_worker_draining", "1 while the worker is draining.", func() float64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if w.draining {
+			return 1
+		}
+		return 0
+	})
+	return m
+}
+
+// Metrics returns the worker's metrics registry (what recpartd serves behind
+// -metrics-addr).
+func (w *Worker) Metrics() *obs.Registry { return w.m.reg }
 
 // beginWork admits one data-plane RPC, or rejects it if the worker is
 // draining. The WaitGroup Add happens under the same lock as the draining
@@ -61,6 +143,7 @@ func (w *Worker) beginWork() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.draining {
+		w.m.loadRejected.Inc()
 		return fmt.Errorf("cluster: worker %s is draining", w.name)
 	}
 	w.inflight.Add(1)
@@ -165,11 +248,72 @@ func (p *partitionData) preparedFor(alg localjoin.Algorithm, band data.Band) loc
 
 // NewWorker returns a worker service with the given display name.
 func NewWorker(name string) *Worker {
-	return &Worker{
+	w := &Worker{
 		name:     name,
 		jobs:     make(map[string]*jobState),
 		retained: make(map[string]*retainedState),
 	}
+	w.m = newWorkerMetrics(w)
+	return w
+}
+
+// payloadBytes approximates one partition's resident key/ID footprint under
+// its read lock.
+func (p *partitionData) payloadBytes() int64 {
+	return int64(p.s.Len()+p.t.Len())*int64(p.s.Dims())*8 +
+		int64(len(p.sIDs)+len(p.tIDs))*8
+}
+
+// sumJobBytes walks one job's partitions and sums their footprints. It takes
+// job.mu only to copy the partition pointers and each p.mu read lock only to
+// sum, so a scrape never holds two locks at once and cannot deadlock against
+// the Load path (which locks job.mu then p.mu).
+func sumJobBytes(job *jobState) int64 {
+	job.mu.Lock()
+	parts := make([]*partitionData, 0, len(job.partitions))
+	for _, p := range job.partitions {
+		parts = append(parts, p)
+	}
+	job.mu.Unlock()
+	var total int64
+	for _, p := range parts {
+		p.mu.RLock()
+		total += p.payloadBytes()
+		p.mu.RUnlock()
+	}
+	return total
+}
+
+// retainedBytes approximates the key/ID bytes held by the retained-plan
+// registry. w.mu is released before any per-job lock is taken.
+func (w *Worker) retainedBytes() int64 {
+	w.mu.Lock()
+	jobs := make([]*jobState, 0, len(w.retained))
+	for _, rs := range w.retained {
+		jobs = append(jobs, &rs.jobState)
+	}
+	w.mu.Unlock()
+	var total int64
+	for _, job := range jobs {
+		total += sumJobBytes(job)
+	}
+	return total
+}
+
+// transientBytes approximates the key/ID bytes held by the transient job
+// table.
+func (w *Worker) transientBytes() int64 {
+	w.mu.Lock()
+	jobs := make([]*jobState, 0, len(w.jobs))
+	for _, job := range w.jobs {
+		jobs = append(jobs, job)
+	}
+	w.mu.Unlock()
+	var total int64
+	for _, job := range jobs {
+		total += sumJobBytes(job)
+	}
+	return total
 }
 
 // SetMaxParallelism caps the join parallelism coordinators may request; n < 1
@@ -289,6 +433,16 @@ func (w *Worker) Load(args *LoadArgs, reply *LoadReply) error {
 		*ids = append(*ids, args.IDs...)
 	}
 	reply.Received = n
+	var payload int64
+	if args.Packed != nil {
+		payload = int64(len(args.Packed.Keys) + len(args.Packed.IDs))
+	} else {
+		payload = int64(n) * int64(dims+1) * 8
+	}
+	w.m.loadRPCs.Inc()
+	w.m.loadTuples.Add(int64(n))
+	w.m.loadBytes.Add(payload)
+	w.m.loadChunkBytes.Observe(float64(payload))
 	return nil
 }
 
@@ -313,15 +467,18 @@ func (w *Worker) Join(args *JoinArgs, reply *JoinReply) error {
 		return fmt.Errorf("cluster: invalid band condition: %w", err)
 	}
 
+	w.m.joinRPCs.Inc()
 	var job *jobState
 	w.mu.Lock()
 	if args.Retained {
 		rs := w.retained[args.JobID]
 		if rs == nil || !rs.sealed {
 			w.mu.Unlock()
+			w.m.retainedMisses.Inc()
 			return fmt.Errorf("cluster: worker %s: %s %q", w.name, ErrUnknownRetainedPlan, args.JobID)
 		}
 		job = &rs.jobState
+		w.m.retainedHits.Inc()
 	} else {
 		job = w.jobs[args.JobID]
 	}
@@ -366,7 +523,7 @@ func (w *Worker) Join(args *JoinArgs, reply *JoinReply) error {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			stats[i] = joinPartition(alg, tasks[i].pid, tasks[i].p, args, args.Retained)
+			stats[i] = w.joinPartition(alg, tasks[i].pid, tasks[i].p, args, args.Retained)
 		}(i)
 	}
 	wg.Wait()
@@ -380,7 +537,9 @@ func (w *Worker) Join(args *JoinArgs, reply *JoinReply) error {
 // lock) waits for running joins instead of racing them. Retained partitions
 // probe the cached prepared structure (built at Seal) instead of rebuilding
 // the join's index per query.
-func joinPartition(alg localjoin.Algorithm, pid int, p *partitionData, args *JoinArgs, retained bool) PartitionStats {
+func (w *Worker) joinPartition(alg localjoin.Algorithm, pid int, p *partitionData, args *JoinArgs, retained bool) PartitionStats {
+	w.m.joinInflight.Add(1)
+	defer w.m.joinInflight.Add(-1)
 	var prep localjoin.PreparedT
 	if retained {
 		prep = p.preparedFor(alg, args.Band)
@@ -402,6 +561,9 @@ func joinPartition(alg localjoin.Algorithm, pid int, p *partitionData, args *Joi
 		stats.Output = alg.Join(p.s, p.t, args.Band, emit)
 	}
 	stats.JoinNanos = time.Since(start).Nanoseconds()
+	w.m.partitionsJoined.Inc()
+	w.m.pairsEmitted.Add(stats.Output)
+	w.m.partitionJoinSeconds.Observe(float64(stats.JoinNanos) / 1e9)
 	return stats
 }
 
@@ -509,8 +671,10 @@ func (w *Worker) Seal(args *SealArgs, reply *SealReply) error {
 				break
 			}
 			delete(w.retained, oldest)
+			w.m.evictions.Inc()
 		}
 	}
+	w.m.seals.Inc()
 	return nil
 }
 
@@ -521,10 +685,14 @@ func (w *Worker) Evict(args *EvictArgs, reply *EvictReply) error {
 	defer w.mu.Unlock()
 	if args.PlanID == "" {
 		reply.Existed = len(w.retained) > 0
+		w.m.evictions.Add(int64(len(w.retained)))
 		w.retained = make(map[string]*retainedState)
 		return nil
 	}
 	_, reply.Existed = w.retained[args.PlanID]
+	if reply.Existed {
+		w.m.evictions.Inc()
+	}
 	delete(w.retained, args.PlanID)
 	return nil
 }
@@ -537,6 +705,39 @@ func (w *Worker) Ping(_ *PingArgs, reply *PingReply) error {
 	reply.Jobs = len(w.jobs)
 	reply.Retained = len(w.retained)
 	reply.Draining = w.draining
+	return nil
+}
+
+// Stats implements the observability RPC: a cumulative snapshot of the
+// worker's counters and occupancy. Like Ping it answers while draining, so a
+// coordinator can still collect a cluster-wide view during a graceful
+// shutdown.
+func (w *Worker) Stats(_ *StatsArgs, reply *StatsReply) error {
+	w.mu.Lock()
+	reply.Worker = w.name
+	reply.Draining = w.draining
+	reply.Jobs = len(w.jobs)
+	reply.RetainedPlans = len(w.retained)
+	w.mu.Unlock()
+
+	// Byte sums take per-job/per-partition locks; w.mu is already released.
+	reply.RetainedBytes = w.retainedBytes()
+	reply.TransientBytes = w.transientBytes()
+
+	m := w.m
+	reply.JoinInflight = m.joinInflight.Value()
+	reply.LoadRPCs = m.loadRPCs.Value()
+	reply.LoadTuples = m.loadTuples.Value()
+	reply.LoadBytes = m.loadBytes.Value()
+	reply.LoadRejected = m.loadRejected.Value()
+	reply.JoinRPCs = m.joinRPCs.Value()
+	reply.PartitionsJoined = m.partitionsJoined.Value()
+	reply.PairsEmitted = m.pairsEmitted.Value()
+	reply.JoinNanos = int64(m.partitionJoinSeconds.Sum() * 1e9)
+	reply.RetainedHits = m.retainedHits.Value()
+	reply.RetainedMisses = m.retainedMisses.Value()
+	reply.Seals = m.seals.Value()
+	reply.Evictions = m.evictions.Value()
 	return nil
 }
 

@@ -107,11 +107,29 @@ type Result struct {
 	// Degraded reports that the query ran on fewer workers than the cluster
 	// was configured with (a worker was down at query start or died
 	// mid-query). LostWorkers counts workers declared dead during this query;
-	// Retries counts RPC retries and recovery reshipments the query needed.
-	// All zero for in-process runs and for undisturbed cluster runs.
-	Degraded    bool
-	LostWorkers int
-	Retries     int
+	// Retries counts RPC retries and recovery reshipments the query needed;
+	// FailoverRounds counts the recovery rounds (reship-and-rejoin passes,
+	// retained-plan rebuilds) the query went through. All zero for in-process
+	// runs and for undisturbed cluster runs.
+	Degraded       bool
+	LostWorkers    int
+	Retries        int
+	FailoverRounds int
+
+	// FaultEvents are the timestamped fault-path occurrences (worker losses,
+	// failover rounds) recorded while the query ran; the engine rebases them
+	// into Trace spans.
+	FaultEvents []TraceEvent
+
+	// WarmPartitions reports that the retained-partition layer served this
+	// query: the shuffle's output was already resident (in memory for the
+	// in-process plane, on the workers for the cluster plane) and nothing was
+	// reshuffled.
+	WarmPartitions bool
+
+	// Trace is the per-query structured trace, attached by the Engine (nil
+	// for direct exec/coordinator runs).
+	Trace *QueryTrace
 
 	// Per-worker accounting.
 	WorkerInput  []int64

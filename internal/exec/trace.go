@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Cache-tier outcomes recorded in a QueryTrace.
+const (
+	TierHit  = "hit"  // served from the cache layer
+	TierMiss = "miss" // paid the full cost and (where applicable) filled the cache
+	TierOff  = "off"  // the layer was disabled for this query
+)
+
+// Span is one timed stage of a query: offsets are relative to the trace's
+// StartedAt, so a trace is self-contained and spans are comparable without
+// wall-clock context. Zero-duration spans mark point events (worker lost,
+// failover round).
+type Span struct {
+	Name string `json:"name"`
+	// StartMicros is the span's start offset from the query start.
+	StartMicros int64 `json:"start_us"`
+	// DurationMicros is the span's length; 0 for point events.
+	DurationMicros int64 `json:"duration_us,omitempty"`
+	// Detail carries stage-specific context: cache-tier outcome, bytes moved,
+	// which worker failed.
+	Detail string `json:"detail,omitempty"`
+}
+
+// TraceEvent is a timestamped fault-path occurrence (retry escalation, worker
+// loss, failover reshipment) recorded by the coordinator while a query runs.
+// Events carry absolute times because the coordinator does not know the
+// query's trace epoch; the engine rebases them into spans.
+type TraceEvent struct {
+	At     time.Time `json:"at"`
+	Name   string    `json:"name"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// QueryTrace is the per-query structured trace: which cache tiers hit, what
+// each pipeline stage cost, what moved over the wire, and how the query
+// degraded under faults. The engine attaches one to every Result; it is
+// allocated per query (not on the per-tuple/per-partition hot paths) so
+// building it costs a handful of small allocations, invisible next to the
+// query itself.
+type QueryTrace struct {
+	// S, T, and Band identify the query.
+	S    string `json:"s"`
+	T    string `json:"t"`
+	Band string `json:"band"`
+	// Partitioner is the planning algorithm that produced the plan.
+	Partitioner string `json:"partitioner,omitempty"`
+
+	StartedAt time.Time `json:"started_at"`
+	// WallMicros is the query's total wall time.
+	WallMicros int64 `json:"wall_us"`
+
+	// Cache-tier outcomes (TierHit/TierMiss/TierOff): the input-sample cache,
+	// the plan cache, and the retained-partition layer.
+	SampleTier   string `json:"sample_tier"`
+	PlanTier     string `json:"plan_tier"`
+	RetainedTier string `json:"retained_tier"`
+
+	// Data-plane accounting, copied from the Result for self-containment.
+	ShuffleBytes int64 `json:"shuffle_bytes"`
+	ShuffleRPCs  int64 `json:"shuffle_rpcs"`
+	Output       int64 `json:"output"`
+
+	// Fault accounting.
+	Retries        int  `json:"retries,omitempty"`
+	LostWorkers    int  `json:"lost_workers,omitempty"`
+	FailoverRounds int  `json:"failover_rounds,omitempty"`
+	Degraded       bool `json:"degraded,omitempty"`
+
+	Spans []Span `json:"spans"`
+}
+
+// AddSpan appends a timed span; start and end are absolute times from the
+// same clock as StartedAt.
+func (tr *QueryTrace) AddSpan(name string, start, end time.Time, detail string) {
+	tr.Spans = append(tr.Spans, Span{
+		Name:           name,
+		StartMicros:    start.Sub(tr.StartedAt).Microseconds(),
+		DurationMicros: end.Sub(start).Microseconds(),
+		Detail:         detail,
+	})
+}
+
+// AddEvents rebases coordinator-recorded fault events into point spans.
+func (tr *QueryTrace) AddEvents(events []TraceEvent) {
+	for _, ev := range events {
+		tr.Spans = append(tr.Spans, Span{
+			Name:        ev.Name,
+			StartMicros: ev.At.Sub(tr.StartedAt).Microseconds(),
+			Detail:      ev.Detail,
+		})
+	}
+}
+
+// JSON renders the trace as indented JSON (the -trace output of
+// cmd/bandjoin).
+func (tr *QueryTrace) JSON() ([]byte, error) {
+	return json.MarshalIndent(tr, "", "  ")
+}

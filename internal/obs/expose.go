@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus writes the registry's metrics in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE block per family, series
+// sorted by label set, histograms expanded into cumulative _bucket/_sum/_count
+// series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			switch f.kind {
+			case counterKind:
+				writeIntSample(bw, f.name, "", s.labels, s.counter.Value())
+			case gaugeKind:
+				writeIntSample(bw, f.name, "", s.labels, s.gauge.Value())
+			case gaugeFuncKind:
+				writeFloatSample(bw, f.name, "", s.labels, s.fn())
+			case histogramKind:
+				bounds, cumulative := s.hist.Buckets()
+				for i, b := range bounds {
+					writeIntSample(bw, f.name, "_bucket", withLE(s.labels, formatFloat(b)), cumulative[i])
+				}
+				writeIntSample(bw, f.name, "_bucket", withLE(s.labels, "+Inf"), cumulative[len(bounds)])
+				writeFloatSample(bw, f.name, "_sum", s.labels, s.hist.Sum())
+				writeIntSample(bw, f.name, "_count", s.labels, s.hist.Count())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeIntSample(bw *bufio.Writer, name, suffix, labels string, v int64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(v, 10))
+	bw.WriteByte('\n')
+}
+
+func writeFloatSample(bw *bufio.Writer, name, suffix, labels string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// withLE merges an `le` label into an already-rendered label string.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// Snapshot returns the registry's current values as a flat map keyed by
+// series name (with rendered labels), suitable for expvar publication:
+// counters and gauges map to numbers, histograms to {count, sum, buckets}.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.series {
+			key := f.name + s.labels
+			switch f.kind {
+			case counterKind:
+				out[key] = s.counter.Value()
+			case gaugeKind:
+				out[key] = s.gauge.Value()
+			case gaugeFuncKind:
+				out[key] = s.fn()
+			case histogramKind:
+				bounds, cumulative := s.hist.Buckets()
+				buckets := make(map[string]int64, len(cumulative))
+				for i, b := range bounds {
+					buckets[formatFloat(b)] = cumulative[i]
+				}
+				buckets["+Inf"] = cumulative[len(bounds)]
+				out[key] = map[string]any{
+					"count":   s.hist.Count(),
+					"sum":     s.hist.Sum(),
+					"buckets": buckets,
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram: counts per upper bound plus a +Inf
+// bucket, a running sum, and a total count. Observe is lock-free and
+// allocation-free (binary search over the bounds plus three atomic updates),
+// so histograms can sit on per-partition join paths.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; immutable after creation
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+// Histograms meant to be scraped should be created through
+// Registry.Histogram instead.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// The first bound >= v is the tightest bucket whose `le` covers v; values
+	// above every bound land in the trailing +Inf bucket.
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds (the Prometheus convention
+// for *_seconds histograms).
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Buckets returns the upper bounds and the cumulative count at each (the
+// Prometheus `le` semantics); the final entry of counts is the +Inf bucket
+// and equals Count().
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
+	cumulative = make([]int64, len(h.counts))
+	var acc int64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return h.bounds, cumulative
+}
+
+// LatencyBuckets returns the default upper bounds (seconds) for latency
+// histograms: 100µs to 60s, roughly logarithmic. Covers everything from a
+// warm plan-cache hit (~35µs, below the first bound) to a multi-second cold
+// shuffle.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+	}
+}
+
+// ByteBuckets returns the default upper bounds for byte-size histograms:
+// 1KiB to 1GiB in powers of four.
+func ByteBuckets() []float64 {
+	return []float64{
+		1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+		1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
+	}
+}

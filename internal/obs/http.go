@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"slices"
+	"sync"
+)
+
+// expvarRegs is the process-wide set of registries published under the single
+// expvar key "bandjoin". expvar.Publish panics on duplicate names, so the
+// publication happens exactly once and later Handler calls only extend the
+// set the published Func reads.
+var (
+	expvarOnce sync.Once
+	expvarMu   sync.Mutex
+	expvarRegs []*Registry
+)
+
+// PublishExpvar merges the registries into the process's expvar output (the
+// "bandjoin" variable on /debug/vars). Safe to call repeatedly; registries
+// already published are not duplicated.
+func PublishExpvar(regs ...*Registry) {
+	expvarMu.Lock()
+	for _, r := range regs {
+		if r != nil && !slices.Contains(expvarRegs, r) {
+			expvarRegs = append(expvarRegs, r)
+		}
+	}
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("bandjoin", expvar.Func(func() any {
+			expvarMu.Lock()
+			regs := slices.Clone(expvarRegs)
+			expvarMu.Unlock()
+			out := make(map[string]any)
+			for _, r := range regs {
+				for k, v := range r.Snapshot() {
+					out[k] = v
+				}
+			}
+			return out
+		}))
+	})
+}
+
+// Handler returns an HTTP handler exposing the registries:
+//
+//	/metrics       — Prometheus text format (all given registries, in order)
+//	/debug/vars    — expvar JSON (process-wide, including the registries)
+//	/debug/pprof/* — net/http/pprof profiles
+//
+// The pprof handlers are registered on the returned mux explicitly, so
+// serving this handler never requires (or pollutes) http.DefaultServeMux.
+func Handler(regs ...*Registry) http.Handler {
+	PublishExpvar(regs...)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			if r != nil {
+				r.WritePrometheus(w)
+			}
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for Handler(regs...) on addr in a background
+// goroutine and returns the bound address (useful with ":0") and a shutdown
+// function. It is what recpartd and cmd/bandjoin run behind -metrics-addr.
+func Serve(addr string, regs ...*Registry) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(regs...)}
+	go srv.Serve(ln)
+	return ln.Addr(), srv.Close, nil
+}

@@ -1,0 +1,246 @@
+// Package obs is the repo's dependency-free observability kit: atomic
+// counters, gauges, and fixed-bucket histograms grouped into registries, with
+// Prometheus text-format and expvar exposition and an HTTP handler bundling
+// /metrics, /debug/vars, and net/http/pprof.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path updates (Counter.Inc/Add, Gauge.Set/Add, Histogram.Observe)
+//     are single atomic operations — no locks, no allocation — so the
+//     shuffle/join fast paths instrumented with them keep their zero-alloc
+//     steady state.
+//  2. No third-party dependencies: the exposition is the Prometheus text
+//     format written by hand, which any scraper (or curl) understands.
+//  3. Multiple registries coexist in one process (every Engine, Coordinator,
+//     and Worker owns one), so tests spinning up many components never fight
+//     over global metric names; an HTTP endpoint serves whichever registries
+//     it was given.
+//
+// Instruments are identified by (family name, label pairs). Registering the
+// same identity twice returns the existing instrument, so wiring code can be
+// written idempotently.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is usable,
+// but counters are normally created through Registry.Counter so they are
+// scrapeable.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is a programming error; it is not checked on the hot
+// path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	gaugeFuncKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind, gaugeFuncKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one (family, label set) instrument.
+type series struct {
+	labels  string // pre-rendered `{k="v",...}`, or "" for no labels
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// family groups the series sharing one metric name (one HELP/TYPE block).
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	series  []*series
+	byLabel map[string]*series
+}
+
+// Registry holds a set of metric families. Instrument creation and exposition
+// take the registry lock; instrument updates never do.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// familyFor returns (creating if needed) the named family, enforcing that one
+// name never spans two metric kinds.
+func (r *Registry) familyFor(name, help string, kind metricKind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, byLabel: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// seriesFor returns (creating if needed) the family's series for the labels.
+func (f *family) seriesFor(labelPairs []string) (*series, bool) {
+	ls := renderLabels(labelPairs)
+	if s, ok := f.byLabel[ls]; ok {
+		return s, true
+	}
+	s := &series{labels: ls}
+	f.byLabel[ls] = s
+	f.series = append(f.series, s)
+	return s, false
+}
+
+// renderLabels renders alternating key/value pairs as `{k="v",...}` with
+// Prometheus escaping; no pairs renders as "".
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", pairs))
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// Counter registers (or fetches) a counter. labelPairs is an alternating
+// key/value list, e.g. Counter("hits_total", "...", "tier", "plan").
+func (r *Registry) Counter(name, help string, labelPairs ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, existed := r.familyFor(name, help, counterKind).seriesFor(labelPairs)
+	if !existed {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, existed := r.familyFor(name, help, gaugeKind).seriesFor(labelPairs)
+	if !existed {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time by fn —
+// the fit for occupancy numbers the owning component already tracks (cache
+// entries, resident bytes, pool in-flight). fn must be safe to call from any
+// goroutine. Re-registering the same identity replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelPairs ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.familyFor(name, help, gaugeFuncKind).seriesFor(labelPairs)
+	s.fn = fn
+}
+
+// Histogram registers (or fetches) a fixed-bucket histogram. bounds are the
+// ascending upper bucket bounds (an implicit +Inf bucket is added); on a
+// re-registration the existing histogram is returned and bounds are ignored.
+func (r *Registry) Histogram(name, help string, bounds []float64, labelPairs ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, existed := r.familyFor(name, help, histogramKind).seriesFor(labelPairs)
+	if !existed {
+		s.hist = NewHistogram(bounds)
+	}
+	return s.hist
+}
+
+// sortedFamilies snapshots the family list ordered by name. Series within a
+// family are ordered by label string so exposition is deterministic.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+	for _, f := range fams {
+		sort.Slice(f.series, func(a, b int) bool { return f.series[a].labels < f.series[b].labels })
+	}
+	return fams
+}

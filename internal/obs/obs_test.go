@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBuckets pins the bucket semantics: an observation lands in the
+// tightest bucket whose upper bound covers it (`le` is inclusive), values
+// above every bound land in +Inf, and sum/count track exactly.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 99.9, 100, 1000, -3} {
+		h.Observe(v)
+	}
+	bounds, cumulative := h.Buckets()
+	if len(bounds) != 3 || len(cumulative) != 4 {
+		t.Fatalf("got %d bounds, %d cumulative counts", len(bounds), len(cumulative))
+	}
+	// le=1: {0.5, 1, -3}; le=10: +{1.5, 10}; le=100: +{99.9, 100}; +Inf: +{1000}.
+	want := []int64{3, 5, 7, 8}
+	for i, w := range want {
+		if cumulative[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cumulative[i], w)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("Count = %d, want 8", h.Count())
+	}
+	wantSum := 0.5 + 1 + 1.5 + 10 + 99.9 + 100 + 1000 - 3
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	h := NewHistogram([]float64{100, 1, 10})
+	h.Observe(5)
+	bounds, cumulative := h.Buckets()
+	if bounds[0] != 1 || bounds[1] != 10 || bounds[2] != 100 {
+		t.Fatalf("bounds not sorted: %v", bounds)
+	}
+	if cumulative[0] != 0 || cumulative[1] != 1 {
+		t.Fatalf("observation landed in the wrong bucket: %v", cumulative)
+	}
+}
+
+// TestPrometheusGolden pins the exact text exposition: HELP/TYPE blocks,
+// label rendering, family ordering by name, series ordering by labels, and
+// the cumulative histogram expansion.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_hits_total", "Cache hits by tier.", "tier", "plan").Add(3)
+	r.Counter("test_hits_total", "Cache hits by tier.", "tier", "sample").Add(5)
+	r.Gauge("test_inflight", "In-flight joins.").Set(2)
+	r.GaugeFunc("test_bytes", "Resident bytes.", func() float64 { return 4096 })
+	h := r.Histogram("test_latency_seconds", "Query latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_bytes Resident bytes.
+# TYPE test_bytes gauge
+test_bytes 4096
+# HELP test_hits_total Cache hits by tier.
+# TYPE test_hits_total counter
+test_hits_total{tier="plan"} 3
+test_hits_total{tier="sample"} 5
+# HELP test_inflight In-flight joins.
+# TYPE test_inflight gauge
+test_inflight 2
+# HELP test_latency_seconds Query latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.01"} 1
+test_latency_seconds_bucket{le="0.1"} 2
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 0.555
+test_latency_seconds_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_esc_total", "", "path", `a"b\c`+"\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `test_esc_total{path="a\"b\\c\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped label missing:\n%s", b.String())
+	}
+}
+
+// TestRegistrationIdempotent pins that registering the same identity twice
+// returns the same instrument (so wiring code need not dedupe).
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "", "k", "v")
+	b := r.Counter("test_total", "", "k", "v")
+	if a != b {
+		t.Error("same identity returned distinct counters")
+	}
+	if c := r.Counter("test_total", "", "k", "w"); c == a {
+		t.Error("distinct labels returned the same counter")
+	}
+	h1 := r.Histogram("test_h", "", []float64{1, 2})
+	h2 := r.Histogram("test_h", "", []float64{5, 6, 7})
+	if h1 != h2 {
+		t.Error("same identity returned distinct histograms")
+	}
+}
+
+// TestConcurrentIncrements hammers one counter, gauge, and histogram from
+// many goroutines; run under -race it doubles as the data-race check for the
+// whole hot path, and the totals pin that no update is lost.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "")
+	g := r.Gauge("test_conc_gauge", "")
+	h := r.Histogram("test_conc_seconds", "", LatencyBuckets())
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j) * 0.0001)
+				// Concurrent scrapes must be safe against concurrent updates.
+				if j == 500 && i == 0 {
+					_ = r.Snapshot()
+					_ = r.WritePrometheus(io.Discard)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != goroutines*perG {
+		t.Errorf("counter = %d, want %d", c.Value(), goroutines*perG)
+	}
+	if g.Value() != goroutines*perG {
+		t.Errorf("gauge = %d, want %d", g.Value(), goroutines*perG)
+	}
+	if h.Count() != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+}
+
+// TestHotPathSteadyStateAllocs asserts the tentpole's hot-path constraint
+// directly: updating counters, gauges, and histograms allocates nothing, so
+// instrumented shuffle/join paths keep their zero-alloc steady state.
+func TestHotPathSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation accounting")
+	}
+	r := NewRegistry()
+	c := r.Counter("test_alloc_total", "")
+	g := r.Gauge("test_alloc_gauge", "")
+	h := r.Histogram("test_alloc_seconds", "", LatencyBuckets())
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); c.Add(3) }); n != 0 {
+		t.Errorf("Counter updates allocate %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(7); g.Add(-2) }); n != 0 {
+		t.Errorf("Gauge updates allocate %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.003); h.ObserveDuration(time.Millisecond) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v per run, want 0", n)
+	}
+}
+
+// TestHTTPEndpoints drives the bundled handler: /metrics serves the
+// Prometheus text, /debug/vars includes the published registries as JSON,
+// and the pprof index answers.
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_http_total", "HTTP test series.").Add(42)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "test_http_total 42") {
+		t.Errorf("/metrics: code %d, body:\n%s", code, body)
+	}
+	code, body = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: code %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	var published map[string]any
+	if err := json.Unmarshal(vars["bandjoin"], &published); err != nil {
+		t.Fatalf("bandjoin expvar missing or malformed: %v", err)
+	}
+	if published["test_http_total"] != float64(42) {
+		t.Errorf("expvar test_http_total = %v, want 42", published["test_http_total"])
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/: code %d", code)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports that the race detector is active; its instrumentation
+// can charge allocations to the measured function, so steady-state allocation
+// tests skip themselves under -race (the concurrency tests are what -race is
+// for here).
+const raceEnabled = true
