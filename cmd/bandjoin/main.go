@@ -19,7 +19,12 @@
 // repeats join worker-resident retained partitions and move zero shuffle
 // bytes. Per-query wall time and shuffle traffic are printed, demonstrating
 // the serving model. -no-retain disables partition retention (repeats still
-// reuse the cached sample and plan but reshuffle).
+// reuse the cached sample and plan but reshuffle). -append-frac f holds back
+// the trailing f fraction of each relation at registration and streams it in
+// through Engine.Append between the repeated queries, demonstrating
+// incremental ingestion: each repeat absorbs a delta into the retained
+// partitions instead of reshuffling, and the per-append absorption cost is
+// printed alongside the per-query timings.
 //
 // Observability:
 //
@@ -70,8 +75,9 @@ func main() {
 		plannerPar    = flag.Int("planner-parallelism", 0, "worker pool bound of RecPart's parallel best-split evaluation (0 = GOMAXPROCS)")
 		serialPlanner = flag.Bool("serial-planner", false, "use RecPart's serial reference grower (the oracle) instead of the fast planner")
 
-		repeat   = flag.Int("repeat", 1, "serve the query this many times through an engine; repeats are answered from cached samples, plans, and retained partitions")
-		noRetain = flag.Bool("no-retain", false, "with -repeat: disable partition retention (repeats reuse the plan but reshuffle)")
+		repeat     = flag.Int("repeat", 1, "serve the query this many times through an engine; repeats are answered from cached samples, plans, and retained partitions")
+		noRetain   = flag.Bool("no-retain", false, "with -repeat: disable partition retention (repeats reuse the plan but reshuffle)")
+		appendFrac = flag.Float64("append-frac", 0, "with -repeat: serve append-driven — register only the first 1-f fraction of each relation and stream the held-back rows in via Engine.Append between queries")
 
 		trace       = flag.Bool("trace", false, "dump each query's structured trace as JSON to stderr")
 		stats       = flag.Bool("stats", false, "print the cluster-wide worker stats after the run (requires -cluster)")
@@ -121,6 +127,12 @@ func main() {
 	if *repeat < 1 {
 		fatal(fmt.Errorf("-repeat must be >= 1, got %d", *repeat))
 	}
+	if *appendFrac < 0 || *appendFrac >= 1 {
+		fatal(fmt.Errorf("-append-frac must be in [0, 1), got %g", *appendFrac))
+	}
+	if *appendFrac > 0 && *repeat < 2 {
+		fatal(fmt.Errorf("-append-frac needs -repeat >= 2 (appends land between queries)"))
+	}
 
 	var cl *bandjoin.Cluster
 	if *clusterAddr != "" {
@@ -164,7 +176,7 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := serveQueries(engine, cl != nil, s, t, band, opts, *repeat, *trace)
+	res, err := serveQueries(engine, cl != nil, s, t, band, opts, *repeat, *appendFrac, *trace)
 	if err != nil {
 		fatal(err)
 	}
@@ -205,18 +217,37 @@ func main() {
 // serveQueries runs the query n times through the engine, printing per-query
 // wall time and shuffle traffic when n > 1, and returns the last result. The
 // first query is cold; repeats are served from the engine's caches. With
-// trace set, each query's structured trace is dumped as JSON to stderr.
-func serveQueries(engine *bandjoin.Engine, onCluster bool, s, t *bandjoin.Relation, band bandjoin.Band, opts bandjoin.Options, n int, trace bool) (*bandjoin.Result, error) {
-	if err := engine.Register("s", s); err != nil {
+// appendFrac > 0 the engine is registered with only the leading 1-f fraction
+// of each relation and the held-back suffix streams in through Engine.Append
+// between queries, so the repeats demonstrate delta absorption instead of pure
+// cache hits. With trace set, each query's structured trace is dumped as JSON
+// to stderr.
+func serveQueries(engine *bandjoin.Engine, onCluster bool, s, t *bandjoin.Relation, band bandjoin.Band, opts bandjoin.Options, n int, appendFrac float64, trace bool) (*bandjoin.Result, error) {
+	baseS, baseT := s, t
+	var deltaS, deltaT *bandjoin.Relation
+	if appendFrac > 0 {
+		cutS := int(float64(s.Len()) * (1 - appendFrac))
+		cutT := int(float64(t.Len()) * (1 - appendFrac))
+		baseS = s.Slice(s.Name(), 0, cutS)
+		baseT = t.Slice(t.Name(), 0, cutT)
+		deltaS = s.Slice(s.Name(), cutS, s.Len())
+		deltaT = t.Slice(t.Name(), cutT, t.Len())
+	}
+	if err := engine.Register("s", baseS); err != nil {
 		return nil, err
 	}
-	if err := engine.Register("t", t); err != nil {
+	if err := engine.Register("t", baseT); err != nil {
 		return nil, err
 	}
 	ctx := context.Background()
 	var res *bandjoin.Result
 	var coldWall time.Duration
 	for q := 0; q < n; q++ {
+		if q > 0 && appendFrac > 0 {
+			if err := appendBatch(ctx, engine, deltaS, deltaT, q-1, n-1); err != nil {
+				return nil, err
+			}
+		}
 		qStart := time.Now()
 		var err error
 		res, err = engine.Join(ctx, "s", "t", band, opts)
@@ -248,6 +279,44 @@ func serveQueries(engine *bandjoin.Engine, onCluster bool, s, t *bandjoin.Relati
 		fmt.Println(line)
 	}
 	return res, nil
+}
+
+// appendBatch streams batch i (of batches) of the held-back deltas into the
+// engine's "s" and "t" datasets and prints the append cost.
+func appendBatch(ctx context.Context, engine *bandjoin.Engine, deltaS, deltaT *bandjoin.Relation, i, batches int) error {
+	slice := func(r *bandjoin.Relation) *bandjoin.Relation {
+		per := (r.Len() + batches - 1) / batches
+		lo := i * per
+		hi := lo + per
+		if hi > r.Len() {
+			hi = r.Len()
+		}
+		if lo >= hi {
+			return nil
+		}
+		return r.Slice(r.Name(), lo, hi)
+	}
+	bS, bT := slice(deltaS), slice(deltaT)
+	aStart := time.Now()
+	if bS != nil {
+		if err := engine.Append(ctx, "s", bS); err != nil {
+			return fmt.Errorf("appending to s: %w", err)
+		}
+	}
+	if bT != nil {
+		if err := engine.Append(ctx, "t", bT); err != nil {
+			return fmt.Errorf("appending to t: %w", err)
+		}
+	}
+	rows := 0
+	if bS != nil {
+		rows += bS.Len()
+	}
+	if bT != nil {
+		rows += bT.Len()
+	}
+	fmt.Printf("append %2d: +%d rows absorbed in %v\n", i+1, rows, time.Since(aStart).Round(time.Millisecond))
+	return nil
 }
 
 func readRelation(name, path string) (*bandjoin.Relation, error) {

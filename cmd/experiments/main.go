@@ -8,6 +8,7 @@
 //	experiments -table all -workers 30 -tuples 40000 -csv results.csv
 //	experiments -pipeline BENCH_pipeline.json -pipeline-tuples 1000000
 //	experiments -cluster BENCH_cluster.json -cluster-tuples 500000 -cluster-workers 2
+//	experiments -append BENCH_append.json -append-tuples 500000 -append-delta 0.10
 //
 // Each table identifier corresponds to one paper artifact (see DESIGN.md for
 // the full index). Output is an aligned text table; -csv additionally exports
@@ -17,6 +18,9 @@
 // report to the given path. -cluster runs the distributed data-plane
 // comparison (serial coordinator vs pipelined streaming shuffle + parallel
 // worker joins) over in-process RPC workers and writes BENCH_cluster.json.
+// -append runs the incremental-ingestion benchmark (Engine.Append of a delta
+// versus a full rebuild, warm-query latency under sustained appends, and the
+// drift-triggered re-partition cost) and writes BENCH_append.json.
 package main
 
 import (
@@ -53,6 +57,15 @@ func main() {
 		engineDims    = flag.Int("engine-dims", 0, "number of join attributes of the engine benchmark (default 8)")
 		engineEps     = flag.Float64("engine-eps", 0, "symmetric band width of the engine benchmark (default 0.003)")
 		engineRounds  = flag.Int("engine-rounds", 0, "rounds per serving tier, fastest kept (default 3)")
+
+		appendPath    = flag.String("append", "", "run the incremental-ingestion benchmark (Engine.Append vs full rebuild, sustained-append query latency, drift re-partition cost) and write the JSON report to this path")
+		appendTuples  = flag.Int("append-tuples", 0, "per-relation base size of the append benchmark (default 500000)")
+		appendWorkers = flag.Int("append-workers", 0, "number of in-process RPC workers of the append benchmark (default 2)")
+		appendDims    = flag.Int("append-dims", 0, "number of join attributes of the append benchmark (default 8)")
+		appendEps     = flag.Float64("append-eps", 0, "symmetric band width of the append benchmark (default 0.003)")
+		appendDelta   = flag.Float64("append-delta", 0, "appended delta as a fraction of the base (default 0.10)")
+		appendBatches = flag.Int("append-batches", 0, "batches the delta is streamed in during the sustained phase (default 5)")
+		appendRounds  = flag.Int("append-rounds", 0, "rounds per one-shot phase, fastest kept (default 3)")
 
 		clusterPath    = flag.String("cluster", "", "run the distributed data-plane benchmark and write the JSON report to this path")
 		clusterTuples  = flag.Int("cluster-tuples", 0, "per-relation input size of the cluster benchmark (default 500000)")
@@ -147,6 +160,57 @@ func main() {
 			rep.WarmPlan.WallSeconds, rep.WarmPlan.ShuffleSeconds, rep.WarmPartitions.WallSeconds, rep.WarmPartitions.ShuffleBytes)
 		fmt.Printf("speedups: warm-plan %.2fx, warm-partitions %.2fx; pairs checked %d identical=%v; report written to %s\n",
 			rep.SpeedupWarmPlan, rep.SpeedupWarmPartitions, rep.PairsChecked, rep.PairsIdentical, *enginePath)
+		return
+	}
+
+	if *appendPath != "" {
+		cfg := bench.DefaultAppendConfig()
+		if *appendTuples > 0 {
+			cfg.Tuples = *appendTuples
+		}
+		if *appendWorkers > 0 {
+			cfg.Workers = *appendWorkers
+		}
+		if *appendDims > 0 {
+			cfg.Dims = *appendDims
+		}
+		if *appendEps > 0 {
+			cfg.Eps = *appendEps
+		}
+		if *appendDelta > 0 {
+			cfg.DeltaFraction = *appendDelta
+		}
+		if *appendBatches > 0 {
+			cfg.Batches = *appendBatches
+		}
+		if *appendRounds > 0 {
+			cfg.Rounds = *appendRounds
+		}
+		cfg.Seed = *seed
+		f, err := os.Create(*appendPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *appendPath, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fmt.Printf("append benchmark: %d + %.0f%% tuples per relation, %dD, band %g, %d in-process workers...\n",
+			cfg.Tuples, 100*cfg.DeltaFraction, cfg.Dims, cfg.Eps, cfg.Workers)
+		rep, err := bench.RunAppend(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "append benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteAppendJSON(f, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *appendPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("full rebuild %.2fs; append %.2fs (%.0f tuples/s) + warm join %.2fs (shuffle bytes %d) = %.2fx speedup\n",
+			rep.RebuildSeconds, rep.AppendSeconds, rep.AppendTuplesPerSec, rep.WarmJoinSeconds,
+			rep.WarmShuffleBytes, rep.SpeedupVsRebuild)
+		fmt.Printf("sustained appends: %d warm queries, mean %.3fs / median %.3fs / max %.3fs\n",
+			rep.Sustained.Queries, rep.Sustained.MeanSeconds, rep.Sustained.MedianSeconds, rep.Sustained.MaxSeconds)
+		fmt.Printf("drift re-partition %.2fs in background (%d queries served during swap); pairs checked %d identical=%v; report written to %s\n",
+			rep.RepartitionSeconds, rep.ServedDuringRepartition, rep.PairsChecked, rep.PairsIdentical, *appendPath)
 		return
 	}
 

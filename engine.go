@@ -34,10 +34,19 @@ import (
 //     repeated query moves zero shuffle bytes and goes straight to the local
 //     joins.
 //
-// Caches are invalidated by Unregister (and by re-Register of the same name,
-// which bumps the dataset's version so stale entries can never serve a new
-// relation). Engine is safe for concurrent use; concurrent identical queries
-// share one sampling, one optimization, and one shuffle.
+// Caches are invalidated only by Unregister and by re-Register of the same
+// name (which bumps the dataset's version so entries derived from the replaced
+// relation can never serve the new one). Growing a dataset is NOT an
+// invalidation: Append extends the relation in place (as an immutable-snapshot
+// swap) and propagates the delta through every layer — cached input samples
+// are kept statistically fresh by weighted reservoir merging, and retained
+// partitions absorb just the appended suffix through the existing plan's
+// routing, so neither planning nor a warm query ever rescans or reshuffles the
+// base relation. Every cache entry records how many base rows it covers;
+// whoever observes an entry behind its relation catches it up idempotently
+// over the uncovered suffix, which makes appends race-safe against concurrent
+// draws, fills, and queries. Engine is safe for concurrent use; concurrent
+// identical queries share one sampling, one optimization, and one shuffle.
 type Engine struct {
 	id        string
 	plane     enginePlane
@@ -68,6 +77,11 @@ type engineMetrics struct {
 	shuffleBytes *obs.Counter
 	shuffleRPCs  *obs.Counter
 
+	appends      *obs.Counter
+	appendTuples *obs.Counter
+	appendBytes  *obs.Counter
+	repartitions *obs.Counter
+
 	querySeconds *obs.Histogram
 	planSeconds  *obs.Histogram
 }
@@ -88,6 +102,10 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 		retainedMisses: reg.Counter("bandjoin_engine_cache_misses_total", misses, "tier", "retained"),
 		shuffleBytes:   reg.Counter("bandjoin_engine_shuffle_bytes_total", "Wire bytes moved by engine queries (cluster plane)."),
 		shuffleRPCs:    reg.Counter("bandjoin_engine_shuffle_rpcs_total", "Load RPCs issued by engine queries (cluster plane)."),
+		appends:        reg.Counter("bandjoin_engine_appends_total", "Append calls absorbed without cache invalidation."),
+		appendTuples:   reg.Counter("bandjoin_engine_appended_tuples_total", "Tuples added via Append."),
+		appendBytes:    reg.Counter("bandjoin_engine_appended_bytes_total", "Key bytes added via Append."),
+		repartitions:   reg.Counter("bandjoin_engine_repartitions_total", "Background re-partitions triggered by plan drift."),
 		querySeconds:   reg.Histogram("bandjoin_engine_query_seconds", "End-to-end Join latency.", obs.LatencyBuckets()),
 		planSeconds:    reg.Histogram("bandjoin_engine_plan_seconds", "Per-query planning-stage latency (≈0 on plan-cache hits).", obs.LatencyBuckets()),
 	}
@@ -187,12 +205,58 @@ type sampleKey struct {
 
 type sampleEntry struct {
 	once sync.Once
-	in   *sample.InputSample
 	err  error
+	// drawn flips once the initial draw succeeded; Append skips entries still
+	// drawing (the drawing query catches itself up right after its once).
+	drawn atomic.Bool
 	// bytes is the drawn sample's approximate footprint, stored after the
 	// once completes so the occupancy gauge can read it without racing the
 	// draw.
 	bytes atomic.Int64
+
+	// mu guards the merged-sample snapshot. in is immutable once published;
+	// catchUp replaces it wholesale with a reservoir-merged successor.
+	// coveredS/coveredT are the base-relation prefix lengths the current
+	// snapshot represents a uniform sample of; they only grow.
+	mu       sync.RWMutex
+	in       *sample.InputSample
+	coveredS int
+	coveredT int
+}
+
+// catchUp folds rows appended past the entry's covered prefixes into the
+// cached sample by weighted reservoir merging (sample.InputSample.Merge) and
+// returns the sample current for the given snapshots. The common fresh case is
+// a read-lock check; merging runs under the write lock and advances the
+// covered lengths, so concurrent callers merge each suffix exactly once and a
+// caller whose snapshot is already covered gets the cached sample unchanged.
+func (se *sampleEntry) catchUp(s, t *Relation) (*sample.InputSample, error) {
+	se.mu.RLock()
+	in, cs, ct := se.in, se.coveredS, se.coveredT
+	se.mu.RUnlock()
+	if cs >= s.Len() && ct >= t.Len() {
+		return in, nil
+	}
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.coveredS >= s.Len() && se.coveredT >= t.Len() {
+		return se.in, nil
+	}
+	var deltaS, deltaT *Relation
+	if se.coveredS < s.Len() {
+		deltaS = s.Slice(s.Name(), se.coveredS, s.Len())
+	}
+	if se.coveredT < t.Len() {
+		deltaT = t.Slice(t.Name(), se.coveredT, t.Len())
+	}
+	merged, err := se.in.Merge(deltaS, deltaT)
+	if err != nil {
+		return nil, err
+	}
+	se.in = merged
+	se.coveredS, se.coveredT = s.Len(), t.Len()
+	se.bytes.Store(inputSampleBytes(merged))
+	return merged, nil
 }
 
 // planKey identifies one cached plan: the dataset pair plus everything the
@@ -213,17 +277,40 @@ type planEntry struct {
 	once sync.Once
 	prep *exec.Prepared
 	err  error
+	// ready flips once planning succeeded; Append reads prep only then.
+	ready atomic.Bool
 
 	// planID is the retention fingerprint, computed deterministically from
 	// the plan key when the entry is created (under e.mu, so the invalidation
-	// paths can read it there without racing the once). Empty when retention
-	// is disabled: nothing is ever resident, so nothing needs evicting.
+	// paths can read it there without racing the once). A drift-triggered
+	// replacement appends a generation suffix ("#g2", ...) so the new shipment
+	// never collides with the old plan's resident partitions. Empty when
+	// retention is disabled: nothing is ever resident, so nothing needs
+	// evicting.
 	planID string
+
+	// Drift accounting. predictedOverhead and baseTuples are written once at
+	// plan time (inside the once, or at creation for a replacement entry):
+	// the plan's estimated load_overhead on the sample it was optimized for,
+	// and the input size it was optimized against. deltaTuples accumulates
+	// rows appended to either side since (guarded by driftMu); the observed
+	// minus predicted overhead and the delta fraction drive the re-partition
+	// trigger (Options.MaxPlanDrift / MaxDeltaFraction). repartitioning
+	// ensures at most one background re-partition is in flight per entry;
+	// generation numbers the replacements.
+	driftMu           sync.Mutex
+	predictedOverhead float64
+	baseTuples        int64
+	deltaTuples       int64
+	generation        int
+	repartitioning    atomic.Bool
 }
 
 // Register adds (or replaces) a named dataset. Re-registering a name bumps
 // its version: cached samples, plans, and retained partitions derived from
 // the old relation are invalidated and the memory they pin is released.
+// Contrast Append, which grows a registered dataset without a version bump:
+// derived entries stay live and absorb the delta instead of being rebuilt.
 func (e *Engine) Register(name string, rel *Relation) error {
 	if name == "" {
 		return fmt.Errorf("bandjoin: dataset name must be non-empty")
@@ -295,6 +382,228 @@ func (e *Engine) evictAll(planIDs []string) {
 	}
 }
 
+// Append adds rows to the registered dataset name without invalidating any
+// cache layer. The dataset's version is unchanged — cache keys stay stable —
+// and the delta is propagated instead: the relation is extended by an
+// immutable-snapshot swap (in-flight queries keep their snapshot), cached
+// input samples covering the dataset are merged up by weighted reservoir
+// continuation, and every live plan's retained partitions absorb just the
+// appended rows through the plan's existing routing (in memory on the
+// in-process plane, via delta Loads into the sealed plans on the cluster
+// plane). Appended partitions are re-sorted and their prepared join structures
+// rebuilt lazily on the next probe, not here. If a delta cannot be absorbed
+// (e.g. a worker died mid-delta), that plan's retained partitions are evicted
+// so the next query reships cold from the full extended relation — slower,
+// never wrong. Appending zero rows is a no-op.
+func (e *Engine) Append(ctx context.Context, name string, rows *Relation) error {
+	if name == "" {
+		return fmt.Errorf("bandjoin: dataset name must be non-empty")
+	}
+	if rows == nil || rows.Len() == 0 {
+		return nil
+	}
+
+	type sampleWork struct {
+		se   *sampleEntry
+		s, t *Relation
+	}
+	type planWork struct {
+		pe   *planEntry
+		s, t *Relation
+	}
+	var sampleWorks []sampleWork
+	var planWorks []planWork
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("bandjoin: engine is closed")
+	}
+	ds, ok := e.datasets[name]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("bandjoin: unknown dataset %q", name)
+	}
+	if ds.rel.Dims() != rows.Dims() {
+		e.mu.Unlock()
+		return fmt.Errorf("bandjoin: dataset %q has %d join attributes but appended rows have %d",
+			name, ds.rel.Dims(), rows.Dims())
+	}
+	// e.mu serializes Extends of one dataset lineage (Relation.Extend's
+	// contract); readers keep their snapshots, new queries adopt this one.
+	ds.rel = ds.rel.Extend(rows)
+	// Snapshot the derived entries touching this dataset together with both
+	// sides' current relations, so the catch-ups below run off e.mu.
+	for k, se := range e.samples {
+		if k.s != name && k.t != name {
+			continue
+		}
+		sd, okS := e.datasets[k.s]
+		td, okT := e.datasets[k.t]
+		if !okS || !okT || sd.version != k.sVer || td.version != k.tVer {
+			continue
+		}
+		sampleWorks = append(sampleWorks, sampleWork{se: se, s: sd.rel, t: td.rel})
+	}
+	for k, pe := range e.plans {
+		if k.s != name && k.t != name {
+			continue
+		}
+		sd, okS := e.datasets[k.s]
+		td, okT := e.datasets[k.t]
+		if !okS || !okT || sd.version != k.sVer || td.version != k.tVer {
+			continue
+		}
+		n := int64(rows.Len())
+		if k.s == name && k.t == name {
+			n *= 2 // a self-join's delta lands on both sides
+		}
+		pe.driftMu.Lock()
+		pe.deltaTuples += n
+		pe.driftMu.Unlock()
+		planWorks = append(planWorks, planWork{pe: pe, s: sd.rel, t: td.rel})
+	}
+	e.mu.Unlock()
+
+	e.m.appends.Inc()
+	e.m.appendTuples.Add(int64(rows.Len()))
+	e.m.appendBytes.Add(int64(rows.Len()) * int64(rows.Dims()) * 8)
+
+	// Keep cached samples statistically fresh so later planning never rescans
+	// the base relation. Entries still mid-draw are skipped: the drawing query
+	// catches itself up right after its once completes.
+	for _, w := range sampleWorks {
+		if !w.se.drawn.Load() {
+			continue
+		}
+		if _, err := w.se.catchUp(w.s, w.t); err != nil {
+			return err
+		}
+	}
+	// Shuffle the delta into each live plan's retained partitions eagerly, so
+	// the next warm query finds them fresh and moves nothing.
+	for _, w := range planWorks {
+		if !w.pe.ready.Load() || w.pe.planID == "" {
+			continue
+		}
+		if err := e.plane.absorb(ctx, w.pe.prep, w.s, w.t, w.pe.planID); err != nil {
+			e.plane.evict(w.pe.planID)
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+	}
+	return ctx.Err()
+}
+
+// noteDrift records one executed retained query's plan-quality drift — the
+// observed load_overhead minus what the plan predicted on the sample it was
+// optimized for — plus the appended fraction of the plan's input, and triggers
+// at most one background re-partition per plan entry when either crosses its
+// threshold (Options.MaxPlanDrift / MaxDeltaFraction, both off by default).
+// The old plan keeps serving until the replacement is primed and swapped.
+func (e *Engine) noteDrift(pk planKey, pe *planEntry, sName, tName string, band Band, r resolved, res *Result) {
+	drift := res.LoadOverhead - pe.predictedOverhead
+	pe.driftMu.Lock()
+	delta := pe.deltaTuples
+	pe.driftMu.Unlock()
+	var deltaFrac float64
+	if total := pe.baseTuples + delta; total > 0 {
+		deltaFrac = float64(delta) / float64(total)
+	}
+	e.m.reg.Gauge("bandjoin_engine_plan_drift_millis",
+		"Observed minus predicted load_overhead per plan, in thousandths.",
+		"pair", sName+"|"+tName).Set(int64(drift * 1000))
+	if delta == 0 {
+		return // nothing appended; replanning from the same sample changes nothing
+	}
+	trigger := (r.MaxPlanDrift > 0 && drift > r.MaxPlanDrift) ||
+		(r.MaxDeltaFraction > 0 && deltaFrac > r.MaxDeltaFraction)
+	if !trigger {
+		return
+	}
+	if !pe.repartitioning.CompareAndSwap(false, true) {
+		return // a re-partition of this entry is already in flight
+	}
+	go e.repartition(pk, pe, sName, tName, band, r)
+}
+
+// repartition builds a replacement plan from the current (caught-up) sample,
+// primes its partitions on the execution plane under a new generation
+// fingerprint, and swaps it into the plan cache — all in the background, while
+// the old plan keeps serving warm queries. Only after the swap are the old
+// plan's retained partitions evicted; a query that raced the swap holding the
+// old entry simply refills it cold (correct, just slower). On any failure the
+// old entry stays in place and its repartitioning latch is released so a later
+// drifted query can try again.
+func (e *Engine) repartition(pk planKey, old *planEntry, sName, tName string, band Band, r resolved) {
+	swapped := false
+	defer func() {
+		if !swapped {
+			old.repartitioning.Store(false)
+		}
+	}()
+	ctx := context.Background()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	ds, okS := e.datasets[sName]
+	dt, okT := e.datasets[tName]
+	if !okS || !okT || ds.version != pk.sVer || dt.version != pk.tVer || e.plans[pk] != old {
+		e.mu.Unlock()
+		return
+	}
+	se := e.samples[sampleKey{s: sName, t: tName, sVer: ds.version, tVer: dt.version, sampling: r.Sampling}]
+	sRel, tRel := ds.rel, dt.rel
+	e.mu.Unlock()
+	if se == nil || !se.drawn.Load() {
+		return
+	}
+
+	in, err := se.catchUp(sRel, tRel)
+	if err != nil {
+		return
+	}
+	smp, err := in.ForBand(band)
+	if err != nil {
+		return
+	}
+	prep, err := exec.PlanQuery(r.Partitioner, smp, band, r.execOptions())
+	if err != nil {
+		return
+	}
+	old.driftMu.Lock()
+	gen := old.generation + 1
+	old.driftMu.Unlock()
+	ne := &planEntry{prep: prep, generation: gen}
+	ne.planID = fmt.Sprintf("%s#g%d", e.planIDFor(pk), gen)
+	est := exec.EstimatePlan(prep.Plan, prep.Ctx)
+	ne.predictedOverhead = est.LoadOverhead
+	ne.baseTuples = int64(sRel.Len() + tRel.Len())
+	ne.once.Do(func() {}) // planning is done; queries must not re-plan
+	ne.ready.Store(true)
+
+	if err := e.plane.prime(ctx, prep, sRel, tRel, band, r, ne.planID); err != nil {
+		e.plane.evict(ne.planID)
+		return
+	}
+
+	e.mu.Lock()
+	if e.closed || e.plans[pk] != old {
+		e.mu.Unlock()
+		e.plane.evict(ne.planID)
+		return
+	}
+	e.plans[pk] = ne
+	e.mu.Unlock()
+	swapped = true
+	e.plane.evict(old.planID)
+	e.m.repartitions.Inc()
+}
+
 // Datasets returns the registered dataset names.
 func (e *Engine) Datasets() []string {
 	e.mu.Lock()
@@ -318,6 +627,10 @@ type EngineStats struct {
 	SampleHits   int64
 	PlanHits     int64
 	RetainedHits int64
+	// Appends counts Append calls absorbed without invalidation;
+	// Repartitions counts drift-triggered background re-partitions.
+	Appends      int64
+	Repartitions int64
 }
 
 // Stats returns a snapshot of the engine's cache counters.
@@ -332,6 +645,8 @@ func (e *Engine) Stats() EngineStats {
 		SampleHits:    e.m.sampleHits.Value(),
 		PlanHits:      e.m.planHits.Value(),
 		RetainedHits:  e.m.retainedHits.Value(),
+		Appends:       e.m.appends.Value(),
+		Repartitions:  e.m.repartitions.Value(),
 	}
 }
 
@@ -389,6 +704,16 @@ func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts 
 	}
 	ds, okS := e.datasets[sName]
 	dt, okT := e.datasets[tName]
+	// Snapshot both relation heads while e.mu is held: Append swaps new heads
+	// in under the same lock, so the pair is consistent and everything below
+	// serves this query from one immutable snapshot.
+	var sRel, tRel *Relation
+	if okS {
+		sRel = ds.rel
+	}
+	if okT {
+		tRel = dt.rel
+	}
 	e.mu.Unlock()
 	if !okS {
 		return nil, fmt.Errorf("bandjoin: unknown dataset %q", sName)
@@ -399,9 +724,9 @@ func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts 
 	if err := band.Validate(); err != nil {
 		return nil, err
 	}
-	if ds.rel.Dims() != band.Dims() || dt.rel.Dims() != band.Dims() {
+	if sRel.Dims() != band.Dims() || tRel.Dims() != band.Dims() {
 		return nil, fmt.Errorf("bandjoin: band condition has %d dimensions but inputs have %d and %d",
-			band.Dims(), ds.rel.Dims(), dt.rel.Dims())
+			band.Dims(), sRel.Dims(), tRel.Dims())
 	}
 	e.m.queries.Inc()
 	tr := &exec.QueryTrace{
@@ -422,13 +747,26 @@ func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts 
 		e.m.sampleMisses.Inc()
 	}
 	se.once.Do(func() {
-		se.in, se.err = sample.DrawInputs(ds.rel, dt.rel, r.Sampling)
-		if se.err == nil {
-			se.bytes.Store(inputSampleBytes(se.in))
+		in, err := sample.DrawInputs(sRel, tRel, r.Sampling)
+		se.err = err
+		if err == nil {
+			se.mu.Lock()
+			se.in = in
+			se.coveredS, se.coveredT = sRel.Len(), tRel.Len()
+			se.mu.Unlock()
+			se.bytes.Store(inputSampleBytes(in))
+			se.drawn.Store(true)
 		}
 	})
 	if se.err != nil {
 		return nil, fmt.Errorf("bandjoin: sampling: %w", se.err)
+	}
+	// The entry may have been drawn from (or merged up to) older snapshots
+	// than this query's; fold any uncovered appended suffix in before planning
+	// consumes the sample.
+	in, err := se.catchUp(sRel, tRel)
+	if err != nil {
+		return nil, fmt.Errorf("bandjoin: sampling: %w", err)
 	}
 	tr.AddSpan("sample", sampleStart, time.Now(), tr.SampleTier)
 	if err := ctx.Err(); err != nil {
@@ -460,12 +798,18 @@ func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts 
 		e.m.planMisses.Inc()
 	}
 	pe.once.Do(func() {
-		smp, err := se.in.ForBand(band)
+		smp, err := in.ForBand(band)
 		if err != nil {
 			pe.err = err
 			return
 		}
 		pe.prep, pe.err = exec.PlanQuery(r.Partitioner, smp, band, r.execOptions())
+		if pe.err == nil {
+			est := exec.EstimatePlan(pe.prep.Plan, pe.prep.Ctx)
+			pe.predictedOverhead = est.LoadOverhead
+			pe.baseTuples = int64(sRel.Len() + tRel.Len())
+			pe.ready.Store(true)
+		}
 	})
 	if pe.err != nil {
 		return nil, pe.err
@@ -487,7 +831,7 @@ func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts 
 		return res, nil
 	}
 	execStart := time.Now()
-	res, err = e.plane.execute(ctx, pe.prep, ds.rel, dt.rel, band, r, pe.planID)
+	res, err = e.plane.execute(ctx, pe.prep, sRel, tRel, band, r, pe.planID)
 	if err != nil {
 		return nil, err
 	}
@@ -502,17 +846,25 @@ func (e *Engine) Join(ctx context.Context, sName, tName string, band Band, opts 
 			e.m.retainedMisses.Inc()
 			tr.RetainedTier = exec.TierMiss
 		}
+		e.noteDrift(pk, pe, sName, tName, band, r, res)
 	}
 	e.m.shuffleBytes.Add(res.ShuffleBytes)
 	e.m.shuffleRPCs.Add(res.ShuffleRPCs)
 
 	// The execution stages are reconstructed from the result's measured
-	// durations: shuffle (when anything moved), then the parallel joins, then
-	// whatever remains of the wall time as merge/aggregation.
+	// durations: delta absorption (when appended rows were folded in), shuffle
+	// (when anything moved), then the parallel joins, then whatever remains of
+	// the wall time as merge/aggregation.
 	end := time.Now()
-	shuffleEnd := execStart.Add(res.ShuffleTime)
+	absorbEnd := execStart
+	if res.DeltaAbsorbTime > 0 || res.StaleRebuildTime > 0 {
+		absorbEnd = execStart.Add(res.DeltaAbsorbTime)
+		tr.AddSpan("delta_absorb", execStart, absorbEnd,
+			fmt.Sprintf("absorb=%s stale_rebuild=%s", res.DeltaAbsorbTime, res.StaleRebuildTime))
+	}
+	shuffleEnd := absorbEnd.Add(res.ShuffleTime)
 	if res.ShuffleTime > 0 {
-		tr.AddSpan("shuffle", execStart, shuffleEnd, fmt.Sprintf("bytes=%d rpcs=%d", res.ShuffleBytes, res.ShuffleRPCs))
+		tr.AddSpan("shuffle", absorbEnd, shuffleEnd, fmt.Sprintf("bytes=%d rpcs=%d", res.ShuffleBytes, res.ShuffleRPCs))
 	}
 	joinEnd := shuffleEnd.Add(res.JoinWallTime)
 	tr.AddSpan("join", shuffleEnd, joinEnd, fmt.Sprintf("partitions=%d tier=%s", res.Partitions, tr.RetainedTier))
@@ -577,6 +929,13 @@ func (e *Engine) sampleFor(k sampleKey) (*sampleEntry, bool) {
 	return se, false
 }
 
+// planIDFor computes a plan key's base retention fingerprint (generation
+// suffixes are appended by the re-partition path).
+func (e *Engine) planIDFor(k planKey) string {
+	return fmt.Sprintf("%s|%s@%d|%s@%d|b=%s|p=%s|w=%d|m=%+v|smp=%+v|seed=%d",
+		e.id, k.s, k.sVer, k.t, k.tVer, k.band, k.pt, k.workers, k.model, k.sampling, k.seed)
+}
+
 // planFor returns the plan-cache entry for the key, reporting whether it
 // already existed.
 func (e *Engine) planFor(k planKey) (*planEntry, bool) {
@@ -587,8 +946,7 @@ func (e *Engine) planFor(k planKey) (*planEntry, bool) {
 	}
 	pe := &planEntry{}
 	if e.retention {
-		pe.planID = fmt.Sprintf("%s|%s@%d|%s@%d|b=%s|p=%s|w=%d|m=%+v|smp=%+v|seed=%d",
-			e.id, k.s, k.sVer, k.t, k.tVer, k.band, k.pt, k.workers, k.model, k.sampling, k.seed)
+		pe.planID = e.planIDFor(k)
 	}
 	e.plans[k] = pe
 	return pe, false
@@ -603,6 +961,14 @@ type enginePlane interface {
 	// execute runs (shuffle +) local joins for a prepared plan, honoring ctx.
 	// A non-empty planID enables partition retention under that fingerprint.
 	execute(ctx context.Context, prep *exec.Prepared, s, t *Relation, band Band, r resolved, planID string) (*Result, error)
+	// absorb eagerly catches a retained partition set up to rows appended to
+	// s and t past its covered prefixes, shuffling only the delta through the
+	// plan's routing. A plan with nothing retained is a no-op. On error the
+	// retained data may be torn; the caller must evict the fingerprint.
+	absorb(ctx context.Context, prep *exec.Prepared, s, t *Relation, planID string) error
+	// prime shuffles and retains a plan's partitions without joining — the
+	// background half of a drift-triggered re-partition.
+	prime(ctx context.Context, prep *exec.Prepared, s, t *Relation, band Band, r resolved, planID string) error
 	// evict drops one retained partition set.
 	evict(planID string)
 	// retained reports the plane's retained-partition occupancy: resident
@@ -636,10 +1002,128 @@ type retainedParts struct {
 	prepAlg    string
 	prepared   []localjoin.PreparedT
 
+	// coveredS/coveredT record the base-relation prefix lengths the retained
+	// partitions were shuffled from. Appended suffixes are absorbed by
+	// catchUpLocked — eagerly from Engine.Append, lazily by the next query —
+	// idempotently, because covered only advances past an absorbed delta.
+	coveredS int
+	coveredT int
+	// dirty marks partitions whose presort order and prepared structure were
+	// invalidated by an absorbed delta; they are rebuilt lazily on the next
+	// probe (rebuildDirtyLocked), never at append time.
+	dirty map[int]bool
+
 	// bytes is the retained partitions' approximate footprint (key and ID
 	// bytes), stored when the record fills so the occupancy gauge can read it
 	// without taking the record's lock against a running shuffle.
 	bytes atomic.Int64
+}
+
+// fillLocked runs the cold fill: shuffle everything, presort, prebuild the
+// local join's structures, and record the covered prefix lengths. Caller holds
+// rec.mu for writing.
+func (rec *retainedParts) fillLocked(ctx context.Context, plan Plan, s, t *Relation, band Band, alg localjoin.Algorithm) error {
+	parts, totalInput, err := exec.Shuffle(ctx, plan, s, t, 0)
+	if err != nil {
+		// A cancelled shuffle leaves the record unfilled; the next query
+		// redoes it.
+		return err
+	}
+	rec.parts, rec.totalInput = parts, totalInput
+	// Presort and prebuild once at retention time (the in-process analogue of
+	// the workers' seal-time presort + prepare): warm joins find sorted rows
+	// and ready-made join structures.
+	exec.PresortPartitions(rec.parts, 0)
+	rec.prepared = exec.PrepareShuffled(rec.parts, band, alg, 0)
+	rec.prepAlg = alg.Name()
+	rec.coveredS, rec.coveredT = s.Len(), t.Len()
+	rec.bytes.Store(partitionBytes(rec.parts))
+	rec.done = true
+	return nil
+}
+
+// cloneSlicesLocked returns fresh parts/prepared slice headers of at least n
+// elements, sharing the current element pointers. Every write path replaces
+// elements through such clones and swaps them in whole, so a query that
+// snapshotted the previous slices under the read lock keeps reading a
+// consistent, immutable view while an absorb or rebuild proceeds. Caller holds
+// rec.mu for writing.
+func (rec *retainedParts) cloneSlicesLocked(n int) ([]*exec.PartitionInput, []localjoin.PreparedT) {
+	if n < len(rec.parts) {
+		n = len(rec.parts)
+	}
+	parts := make([]*exec.PartitionInput, n)
+	copy(parts, rec.parts)
+	prepared := make([]localjoin.PreparedT, n)
+	copy(prepared, rec.prepared)
+	return parts, prepared
+}
+
+// catchUpLocked absorbs rows appended past the record's covered prefixes:
+// the suffixes are shuffled through the plan (with tuple IDs offset to stay
+// globally consistent) and folded into the retained partitions, which are
+// marked dirty for lazy rebuild. The fold is copy-on-write — extended
+// partitions are new PartitionInput snapshots (Relation.Extend never mutates
+// the old head), swapped in via fresh slices — so queries executing off a
+// previously snapshotted view race nothing. Caller holds rec.mu for writing;
+// covered advances only on success, so a failed or cancelled catch-up is
+// simply retried by the next caller.
+func (rec *retainedParts) catchUpLocked(ctx context.Context, plan Plan, s, t *Relation) error {
+	if rec.coveredS >= s.Len() && rec.coveredT >= t.Len() {
+		return nil
+	}
+	deltaS := s.Slice(s.Name(), rec.coveredS, s.Len())
+	deltaT := t.Slice(t.Name(), rec.coveredT, t.Len())
+	parts, deltaInput, err := exec.ShuffleDelta(ctx, plan, deltaS, deltaT, rec.coveredS, rec.coveredT, 0)
+	if err != nil {
+		return err
+	}
+	next, nextPrep := rec.cloneSlicesLocked(len(parts))
+	if rec.dirty == nil {
+		rec.dirty = make(map[int]bool)
+	}
+	for pid, dp := range parts {
+		if dp == nil {
+			continue
+		}
+		base := next[pid]
+		if base == nil {
+			next[pid] = dp
+		} else {
+			next[pid] = &exec.PartitionInput{
+				S:    base.S.Extend(dp.S),
+				SIDs: append(base.SIDs, dp.SIDs...),
+				T:    base.T.Extend(dp.T),
+				TIDs: append(base.TIDs, dp.TIDs...),
+			}
+		}
+		rec.dirty[pid] = true
+	}
+	rec.parts, rec.prepared = next, nextPrep
+	rec.totalInput += deltaInput
+	rec.coveredS, rec.coveredT = s.Len(), t.Len()
+	rec.bytes.Store(partitionBytes(rec.parts))
+	return nil
+}
+
+// rebuildDirtyLocked re-sorts the delta-appended partitions and rebuilds their
+// prepared join structures — the lazy half of delta absorption, paid by the
+// first probe after an append rather than by the append. Replacement is
+// copy-on-write, like catchUpLocked. Caller holds rec.mu for writing.
+func (rec *retainedParts) rebuildDirtyLocked(band Band, alg localjoin.Algorithm) {
+	next, nextPrep := rec.cloneSlicesLocked(0)
+	for pid := range rec.dirty {
+		p := next[pid]
+		if p == nil {
+			continue
+		}
+		sorted := p.Presort()
+		next[pid] = sorted
+		nextPrep[pid] = localjoin.Prepare(alg, sorted.S, sorted.T, band)
+	}
+	rec.parts, rec.prepared = next, nextPrep
+	rec.dirty = nil
+	rec.bytes.Store(partitionBytes(rec.parts))
 }
 
 func (p *inProcessPlane) workers() int { return 0 }
@@ -667,45 +1151,59 @@ func (p *inProcessPlane) execute(ctx context.Context, prep *exec.Prepared, s, t 
 	}
 	algName := alg.Name()
 
-	var shuffleTime time.Duration
+	var shuffleTime, absorbTime, rebuildTime time.Duration
 	warm := true
 	rec.mu.RLock()
-	if !rec.done {
+	for {
+		current := rec.done &&
+			rec.coveredS >= s.Len() && rec.coveredT >= t.Len() &&
+			rec.prepAlg == algName && len(rec.dirty) == 0
+		if current {
+			break
+		}
 		rec.mu.RUnlock()
 		rec.mu.Lock()
 		if !rec.done {
 			warm = false
 			start := time.Now()
-			parts, totalInput, err := exec.Shuffle(ctx, prep.Plan, s, t, 0)
-			if err != nil {
-				// A cancelled shuffle leaves the record unfilled; the next
-				// query redoes it.
+			if err := rec.fillLocked(ctx, prep.Plan, s, t, band, alg); err != nil {
 				rec.mu.Unlock()
 				return nil, err
 			}
-			rec.parts, rec.totalInput = parts, totalInput
-			// Presort and prebuild once at retention time (the in-process
-			// analogue of the workers' seal-time presort + prepare): warm
-			// joins find sorted rows and ready-made join structures.
-			exec.PresortPartitions(rec.parts, 0)
-			rec.prepared = exec.PrepareShuffled(rec.parts, band, alg, 0)
-			rec.prepAlg = algName
-			rec.bytes.Store(partitionBytes(rec.parts))
 			shuffleTime = time.Since(start)
-			rec.done = true
 		}
-		rec.mu.Unlock()
-		rec.mu.RLock()
-	}
-	if rec.prepAlg != algName {
-		// A query switched local-join algorithms on a retained plan: rebuild
-		// the prepared structures once for the new algorithm (the pattern of
-		// the cluster worker's preparedFor).
-		rec.mu.RUnlock()
-		rec.mu.Lock()
+		if rec.coveredS < s.Len() || rec.coveredT < t.Len() {
+			// The fill (possibly by a concurrent query holding an older
+			// snapshot) covers a prefix of this query's relations: absorb the
+			// appended suffix through the plan's routing before joining.
+			start := time.Now()
+			if err := rec.catchUpLocked(ctx, prep.Plan, s, t); err != nil {
+				rec.mu.Unlock()
+				return nil, err
+			}
+			absorbTime += time.Since(start)
+		}
 		if rec.prepAlg != algName {
-			rec.prepared = exec.PrepareShuffled(rec.parts, band, alg, 0)
+			// A query switched local-join algorithms on a retained plan:
+			// rebuild the prepared structures once for the new algorithm (the
+			// pattern of the cluster worker's preparedFor). Delta-appended
+			// partitions are re-sorted first so the prepare sees sorted rows;
+			// both replacements are copy-on-write like catchUpLocked's.
+			next, _ := rec.cloneSlicesLocked(0)
+			for pid := range rec.dirty {
+				if p := next[pid]; p != nil {
+					next[pid] = p.Presort()
+				}
+			}
+			rec.dirty = nil
+			rec.parts = next
+			rec.prepared = exec.PrepareShuffled(next, band, alg, 0)
 			rec.prepAlg = algName
+		}
+		if len(rec.dirty) > 0 {
+			start := time.Now()
+			rec.rebuildDirtyLocked(band, alg)
+			rebuildTime += time.Since(start)
 		}
 		rec.mu.Unlock()
 		rec.mu.RLock()
@@ -718,8 +1216,54 @@ func (p *inProcessPlane) execute(ctx context.Context, prep *exec.Prepared, s, t 
 		return nil, err
 	}
 	res.ShuffleTime = shuffleTime
+	res.DeltaAbsorbTime = absorbTime
+	res.StaleRebuildTime = rebuildTime
 	res.WarmPartitions = warm
 	return res, nil
+}
+
+// absorb eagerly folds rows appended past the retained record's covered
+// prefixes into the in-memory partitions. A plan with nothing retained (never
+// filled, or evicted) is a no-op: the next query fills cold from the full
+// relations.
+func (p *inProcessPlane) absorb(ctx context.Context, prep *exec.Prepared, s, t *Relation, planID string) error {
+	p.mu.Lock()
+	rec := p.parts[planID]
+	p.mu.Unlock()
+	if rec == nil {
+		return nil
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if !rec.done {
+		return nil // a cold fill in progress covers a snapshot; its query catches up
+	}
+	return rec.catchUpLocked(ctx, prep.Plan, s, t)
+}
+
+// prime fills (or catches up) a plan's retained partitions without joining —
+// the background half of a drift-triggered re-partition.
+func (p *inProcessPlane) prime(ctx context.Context, prep *exec.Prepared, s, t *Relation, band Band, r resolved, planID string) error {
+	p.mu.Lock()
+	if p.parts == nil {
+		p.parts = make(map[string]*retainedParts)
+	}
+	rec, ok := p.parts[planID]
+	if !ok {
+		rec = &retainedParts{}
+		p.parts[planID] = rec
+	}
+	p.mu.Unlock()
+	alg := r.Algorithm
+	if alg == nil {
+		alg = localjoin.Default()
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if !rec.done {
+		return rec.fillLocked(ctx, prep.Plan, s, t, band, alg)
+	}
+	return rec.catchUpLocked(ctx, prep.Plan, s, t)
 }
 
 // partitionBytes sums the partitions' key and ID bytes.
@@ -779,6 +1323,28 @@ func (p *clusterPlane) execute(ctx context.Context, prep *exec.Prepared, s, t *R
 		PlanID:          planID,
 	}
 	return p.coord.RunPlan(ctx, prep.Plan, prep.Ctx, s, t, band, copts)
+}
+
+// absorb ships the appended suffixes as delta Loads into the sealed plan on
+// the workers, so the next warm query moves zero bytes.
+func (p *clusterPlane) absorb(ctx context.Context, prep *exec.Prepared, s, t *Relation, planID string) error {
+	return p.coord.AbsorbPlan(ctx, prep.Plan, prep.Ctx, s, t, cluster.Options{PlanID: planID})
+}
+
+// prime ships and seals a plan's partitions on the workers without joining.
+func (p *clusterPlane) prime(ctx context.Context, prep *exec.Prepared, s, t *Relation, band Band, r resolved, planID string) error {
+	copts := cluster.Options{
+		Algorithm:       r.AlgorithmName,
+		Model:           r.Model,
+		Sampling:        r.Sampling,
+		ChunkSize:       r.ChunkSize,
+		Window:          r.Window,
+		JoinParallelism: r.JoinParallelism,
+		Serial:          r.Serial,
+		Seed:            r.Seed,
+		PlanID:          planID,
+	}
+	return p.coord.ShipPlan(ctx, prep.Plan, prep.Ctx, s, t, band, copts)
 }
 
 func (p *clusterPlane) evict(planID string) { p.coord.EvictPlan(planID) }

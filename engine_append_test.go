@@ -1,0 +1,370 @@
+package bandjoin_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bandjoin"
+)
+
+// appendSplit cuts a full relation into a base prefix and successive delta
+// slices at the given boundaries.
+func appendSplit(r *bandjoin.Relation, cuts ...int) []*bandjoin.Relation {
+	parts := make([]*bandjoin.Relation, 0, len(cuts)+1)
+	lo := 0
+	for _, hi := range append(cuts, r.Len()) {
+		parts = append(parts, r.Slice(r.Name(), lo, hi))
+		lo = hi
+	}
+	return parts
+}
+
+// TestEngineAppendEquivalence is the append-vs-rebuild guarantee: for every
+// partitioner family on both planes, Register(base) + Append(deltas) + Join
+// must produce pairs bit-identical to a fresh engine serving the full
+// relations — at every intermediate prefix, not just the final state — and a
+// warm query after appends must not reshuffle the base (zero shuffle bytes on
+// the cluster plane: the deltas were absorbed by Append itself).
+func TestEngineAppendEquivalence(t *testing.T) {
+	fullS, fullT := bandjoin.Pareto(2, 1.4, 900, 23)
+	band := bandjoin.Uniform(2, 0.12)
+	partitioners := map[string]bandjoin.Partitioner{
+		"RecPart":   bandjoin.RecPart(),
+		"RecPart-S": bandjoin.RecPartS(),
+		"1-Bucket":  bandjoin.OneBucket(),
+		"Grid-eps":  bandjoin.GridEps(),
+	}
+	sParts := appendSplit(fullS, 600, 750) // base, delta1, delta2
+	tParts := appendSplit(fullT, 700, 800)
+
+	for ptName, pt := range partitioners {
+		opts := bandjoin.Options{Workers: 3, Partitioner: pt, CollectPairs: true, Seed: 3}
+		// Fresh-build oracles at each prefix the appended engine will serve.
+		mid, err := bandjoin.Join(fullS.Slice("s", 0, 750), fullT.Slice("t", 0, 800), band, opts)
+		if err != nil {
+			t.Fatalf("%s: mid oracle: %v", ptName, err)
+		}
+		full, err := bandjoin.Join(fullS, fullT, band, opts)
+		if err != nil {
+			t.Fatalf("%s: full oracle: %v", ptName, err)
+		}
+
+		for planeName, newEngine := range enginePlanes(t, 3) {
+			t.Run(planeName+"/"+ptName, func(t *testing.T) {
+				e := newEngine(bandjoin.EngineOptions{})
+				defer e.Close()
+				ctx := context.Background()
+				if err := e.Register("s", sParts[0]); err != nil {
+					t.Fatalf("Register: %v", err)
+				}
+				if err := e.Register("t", tParts[0]); err != nil {
+					t.Fatalf("Register: %v", err)
+				}
+				if _, err := e.Join(ctx, "s", "t", band, opts); err != nil {
+					t.Fatalf("cold Join: %v", err)
+				}
+
+				if err := e.Append(ctx, "s", sParts[1]); err != nil {
+					t.Fatalf("Append(s): %v", err)
+				}
+				if err := e.Append(ctx, "t", tParts[1]); err != nil {
+					t.Fatalf("Append(t): %v", err)
+				}
+				res, err := e.Join(ctx, "s", "t", band, opts)
+				if err != nil {
+					t.Fatalf("Join after first appends: %v", err)
+				}
+				if res.InputS != 750 || res.InputT != 800 {
+					t.Fatalf("query after appends saw |S|=%d |T|=%d, want 750/800", res.InputS, res.InputT)
+				}
+				if res.Output != mid.Output {
+					t.Errorf("output after appends = %d, fresh rebuild = %d", res.Output, mid.Output)
+				}
+				pairsEqual(t, "append vs rebuild (mid)", res.Pairs, mid.Pairs)
+
+				if err := e.Append(ctx, "s", sParts[2]); err != nil {
+					t.Fatalf("Append(s) 2: %v", err)
+				}
+				if err := e.Append(ctx, "t", tParts[2]); err != nil {
+					t.Fatalf("Append(t) 2: %v", err)
+				}
+				res, err = e.Join(ctx, "s", "t", band, opts)
+				if err != nil {
+					t.Fatalf("Join after second appends: %v", err)
+				}
+				if res.Output != full.Output {
+					t.Errorf("final output = %d, fresh rebuild = %d", res.Output, full.Output)
+				}
+				pairsEqual(t, "append vs rebuild (full)", res.Pairs, full.Pairs)
+				if planeName == "cluster" && res.ShuffleBytes != 0 {
+					t.Errorf("warm query after appends shuffled %d bytes; the base must never reshuffle", res.ShuffleBytes)
+				}
+
+				st := e.Stats()
+				if st.CachedSamples != 1 || st.CachedPlans != 1 {
+					t.Errorf("appends fragmented the caches: %d samples, %d plans, want 1/1",
+						st.CachedSamples, st.CachedPlans)
+				}
+				if st.Appends != 4 {
+					t.Errorf("Appends = %d, want 4", st.Appends)
+				}
+				if st.PlanHits != 2 {
+					t.Errorf("PlanHits = %d, want 2 (appends must not invalidate the plan)", st.PlanHits)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineAppendValidation: Append's error surface — and that zero-row
+// appends are free no-ops.
+func TestEngineAppendValidation(t *testing.T) {
+	s, tt := bandjoin.Pareto(2, 1.5, 200, 1)
+	e := bandjoin.NewEngine(bandjoin.EngineOptions{})
+	if err := e.Register("s", s); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := e.Register("t", tt); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	ctx := context.Background()
+
+	if err := e.Append(ctx, "nope", s.Slice("d", 0, 1)); err == nil || !strings.Contains(err.Error(), "unknown dataset") {
+		t.Errorf("append to unknown dataset: err = %v", err)
+	}
+	bad := bandjoin.NewRelation("d", 3)
+	bad.Append(1, 2, 3)
+	if err := e.Append(ctx, "s", bad); err == nil {
+		t.Error("append of wrong dimensionality accepted")
+	}
+	if err := e.Append(ctx, "", s.Slice("d", 0, 1)); err == nil {
+		t.Error("append to empty name accepted")
+	}
+	if err := e.Append(ctx, "s", nil); err != nil {
+		t.Errorf("nil append: %v", err)
+	}
+	if err := e.Append(ctx, "s", bandjoin.NewRelation("d", 2)); err != nil {
+		t.Errorf("empty append: %v", err)
+	}
+	if got := e.Stats().Appends; got != 0 {
+		t.Errorf("no-op appends counted: Appends = %d, want 0", got)
+	}
+
+	if err := e.Append(ctx, "s", s.Slice("d", 0, 5)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if got := e.Stats().Appends; got != 1 {
+		t.Errorf("Appends = %d, want 1", got)
+	}
+
+	e.Close()
+	if err := e.Append(ctx, "s", s.Slice("d", 0, 1)); err == nil {
+		t.Error("closed engine accepted an append")
+	}
+}
+
+// TestEngineAppendTraceShowsLazyRebuild: Append defers re-sorting and prepared
+// structure rebuilds to the next probe; that query's result must account the
+// rebuild (StaleRebuildTime) and carry a delta_absorb span in its trace.
+func TestEngineAppendTraceShowsLazyRebuild(t *testing.T) {
+	fullS, fullT := bandjoin.Pareto(2, 1.5, 800, 29)
+	band := bandjoin.Uniform(2, 0.1)
+	opts := bandjoin.Options{Workers: 3, Seed: 5}
+
+	e := bandjoin.NewEngine(bandjoin.EngineOptions{})
+	defer e.Close()
+	ctx := context.Background()
+	if err := e.Register("s", fullS.Slice("s", 0, 600)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := e.Register("t", fullT); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := e.Join(ctx, "s", "t", band, opts); err != nil {
+		t.Fatalf("cold Join: %v", err)
+	}
+	if err := e.Append(ctx, "s", fullS.Slice("d", 600, 800)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	warm, err := e.Join(ctx, "s", "t", band, opts)
+	if err != nil {
+		t.Fatalf("warm Join: %v", err)
+	}
+	if warm.StaleRebuildTime <= 0 {
+		t.Errorf("warm query after append reports StaleRebuildTime = %v, want > 0 (lazy rebuild ran here)", warm.StaleRebuildTime)
+	}
+	if warm.Trace == nil {
+		t.Fatal("warm query has no trace")
+	}
+	found := false
+	for _, sp := range warm.Trace.Spans {
+		if sp.Name == "delta_absorb" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace spans %+v lack a delta_absorb span", warm.Trace.Spans)
+	}
+}
+
+// TestEngineAppendRacingWarmJoins hammers one engine with appends racing warm
+// joins on both planes (run under -race as CI does). Every join must succeed,
+// and once the appends settle the result must be bit-identical to a fresh
+// engine over the full relations.
+func TestEngineAppendRacingWarmJoins(t *testing.T) {
+	fullS, fullT := bandjoin.Pareto(2, 1.4, 1200, 37)
+	band := bandjoin.Uniform(2, 0.1)
+	opts := bandjoin.Options{Workers: 3, CollectPairs: true, Seed: 2}
+	full, err := bandjoin.Join(fullS, fullT, band, opts)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	const deltas = 8
+	sParts := appendSplit(fullS, 400, 500, 600, 700, 800, 900, 1000, 1100)
+	tParts := appendSplit(fullT, 400, 500, 600, 700, 800, 900, 1000, 1100)
+
+	for planeName, newEngine := range enginePlanes(t, 3) {
+		t.Run(planeName, func(t *testing.T) {
+			e := newEngine(bandjoin.EngineOptions{})
+			defer e.Close()
+			ctx := context.Background()
+			if err := e.Register("s", sParts[0]); err != nil {
+				t.Fatalf("Register: %v", err)
+			}
+			if err := e.Register("t", tParts[0]); err != nil {
+				t.Fatalf("Register: %v", err)
+			}
+			if _, err := e.Join(ctx, "s", "t", band, opts); err != nil {
+				t.Fatalf("cold Join: %v", err)
+			}
+
+			var wg sync.WaitGroup
+			errCh := make(chan error, deltas+2*6)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 1; i <= deltas; i++ {
+					if err := e.Append(ctx, "s", sParts[i]); err != nil {
+						errCh <- fmt.Errorf("append s %d: %w", i, err)
+						return
+					}
+					if err := e.Append(ctx, "t", tParts[i]); err != nil {
+						errCh <- fmt.Errorf("append t %d: %w", i, err)
+						return
+					}
+				}
+			}()
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for round := 0; round < 6; round++ {
+						res, err := e.Join(ctx, "s", "t", band, opts)
+						if err != nil {
+							errCh <- fmt.Errorf("goroutine %d round %d: %w", g, round, err)
+							return
+						}
+						if res.InputS < 400 || res.InputS > 1200 {
+							errCh <- fmt.Errorf("goroutine %d round %d: |S| = %d outside any append prefix", g, round, res.InputS)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Error(err)
+			}
+
+			res, err := e.Join(ctx, "s", "t", band, opts)
+			if err != nil {
+				t.Fatalf("settled Join: %v", err)
+			}
+			if res.InputS != fullS.Len() || res.InputT != fullT.Len() {
+				t.Fatalf("settled query saw |S|=%d |T|=%d, want %d/%d", res.InputS, res.InputT, fullS.Len(), fullT.Len())
+			}
+			if res.Output != full.Output {
+				t.Errorf("settled output = %d, fresh rebuild = %d", res.Output, full.Output)
+			}
+			pairsEqual(t, "settled append vs rebuild", res.Pairs, full.Pairs)
+		})
+	}
+}
+
+// TestEngineAppendDriftRepartition forces plan-quality drift via
+// MaxDeltaFraction and verifies the full lifecycle on both planes: exactly one
+// background re-partition fires, queries keep succeeding (and stay correct)
+// throughout the swap, and the trigger does not re-fire once the replacement
+// plan is serving.
+func TestEngineAppendDriftRepartition(t *testing.T) {
+	fullS, fullT := bandjoin.Pareto(2, 1.4, 1300, 41)
+	band := bandjoin.Uniform(2, 0.1)
+	opts := bandjoin.Options{Workers: 3, CollectPairs: true, Seed: 7, MaxDeltaFraction: 0.2}
+	baseS := fullS.Slice("s", 0, 800)
+	deltaS := fullS.Slice("d", 800, 1300)
+	baseT := fullT.Slice("t", 0, 800)
+	extended, err := bandjoin.Join(fullS, baseT, band, opts)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+
+	for planeName, newEngine := range enginePlanes(t, 3) {
+		t.Run(planeName, func(t *testing.T) {
+			e := newEngine(bandjoin.EngineOptions{})
+			defer e.Close()
+			ctx := context.Background()
+			if err := e.Register("s", baseS); err != nil {
+				t.Fatalf("Register: %v", err)
+			}
+			if err := e.Register("t", baseT); err != nil {
+				t.Fatalf("Register: %v", err)
+			}
+			if _, err := e.Join(ctx, "s", "t", band, opts); err != nil {
+				t.Fatalf("cold Join: %v", err)
+			}
+			// 500 appended of 2100 total = 0.238 > MaxDeltaFraction.
+			if err := e.Append(ctx, "s", deltaS); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+
+			// The next warm query observes the drift and kicks off the
+			// background re-partition; queries must keep being served and
+			// correct while it plans, primes, and swaps.
+			deadline := time.Now().Add(10 * time.Second)
+			for e.Stats().Repartitions == 0 {
+				res, err := e.Join(ctx, "s", "t", band, opts)
+				if err != nil {
+					t.Fatalf("Join during re-partition: %v", err)
+				}
+				if res.Output != extended.Output {
+					t.Fatalf("output during re-partition = %d, want %d", res.Output, extended.Output)
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("drift-triggered re-partition never completed")
+				}
+				time.Sleep(time.Millisecond)
+			}
+
+			// The replacement plan serves identically, and with no further
+			// appends the trigger must not fire again.
+			for i := 0; i < 3; i++ {
+				res, err := e.Join(ctx, "s", "t", band, opts)
+				if err != nil {
+					t.Fatalf("Join after re-partition: %v", err)
+				}
+				if res.Output != extended.Output {
+					t.Errorf("output after re-partition = %d, want %d", res.Output, extended.Output)
+				}
+				pairsEqual(t, "post-repartition", res.Pairs, extended.Pairs)
+			}
+			if got := e.Stats().Repartitions; got != 1 {
+				t.Errorf("Repartitions = %d, want exactly 1", got)
+			}
+		})
+	}
+}

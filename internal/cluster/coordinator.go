@@ -142,6 +142,17 @@ type retainedPlanRec struct {
 	// went down since shipping is detected (and the plan reshipped) rather
 	// than its partitions being silently skipped.
 	slots []int
+	// coveredS/coveredT record how many base-relation rows (prefix lengths)
+	// the sealed shipment covers. Relations only grow by appending, so any
+	// later query or AbsorbPlan catches the shipment up idempotently by
+	// shuffling just the suffix [covered, Len) as a delta (see ensureFresh).
+	coveredS int
+	coveredT int
+	// pidSlot maps each shipped partition id to the slot holding it, so delta
+	// rows for an existing partition land exactly where its base rows live;
+	// partitions a delta opens for the first time are placed over slots and
+	// recorded here.
+	pidSlot map[int]int
 }
 
 // Close stops the heartbeat and closes all worker connections.
@@ -231,6 +242,10 @@ type Options struct {
 	// retain marks the shuffle's Load RPCs as registry loads. It is set
 	// internally on the shipping path of a retained run.
 	retain bool
+	// delta marks the shuffle's Load RPCs as incremental appends into an
+	// already sealed plan (see LoadArgs.Delta). It is set internally on the
+	// catch-up path of a retained run and by AbsorbPlan.
+	delta bool
 }
 
 // jobCounter disambiguates generated job IDs: two queries starting in the
@@ -494,6 +509,10 @@ type shuffleStats struct {
 	rpcs       int64
 	bytes      int64
 	duration   time.Duration
+	// absorbed is the time spent catching the retained shipment up to
+	// appended rows (delta shuffle + ship) before the warm join ran; zero
+	// when the shipment was already fresh.
+	absorbed time.Duration
 }
 
 // slotJoin is one worker's (partial) join contribution: recovery rounds can
@@ -973,6 +992,25 @@ func (c *Coordinator) runRetained(ctx context.Context, plan partition.Plan, pctx
 			c.EvictPlan(opts.PlanID)
 			continue
 		}
+		// The shipment is resident, but rows may have been appended to the
+		// relations since it was sealed (Engine.Append without an eager
+		// absorb): shuffle just the appended suffix into the sealed plan
+		// before joining, so warm queries never rescan or reship the base.
+		if warm {
+			if err := c.ensureFresh(ctx, rec, plan, pctx, s, t, opts, rs, &st); err != nil {
+				if err == errStalePlanRec {
+					lastErr = err
+					continue
+				}
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
+				lastErr = err
+				rs.failover("retained_failover", "delta absorb failed; reshipping")
+				c.EvictPlan(opts.PlanID)
+				continue
+			}
+		}
 		joined, joinWall, err := c.runJoinsSimple(ctx, opts.PlanID, true, slots, nil, band, opts, rs)
 		if err == nil {
 			res := c.aggregate(joined, opts, s, t, st, joinWall, rs)
@@ -1126,7 +1164,159 @@ func (c *Coordinator) ensureShipped(ctx context.Context, rec *retainedPlanRec, p
 	rec.shipped = true
 	rec.totalInput = st.totalInput
 	rec.slots = append([]int(nil), final...)
+	rec.coveredS = s.Len()
+	rec.coveredT = t.Len()
+	rec.pidSlot = make(map[int]int)
+	for slot, pids := range owned {
+		for _, pid := range pids {
+			rec.pidSlot[pid] = slot
+		}
+	}
 	return st, append([]int(nil), final...), false, nil
+}
+
+// ensureFresh catches a sealed shipment up to rows appended to s and t since
+// it was shipped: the suffixes past the record's covered prefixes are shuffled
+// through the same plan (with tuple IDs offset to stay globally consistent)
+// and shipped as delta Loads into the sealed plan — existing partitions
+// receive their delta exactly where their base rows live, new partitions are
+// placed over the sealed slot set. Freshness is checked under a read lock so
+// the common already-fresh case costs no delta work and warm queries proceed
+// concurrently; catch-up itself runs under the record's write lock, so exactly
+// one delta shuffle happens per appended suffix and is idempotent (covered
+// advances only on success). On failure the shipment may be torn mid-delta;
+// callers must evict the plan and fall back to a cold reshipment.
+func (c *Coordinator) ensureFresh(ctx context.Context, rec *retainedPlanRec, plan partition.Plan, pctx *partition.Context, s, t *data.Relation, opts Options, rs *runState, st *shuffleStats) error {
+	rec.mu.RLock()
+	fresh := !rec.shipped || (rec.coveredS >= s.Len() && rec.coveredT >= t.Len())
+	rec.mu.RUnlock()
+	if fresh {
+		return nil
+	}
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if !rec.shipped || (rec.coveredS >= s.Len() && rec.coveredT >= t.Len()) {
+		return nil
+	}
+	// A concurrent EvictPlan may have superseded this record; shipping deltas
+	// through it would interleave with the fresh record's cold shipment.
+	c.mu.Lock()
+	stale := c.retainedPlans[opts.PlanID] != rec
+	c.mu.Unlock()
+	if stale {
+		return errStalePlanRec
+	}
+
+	wireStart := c.wireBytes()
+	start := time.Now()
+	deltaS := s.Slice(s.Name(), rec.coveredS, s.Len())
+	deltaT := t.Slice(t.Name(), rec.coveredT, t.Len())
+	parts, deltaInput, err := exec.ShuffleDelta(ctx, plan, deltaS, deltaT, rec.coveredS, rec.coveredT, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return err
+	}
+	opts.JobID = opts.PlanID
+	opts.retain = true
+	opts.delta = true
+	place := placementOver(plan, pctx, len(rec.slots))
+	assignment := make(map[int][]int)
+	for _, pid := range nonEmptyPids(parts) {
+		slot, ok := rec.pidSlot[pid]
+		if !ok {
+			slot = rec.slots[place(pid)]
+		}
+		assignment[slot] = append(assignment[slot], pid)
+	}
+	var rpcs int64
+	for _, slot := range sortedKeys(assignment) {
+		pids := assignment[slot]
+		sort.Ints(pids)
+		wc := c.workers[slot]
+		sent, err := c.sendPartitions(ctx, wc, pids, parts, opts)
+		rpcs += sent
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			if isTransportErr(err) && !wc.probe(ctx) {
+				rs.noteLost(slot)
+			}
+			st.rpcs += rpcs
+			st.bytes += c.wireBytes() - wireStart
+			return fmt.Errorf("cluster: delta to worker %d (%s): %w (%v)", slot, wc.name(), errWorkerLost, err)
+		}
+		if rec.pidSlot == nil {
+			rec.pidSlot = make(map[int]int)
+		}
+		for _, pid := range pids {
+			if _, ok := rec.pidSlot[pid]; !ok {
+				rec.pidSlot[pid] = slot
+			}
+		}
+	}
+	rec.totalInput += deltaInput
+	rec.coveredS = s.Len()
+	rec.coveredT = t.Len()
+	st.totalInput = rec.totalInput
+	st.rpcs += rpcs
+	st.bytes += c.wireBytes() - wireStart
+	st.absorbed += time.Since(start)
+	return nil
+}
+
+// AbsorbPlan eagerly catches a retained plan up to rows appended to s and t
+// since it was shipped, so the next warm query of the plan finds the shipment
+// fresh and moves zero bytes. It is the engine's Append hook. A plan with no
+// shipment record (never shipped, or evicted) is a no-op: the next query ships
+// cold from the full relations and needs no delta. On error the shipment may
+// be torn; the caller must evict the plan (the next query then reships cold).
+func (c *Coordinator) AbsorbPlan(ctx context.Context, plan partition.Plan, pctx *partition.Context, s, t *data.Relation, opts Options) error {
+	opts = opts.withDefaults()
+	if opts.PlanID == "" {
+		return fmt.Errorf("cluster: AbsorbPlan requires a plan id")
+	}
+	c.mu.Lock()
+	rec := c.retainedPlans[opts.PlanID]
+	c.mu.Unlock()
+	if rec == nil {
+		return nil
+	}
+	var st shuffleStats
+	err := c.ensureFresh(ctx, rec, plan, pctx, s, t, opts, c.newRunState(), &st)
+	if err == errStalePlanRec {
+		return nil // superseded; the fresh record ships cold with everything
+	}
+	return err
+}
+
+// ShipPlan shuffles, ships, and seals a plan's partitions on the workers
+// without running a join — the priming half of a retained query, exported so
+// an engine can build a replacement plan in the background (drift-triggered
+// re-partitioning) while the old plan keeps serving, then swap atomically.
+func (c *Coordinator) ShipPlan(ctx context.Context, plan partition.Plan, pctx *partition.Context, s, t *data.Relation, band data.Band, opts Options) error {
+	opts = opts.withDefaults()
+	if opts.PlanID == "" {
+		return fmt.Errorf("cluster: ShipPlan requires a plan id")
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxRetainedAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rs := c.newRunState()
+		if rs.liveAtStart == 0 {
+			return errNoLiveWorkers
+		}
+		rec := c.retainedRec(opts.PlanID)
+		_, _, _, err := c.ensureShipped(ctx, rec, plan, pctx, s, t, band, opts, rs)
+		if err == errStalePlanRec {
+			lastErr = err
+			continue
+		}
+		return err
+	}
+	return fmt.Errorf("cluster: priming plan %q: %w", opts.PlanID, lastErr)
 }
 
 // EvictPlan discards one retained plan from every worker and removes the
@@ -1174,18 +1364,19 @@ func (c *Coordinator) evictWorkers(planID string) {
 func (c *Coordinator) aggregate(joined []slotJoin, opts Options, s, t *data.Relation, st shuffleStats, joinWall time.Duration, rs *runState) *exec.Result {
 	workers := len(c.workers)
 	res := &exec.Result{
-		Workers:      workers,
-		ShuffleTime:  st.duration,
-		JoinWallTime: joinWall,
-		InputS:       s.Len(),
-		InputT:       t.Len(),
-		TotalInput:   st.totalInput,
-		ShuffleBytes: st.bytes + rs.extraBytes.Load(),
-		ShuffleRPCs:  st.rpcs + rs.extraRPCs.Load(),
-		Retries:      int(rs.retries.Load()),
-		LostWorkers:  rs.lostCount(),
-		WorkerInput:  make([]int64, workers),
-		WorkerOutput: make([]int64, workers),
+		Workers:         workers,
+		ShuffleTime:     st.duration,
+		DeltaAbsorbTime: st.absorbed,
+		JoinWallTime:    joinWall,
+		InputS:          s.Len(),
+		InputT:          t.Len(),
+		TotalInput:      st.totalInput,
+		ShuffleBytes:    st.bytes + rs.extraBytes.Load(),
+		ShuffleRPCs:     st.rpcs + rs.extraRPCs.Load(),
+		Retries:         int(rs.retries.Load()),
+		LostWorkers:     rs.lostCount(),
+		WorkerInput:     make([]int64, workers),
+		WorkerOutput:    make([]int64, workers),
 	}
 	res.Degraded = res.LostWorkers > 0 || rs.liveAtStart < workers
 	res.FailoverRounds = int(rs.failovers.Load())
@@ -1203,6 +1394,7 @@ func (c *Coordinator) aggregate(joined []slotJoin, opts Options, s, t *data.Rela
 			res.WorkerInput[sj.slot] += int64(ps.InputS + ps.InputT)
 			res.WorkerOutput[sj.slot] += ps.Output
 			res.Output += ps.Output
+			res.StaleRebuildTime += time.Duration(ps.RebuildNanos)
 			workerBusy[sj.slot] += time.Duration(ps.JoinNanos)
 			if opts.CollectPairs {
 				for i := range ps.PairS {
@@ -1303,6 +1495,7 @@ func (c *Coordinator) sendPartitions(ctx context.Context, wc *workerClient, pids
 			Side:      side,
 			Packed:    &PackedChunk{Dims: dims, Keys: keys, IDs: ids, SideTotal: total},
 			Retain:    opts.retain,
+			Delta:     opts.delta,
 		}
 		cl.Go(ServiceName+".Load", args, &LoadReply{}, done)
 		inFlight++
@@ -1361,7 +1554,7 @@ func (c *Coordinator) shuffleSerial(ctx context.Context, plan partition.Plan, sl
 		}
 		slot := slotOf(pid)
 		wc := c.workers[slot]
-		args := &LoadArgs{JobID: opts.JobID, Partition: pid, Side: side, Chunk: buf.chunk, IDs: buf.ids, Retain: opts.retain}
+		args := &LoadArgs{JobID: opts.JobID, Partition: pid, Side: side, Chunk: buf.chunk, IDs: buf.ids, Retain: opts.retain, Delta: opts.delta}
 		var reply LoadReply
 		rpcs++
 		if err := wc.call(ctx, ServiceName+".Load", args, &reply, c.opts.callDeadline(), 0, nil); err != nil {

@@ -38,6 +38,13 @@ type LoadArgs struct {
 	// joins of the same plan with zero shuffle. The shipment must be completed
 	// with a Seal call before the plan becomes joinable.
 	Retain bool
+	// Delta marks a retained load as an incremental append into an already
+	// sealed plan (Engine.Append's delta shuffle): the worker accepts it
+	// without unsealing, appends the rows to the resident partition (creating
+	// it if the delta opens a new partition), and marks the partition's
+	// presort order and prepared join structure stale — they are rebuilt
+	// lazily on the next probe, not eagerly at append time. Requires Retain.
+	Delta bool
 }
 
 // PackedChunk is the streaming shuffle's wire representation of one chunk:
@@ -115,6 +122,10 @@ type PartitionStats struct {
 	Output    int64
 	// JoinNanos is the local join's measured duration.
 	JoinNanos int64
+	// RebuildNanos is the time this probe spent re-sorting and re-building the
+	// partition's prepared join structure after delta appends invalidated it
+	// (zero when the sealed structure was still fresh).
+	RebuildNanos int64
 	// PairS/PairT are parallel slices of result pairs when requested.
 	PairS []int64
 	PairT []int64
@@ -196,6 +207,13 @@ type StatsReply struct {
 	LoadTuples   int64
 	LoadBytes    int64
 	LoadRejected int64
+	// Delta path: incremental appends into sealed retained plans
+	// (LoadArgs.Delta) and the lazy rebuilds of prepared join structures they
+	// invalidated.
+	DeltaLoads        int64
+	DeltaTuples       int64
+	StaleRebuilds     int64
+	StaleRebuildNanos int64
 
 	// Join path.
 	JoinRPCs         int64

@@ -27,8 +27,9 @@ import (
 // worker keeps a retained-plan registry: partition data shipped with
 // LoadArgs.Retain and completed with Seal stays resident under its plan
 // fingerprint, so repeated queries over the same plan run their local joins
-// with zero shuffle. Retained plans are immutable once sealed; joins over
-// them only take read locks and therefore run concurrently.
+// with zero shuffle. Sealed plans change only through delta appends
+// (LoadArgs.Delta), which hold the target partition's write lock; joins take
+// read locks and therefore run concurrently with each other.
 type Worker struct {
 	name string
 
@@ -70,6 +71,10 @@ type workerMetrics struct {
 	loadBytes    *obs.Counter
 	loadRejected *obs.Counter
 
+	deltaLoads    *obs.Counter
+	deltaTuples   *obs.Counter
+	staleRebuilds *obs.Counter
+
 	joinRPCs         *obs.Counter
 	partitionsJoined *obs.Counter
 	pairsEmitted     *obs.Counter
@@ -82,6 +87,7 @@ type workerMetrics struct {
 
 	partitionJoinSeconds *obs.Histogram
 	loadChunkBytes       *obs.Histogram
+	staleRebuildSeconds  *obs.Histogram
 }
 
 func newWorkerMetrics(w *Worker) *workerMetrics {
@@ -92,6 +98,9 @@ func newWorkerMetrics(w *Worker) *workerMetrics {
 		loadTuples:       reg.Counter("bandjoin_worker_load_tuples_total", "Tuples received via Load."),
 		loadBytes:        reg.Counter("bandjoin_worker_load_bytes_total", "Payload bytes (keys+IDs) received via Load."),
 		loadRejected:     reg.Counter("bandjoin_worker_load_rejected_total", "Data-plane RPCs rejected while draining."),
+		deltaLoads:       reg.Counter("bandjoin_worker_delta_loads_total", "Delta Load RPCs appended into sealed retained plans."),
+		deltaTuples:      reg.Counter("bandjoin_worker_delta_tuples_total", "Tuples appended into sealed retained plans via delta Loads."),
+		staleRebuilds:    reg.Counter("bandjoin_worker_stale_rebuilds_total", "Prepared join structures rebuilt lazily after delta invalidation."),
 		joinRPCs:         reg.Counter("bandjoin_worker_join_rpcs_total", "Join RPCs served."),
 		partitionsJoined: reg.Counter("bandjoin_worker_partitions_joined_total", "Partition-level local joins executed."),
 		pairsEmitted:     reg.Counter("bandjoin_worker_pairs_emitted_total", "Result pairs produced by local joins."),
@@ -104,6 +113,8 @@ func newWorkerMetrics(w *Worker) *workerMetrics {
 			"Per-partition local-join latency.", obs.LatencyBuckets()),
 		loadChunkBytes: reg.Histogram("bandjoin_worker_load_chunk_bytes",
 			"Per-Load payload size (keys+IDs).", obs.ByteBuckets()),
+		staleRebuildSeconds: reg.Histogram("bandjoin_worker_stale_rebuild_seconds",
+			"Per-partition lazy prepared-structure rebuild latency.", obs.LatencyBuckets()),
 	}
 	reg.GaugeFunc("bandjoin_worker_jobs", "Resident transient jobs.", func() float64 {
 		w.mu.Lock()
@@ -226,24 +237,32 @@ func prepKeyFor(alg localjoin.Algorithm, band data.Band) string {
 }
 
 // preparedFor returns the cached prepared join for (alg, band), building and
-// caching it on miss. A nil return means the algorithm has no prepared form;
-// callers run the plain per-query join.
-func (p *partitionData) preparedFor(alg localjoin.Algorithm, band data.Band) localjoin.PreparedT {
+// caching it on miss, and reports the nanoseconds the rebuild took (zero on a
+// cache hit). A miss happens when a query asks for a different algorithm than
+// the plan was sealed with, or when a delta append invalidated the sealed
+// structure (Load clears prepKey); either way localjoin.Prepare sorts its
+// inputs internally, so rebuilding over unsorted appended tails is correct. A
+// nil prepared return means the algorithm has no prepared form; callers run
+// the plain per-query join.
+func (p *partitionData) preparedFor(alg localjoin.Algorithm, band data.Band) (localjoin.PreparedT, int64) {
 	key := prepKeyFor(alg, band)
 	p.mu.RLock()
 	if p.prepKey == key {
 		prep := p.prepared
 		p.mu.RUnlock()
-		return prep
+		return prep, 0
 	}
 	p.mu.RUnlock()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	var rebuildNanos int64
 	if p.prepKey != key {
+		start := time.Now()
 		p.prepared = localjoin.Prepare(alg, p.s, p.t, band)
 		p.prepKey = key
+		rebuildNanos = time.Since(start).Nanoseconds()
 	}
-	return p.prepared
+	return p.prepared, rebuildNanos
 }
 
 // NewWorker returns a worker service with the given display name.
@@ -372,15 +391,26 @@ func (w *Worker) Load(args *LoadArgs, reply *LoadReply) error {
 	if args.Side != "S" && args.Side != "T" {
 		return fmt.Errorf("cluster: unknown relation side %q", args.Side)
 	}
+	if args.Delta && !args.Retain {
+		return fmt.Errorf("cluster: worker %s: delta load requires retain", w.name)
+	}
 
 	var job *jobState
 	w.mu.Lock()
 	if args.Retain {
 		rs, ok := w.retained[args.JobID]
 		if !ok {
+			if args.Delta {
+				// A delta targets a plan the coordinator believes this worker
+				// holds; if the plan is gone (evicted, restarted), surface the
+				// retained-miss marker so the caller falls back to a cold
+				// shuffle instead of building a partial plan from the delta.
+				w.mu.Unlock()
+				return fmt.Errorf("cluster: worker %s: %s %q", w.name, ErrUnknownRetainedPlan, args.JobID)
+			}
 			rs = &retainedState{jobState: jobState{partitions: make(map[int]*partitionData)}}
 			w.retained[args.JobID] = rs
-		} else if rs.sealed {
+		} else if rs.sealed && !args.Delta {
 			w.mu.Unlock()
 			return fmt.Errorf("cluster: worker %s: retained plan %q is sealed", w.name, args.JobID)
 		}
@@ -431,6 +461,15 @@ func (w *Worker) Load(args *LoadArgs, reply *LoadReply) error {
 	} else {
 		rel.AppendRows(args.Chunk, 0, args.Chunk.Len())
 		*ids = append(*ids, args.IDs...)
+	}
+	if args.Delta {
+		// The appended tail breaks the sealed presort order and any prebuilt
+		// join structure over the old rows. Invalidate under the write lock
+		// already held; the next probe's preparedFor rebuilds lazily.
+		p.prepKey = ""
+		p.prepared = nil
+		w.m.deltaLoads.Inc()
+		w.m.deltaTuples.Add(int64(n))
 	}
 	reply.Received = n
 	var payload int64
@@ -541,13 +580,18 @@ func (w *Worker) joinPartition(alg localjoin.Algorithm, pid int, p *partitionDat
 	w.m.joinInflight.Add(1)
 	defer w.m.joinInflight.Add(-1)
 	var prep localjoin.PreparedT
+	var rebuildNanos int64
 	if retained {
-		prep = p.preparedFor(alg, args.Band)
+		prep, rebuildNanos = p.preparedFor(alg, args.Band)
+		if rebuildNanos > 0 {
+			w.m.staleRebuilds.Inc()
+			w.m.staleRebuildSeconds.Observe(float64(rebuildNanos) / 1e9)
+		}
 	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	start := time.Now()
-	stats := PartitionStats{Partition: pid, InputS: p.s.Len(), InputT: p.t.Len()}
+	stats := PartitionStats{Partition: pid, InputS: p.s.Len(), InputT: p.t.Len(), RebuildNanos: rebuildNanos}
 	var emit localjoin.Emit
 	if args.CollectPairs {
 		emit = func(si, ti int, _, _ []float64) {
@@ -730,6 +774,10 @@ func (w *Worker) Stats(_ *StatsArgs, reply *StatsReply) error {
 	reply.LoadTuples = m.loadTuples.Value()
 	reply.LoadBytes = m.loadBytes.Value()
 	reply.LoadRejected = m.loadRejected.Value()
+	reply.DeltaLoads = m.deltaLoads.Value()
+	reply.DeltaTuples = m.deltaTuples.Value()
+	reply.StaleRebuilds = m.staleRebuilds.Value()
+	reply.StaleRebuildNanos = int64(m.staleRebuildSeconds.Sum() * 1e9)
 	reply.JoinRPCs = m.joinRPCs.Value()
 	reply.PartitionsJoined = m.partitionsJoined.Value()
 	reply.PairsEmitted = m.pairsEmitted.Value()

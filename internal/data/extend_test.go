@@ -1,0 +1,70 @@
+package data
+
+import "testing"
+
+func TestExtendAppendsWithoutMutatingSnapshot(t *testing.T) {
+	base := NewRelation("r", 2)
+	for i := 0; i < 10; i++ {
+		base.Append(float64(i), float64(-i))
+	}
+	delta := NewRelation("d", 2)
+	delta.Append(100, -100)
+	delta.Append(101, -101)
+
+	ext := base.Extend(delta)
+	if base.Len() != 10 {
+		t.Fatalf("snapshot length changed to %d after Extend", base.Len())
+	}
+	if ext.Len() != 12 {
+		t.Fatalf("extended length = %d, want 12", ext.Len())
+	}
+	if ext.Name() != base.Name() || ext.Dims() != base.Dims() {
+		t.Errorf("extended identity (%q, %dD) differs from base (%q, %dD)",
+			ext.Name(), ext.Dims(), base.Name(), base.Dims())
+	}
+	for i := 0; i < 10; i++ {
+		if ext.KeyAt(i, 0) != float64(i) || ext.KeyAt(i, 1) != float64(-i) {
+			t.Fatalf("base row %d corrupted: %v", i, ext.Key(i))
+		}
+	}
+	if ext.KeyAt(10, 0) != 100 || ext.KeyAt(11, 0) != 101 {
+		t.Errorf("delta rows = %v, %v, want [100 -100], [101 -101]", ext.Key(10), ext.Key(11))
+	}
+}
+
+// TestExtendChainSharesPrefix: a chain of Extends must keep every intermediate
+// snapshot readable — an in-place extension writes only past the snapshot's
+// length, never into it.
+func TestExtendChainSharesPrefix(t *testing.T) {
+	head := NewRelation("r", 1)
+	head.Append(0)
+	snapshots := []*Relation{head}
+	for g := 1; g <= 20; g++ {
+		delta := NewRelation("d", 1)
+		delta.Append(float64(g))
+		head = head.Extend(delta)
+		snapshots = append(snapshots, head)
+	}
+	for g, snap := range snapshots {
+		if snap.Len() != g+1 {
+			t.Fatalf("snapshot %d has length %d, want %d", g, snap.Len(), g+1)
+		}
+		for i := 0; i <= g; i++ {
+			if snap.KeyAt(i, 0) != float64(i) {
+				t.Fatalf("snapshot %d row %d = %g, want %d", g, i, snap.KeyAt(i, 0), i)
+			}
+		}
+	}
+}
+
+func TestExtendDimsMismatchPanics(t *testing.T) {
+	base := NewRelation("r", 2)
+	delta := NewRelation("d", 3)
+	delta.Append(1, 2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Extend accepted a delta of different dimensionality")
+		}
+	}()
+	base.Extend(delta)
+}

@@ -119,6 +119,42 @@ func (r *Relation) Reserve(n int) {
 	r.keys = grown
 }
 
+// SetKey overwrites the join-attribute values of tuple i. It panics if the
+// number of values does not match the relation's dimensionality. It exists for
+// owned, mutable relations (e.g. a reservoir sample being merged); relations
+// shared across goroutines must never be mutated through it.
+func (r *Relation) SetKey(i int, key []float64) {
+	if len(key) != r.dims {
+		panic(fmt.Sprintf("data: relation %q expects %d join attributes, got %d", r.name, r.dims, len(key)))
+	}
+	copy(r.keys[i*r.dims:(i+1)*r.dims], key)
+}
+
+// Extend returns a new relation holding the receiver's tuples followed by
+// delta's. The receiver is never mutated, so readers holding it (concurrent
+// shuffles, sample draws) keep a consistent snapshot; when the receiver's
+// storage has spare capacity the result appends into it in place (sharing the
+// immutable prefix), otherwise the keys are copied once into storage grown
+// with doubling headroom, so a chain of Extends costs amortized O(|delta|).
+//
+// Because an in-place extension writes past the receiver's length, only one
+// lineage may ever extend a given relation: callers (the engine's Append path)
+// must serialize Extends of the same relation and must always adopt the
+// returned snapshot as the new head of the lineage.
+func (r *Relation) Extend(delta *Relation) *Relation {
+	if delta.dims != r.dims {
+		panic(fmt.Sprintf("data: relation %q (%dD) cannot be extended by %q (%dD)", r.name, r.dims, delta.name, delta.dims))
+	}
+	need := len(r.keys) + len(delta.keys)
+	keys := r.keys
+	if cap(keys) < need {
+		keys = make([]float64, len(r.keys), need+need/2)
+		copy(keys, r.keys)
+	}
+	keys = append(keys, delta.keys...)
+	return &Relation{name: r.name, dims: r.dims, keys: keys}
+}
+
 // Clone returns a deep copy of the relation, optionally under a new name.
 func (r *Relation) Clone(name string) *Relation {
 	if name == "" {

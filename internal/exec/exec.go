@@ -127,6 +127,16 @@ type Result struct {
 	// reshuffled.
 	WarmPartitions bool
 
+	// DeltaAbsorbTime is the time this query spent catching retained
+	// partitions up to rows appended since they were shuffled (routing and
+	// shipping just the delta); zero when the retained data was already fresh.
+	// StaleRebuildTime is the time the local joins spent re-sorting and
+	// re-building prepared join structures invalidated by such deltas —
+	// deferred from append time to the next probe, so it shows up on the first
+	// query after an append and is zero afterwards.
+	DeltaAbsorbTime  time.Duration
+	StaleRebuildTime time.Duration
+
 	// Trace is the per-query structured trace, attached by the Engine (nil
 	// for direct exec/coordinator runs).
 	Trace *QueryTrace

@@ -121,6 +121,52 @@ func Shuffle(ctx context.Context, plan partition.Plan, s, t *data.Relation, para
 	return parallelShuffle(ctx, plan, s, t, parallelism)
 }
 
+// ShuffleDelta routes only appended rows through the plan's assignment,
+// returning per-partition delta inputs whose tuple IDs are offset by the base
+// cardinalities (sBase rows of S and tBase rows of T existed before the
+// append), so a delta shuffle's IDs are exactly what a full-relation shuffle
+// of the extended inputs would have assigned those rows. Either delta may be
+// empty. The returned partitions own their arenas (nothing aliases the
+// deltas), so callers may append them into retained partition storage.
+func ShuffleDelta(ctx context.Context, plan partition.Plan, deltaS, deltaT *data.Relation, sBase, tBase int, parallelism int) ([]*PartitionInput, int64, error) {
+	// Route with the rows' global IDs: plans that consult the tuple ID
+	// (1-Bucket's randomized row/column choice) must see the same ID a
+	// full-relation shuffle of the extended input would pass them.
+	shifted := &offsetIDPlan{Plan: plan, sOff: int64(sBase), tOff: int64(tBase)}
+	parts, totalInput, err := Shuffle(ctx, shifted, deltaS, deltaT, parallelism)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for i := range p.SIDs {
+			p.SIDs[i] += int64(sBase)
+		}
+		for i := range p.TIDs {
+			p.TIDs[i] += int64(tBase)
+		}
+	}
+	return parts, totalInput, nil
+}
+
+// offsetIDPlan rebases the tuple IDs a delta shuffle passes to the wrapped
+// plan's assignment. Only the routing surface Shuffle touches (AssignS,
+// AssignT, NumPartitions via embedding) is forwarded.
+type offsetIDPlan struct {
+	partition.Plan
+	sOff, tOff int64
+}
+
+func (o *offsetIDPlan) AssignS(id int64, key []float64, dst []int) []int {
+	return o.Plan.AssignS(id+o.sOff, key, dst)
+}
+
+func (o *offsetIDPlan) AssignT(id int64, key []float64, dst []int) []int {
+	return o.Plan.AssignT(id+o.tOff, key, dst)
+}
+
 // ShuffleSerial is the retained single-threaded reference shuffle, exported as
 // the correctness oracle Shuffle is compared against. The parts slice is
 // pre-sized from plan.NumPartitions; only plans that discover partitions

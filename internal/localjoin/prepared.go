@@ -16,9 +16,11 @@ import (
 // produce exactly the pairs — in the same order — as the corresponding
 // Algorithm.Join over the same inputs.
 //
-// Probe's s must be the relation passed to Prepare (retained partitions are
-// immutable once sealed, so the worker satisfies this by construction). A
-// PreparedT is immutable after Prepare and safe for concurrent Probe calls.
+// Probe's s must be the relation passed to Prepare. Retained partitions
+// change only through delta appends, and an append invalidates the cached
+// PreparedT (the worker drops it and rebuilds from the grown partition on the
+// next probe), so every live PreparedT matches its partition's current rows.
+// A PreparedT is immutable after Prepare and safe for concurrent Probe calls.
 type PreparedT interface {
 	// Probe joins s against the prepared structure, invoking emit (if
 	// non-nil) per matching pair, and returns the number of result pairs.
@@ -167,8 +169,9 @@ func (p *preparedSortProbe) Probe(s *data.Relation, emit Emit) int64 {
 }
 
 // preparedGridSortScan caches T's dim-0-sorted rows; the S side is sorted per
-// probe with pooled scratch (retained partitions are presorted at seal time,
-// so that sort finds sorted input and is linear).
+// probe with pooled scratch (retained partitions are presorted at seal time
+// and re-presorted when a delta append dirties them, so that sort finds
+// sorted input and is linear).
 type preparedGridSortScan struct {
 	t    *sortedRel
 	nt   int

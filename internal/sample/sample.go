@@ -46,11 +46,14 @@ type Options struct {
 	Seed int64
 }
 
-// DefaultOptions returns the sampling configuration used by the experiments:
-// 100,000 input samples are impractical for the scaled-down inputs here, so
-// the defaults adapt to roughly 5% of the input, bounded to [2,000, 20,000].
+// DefaultOptions returns the sampling configuration used by the experiments.
+// The paper samples 100,000 input tuples; with the allocation-free parallel
+// planner the optimization phase stays far below the join cost even at 32,000
+// input samples (see BENCH_optimizer.json), so the default cashes in that
+// headroom — larger samples mean tighter load estimates and better plans on
+// skewed inputs. Inputs smaller than the sample size are used whole.
 func DefaultOptions() Options {
-	return Options{InputSampleSize: 8000, OutputSampleSize: 4000, Seed: 1}
+	return Options{InputSampleSize: 32000, OutputSampleSize: 4000, Seed: 1}
 }
 
 // InputSample is the band-independent half of the optimization-phase sample:
@@ -152,6 +155,116 @@ func (is *InputSample) ForBand(band data.Band) (*Sample, error) {
 	rng := rand.New(rand.NewSource(is.Opts.Seed + 0x9e3779b9))
 	out.sampleOutput(is.Opts.OutputSampleSize, rng)
 	return out, nil
+}
+
+// Merge returns a new InputSample covering the inputs after deltaS rows were
+// appended to S and deltaT rows to T (either delta may be nil or empty). The
+// receiver is never mutated — callers swap in the returned snapshot — and the
+// full base relations are never rescanned: each side's sample is advanced by
+// continuing the reservoir over just the delta rows.
+//
+// The math: a size-k reservoir over a stream of n items holds a uniform
+// k-subset of the n. Continuing the same algorithm over d more items — item
+// n+i replaces a uniformly chosen slot with probability k/(n+i+1) — yields a
+// uniform k-subset of all n+d items. The continuation RNG is derived
+// deterministically from (Opts.Seed, covered cardinalities), so merging the
+// same delta onto the same sample always produces the same result, but each
+// successive merge draws from a fresh stream. A side whose sample still holds
+// the whole base (|sample| == |input|) first grows toward its proportional
+// share of InputSampleSize before replacement starts, exactly as a reservoir
+// filling from the extended stream would.
+func (is *InputSample) Merge(deltaS, deltaT *data.Relation) (*InputSample, error) {
+	dS, dT := 0, 0
+	if deltaS != nil {
+		if deltaS.Dims() != is.S.Dims() {
+			return nil, fmt.Errorf("sample: S delta has %d dimensions, sample has %d", deltaS.Dims(), is.S.Dims())
+		}
+		dS = deltaS.Len()
+	}
+	if deltaT != nil {
+		if deltaT.Dims() != is.T.Dims() {
+			return nil, fmt.Errorf("sample: T delta has %d dimensions, sample has %d", deltaT.Dims(), is.T.Dims())
+		}
+		dT = deltaT.Len()
+	}
+	if dS == 0 && dT == 0 {
+		return is, nil
+	}
+	size := is.Opts.InputSampleSize
+	if size <= 0 {
+		size = DefaultOptions().InputSampleSize
+	}
+	newTotalS, newTotalT := is.TotalS+dS, is.TotalT+dT
+	// Per-side growth caps, proportional to the new cardinalities like
+	// DrawInputs' split (with the same ≥1-per-non-empty-side guarantee). Only
+	// sides still holding their whole base grow; a side already down-sampled
+	// keeps its reservoir size and only replaces.
+	targetS := size * newTotalS / (newTotalS + newTotalT)
+	targetT := size - targetS
+	if targetS == 0 && newTotalS > 0 {
+		targetS = 1
+	}
+	if targetT == 0 && newTotalT > 0 {
+		targetT = 1
+	}
+	rng := rand.New(rand.NewSource(mergeSeed(is.Opts.Seed, is.TotalS, is.TotalT)))
+	out := &InputSample{
+		S:      mergeSide(is.S, is.TotalS, deltaS, targetS, rng),
+		T:      mergeSide(is.T, is.TotalT, deltaT, targetT, rng),
+		TotalS: newTotalS,
+		TotalT: newTotalT,
+		Opts:   is.Opts,
+	}
+	out.SRate = rate(out.S.Len(), newTotalS)
+	out.TRate = rate(out.T.Len(), newTotalT)
+	return out, nil
+}
+
+// mergeSide continues one side's reservoir over the delta rows. cur is the
+// current sample of total base rows; it is cloned, never mutated.
+func mergeSide(cur *data.Relation, total int, delta *data.Relation, target int, rng *rand.Rand) *data.Relation {
+	if delta == nil || delta.Len() == 0 {
+		return cur
+	}
+	k := cur.Len()
+	out := cur.Clone(cur.Name())
+	if k == total {
+		// The sample is the whole base: the reservoir never filled, so the
+		// extended stream first fills it to target (delta rows append whole),
+		// then replacement takes over.
+		if grow := target - k; grow > 0 {
+			out.Reserve(min(grow, delta.Len()))
+		}
+		for di := 0; di < delta.Len(); di++ {
+			if out.Len() < target {
+				out.AppendKey(delta.Key(di))
+				continue
+			}
+			if j := rng.Intn(total + di + 1); j < target {
+				out.SetKey(j, delta.Key(di))
+			}
+		}
+		return out
+	}
+	// A proper size-k reservoir of the base: continue algorithm R over the
+	// delta items at stream positions total, total+1, ….
+	for di := 0; di < delta.Len(); di++ {
+		if j := rng.Intn(total + di + 1); j < k {
+			out.SetKey(j, delta.Key(di))
+		}
+	}
+	return out
+}
+
+// mergeSeed derives the deterministic continuation seed for a merge that has
+// covered the given base cardinalities (splitmix-style finalizer, so nearby
+// coverage points decorrelate).
+func mergeSeed(seed int64, coveredS, coveredT int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(coveredS+1) + 0xbf58476d1ce4e5b9*uint64(coveredT+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	return int64(z)
 }
 
 // Draw samples the inputs and the output for the given band condition. It is

@@ -14,19 +14,21 @@ import (
 // cluster path, and the engine — previously each path defaulted its knobs
 // independently (and silently accepted nonsense like negative worker counts).
 type resolved struct {
-	Workers         int
-	Partitioner     Partitioner
-	Algorithm       localjoin.Algorithm // nil selects the adaptive default
-	AlgorithmName   string              // wire name for cluster runs
-	Model           CostModel
-	Sampling        sample.Options
-	CollectPairs    bool
-	EstimateOnly    bool
-	Seed            int64
-	ChunkSize       int
-	Window          int
-	JoinParallelism int
-	Serial          bool
+	Workers          int
+	Partitioner      Partitioner
+	Algorithm        localjoin.Algorithm // nil selects the adaptive default
+	AlgorithmName    string              // wire name for cluster runs
+	Model            CostModel
+	Sampling         sample.Options
+	CollectPairs     bool
+	EstimateOnly     bool
+	Seed             int64
+	ChunkSize        int
+	Window           int
+	JoinParallelism  int
+	Serial           bool
+	MaxPlanDrift     float64
+	MaxDeltaFraction float64
 }
 
 // resolve validates the options and fills defaults. Nonsensical values —
@@ -53,6 +55,12 @@ func (o Options) resolve() (resolved, error) {
 	}
 	if o.PlannerParallelism < 0 {
 		return r, fmt.Errorf("bandjoin: PlannerParallelism must be >= 0, got %d", o.PlannerParallelism)
+	}
+	if o.MaxPlanDrift < 0 {
+		return r, fmt.Errorf("bandjoin: MaxPlanDrift must be >= 0 (0 disables drift-triggered re-partitioning), got %v", o.MaxPlanDrift)
+	}
+	if o.MaxDeltaFraction < 0 || o.MaxDeltaFraction > 1 {
+		return r, fmt.Errorf("bandjoin: MaxDeltaFraction must be in [0, 1] (0 disables), got %v", o.MaxDeltaFraction)
 	}
 
 	r.Workers = o.Workers
@@ -91,6 +99,8 @@ func (o Options) resolve() (resolved, error) {
 	r.Window = o.ClusterWindow
 	r.JoinParallelism = o.ClusterJoinParallelism
 	r.Serial = o.ClusterSerial
+	r.MaxPlanDrift = o.MaxPlanDrift
+	r.MaxDeltaFraction = o.MaxDeltaFraction
 	return r, nil
 }
 
