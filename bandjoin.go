@@ -137,6 +137,13 @@ type Options struct {
 	// correctness oracle and benchmark baseline — instead of the pipelined
 	// streaming plane.
 	ClusterSerial bool
+	// ClusterCompression selects the streaming shuffle's wire encoding:
+	// "auto" (default; per-column delta+varint with entropy-gated LZ4-style
+	// block compression), "delta" (varint columns only), "lz4" (always
+	// attempt block compression), or "off" (the v1 row-major packed plane,
+	// retained as the equivalence oracle). Workers that have not negotiated
+	// the v2 wire format fall back to v1 automatically.
+	ClusterCompression string
 
 	// The drift knobs govern when an Engine replaces a cached plan whose
 	// quality degraded under Engine.Append. Both are off (0) by default:

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"bandjoin/internal/bench"
 )
@@ -67,13 +68,22 @@ func main() {
 		appendBatches = flag.Int("append-batches", 0, "batches the delta is streamed in during the sustained phase (default 5)")
 		appendRounds  = flag.Int("append-rounds", 0, "rounds per one-shot phase, fastest kept (default 3)")
 
-		clusterPath    = flag.String("cluster", "", "run the distributed data-plane benchmark and write the JSON report to this path")
-		clusterTuples  = flag.Int("cluster-tuples", 0, "per-relation input size of the cluster benchmark (default 500000)")
-		clusterWorkers = flag.Int("cluster-workers", 0, "number of in-process RPC workers of the cluster benchmark (default 2)")
-		clusterChunk   = flag.Int("cluster-chunk", 0, "tuples per Load RPC (default 16384)")
-		clusterWindow  = flag.Int("cluster-window", 0, "max in-flight Load RPCs per worker on the streaming plane (default 4)")
-		clusterDims    = flag.Int("cluster-dims", 0, "number of join attributes of the cluster benchmark (default 8)")
-		clusterEps     = flag.Float64("cluster-eps", 0, "symmetric band width of the cluster benchmark (default 0.003)")
+		clusterPath     = flag.String("cluster", "", "run the distributed data-plane benchmark and write the JSON report to this path")
+		clusterTuples   = flag.Int("cluster-tuples", 0, "per-relation input size of the cluster benchmark (default 500000)")
+		clusterWorkers  = flag.Int("cluster-workers", 0, "number of in-process RPC workers of the cluster benchmark (default 2)")
+		clusterChunk    = flag.Int("cluster-chunk", 0, "tuples per Load RPC (default 16384)")
+		clusterWindow   = flag.Int("cluster-window", 0, "max in-flight Load RPCs per worker on the streaming plane (default 4)")
+		clusterDims     = flag.Int("cluster-dims", 0, "number of join attributes of the cluster benchmark (default 8)")
+		clusterEps      = flag.Float64("cluster-eps", 0, "symmetric band width of the cluster benchmark (default 0.003)")
+		clusterComp     = flag.String("cluster-compression", "", "streaming wire encoding of the cluster benchmark: auto (default), delta, or lz4; off is always measured as the baseline")
+		clusterDecimals = flag.Int("cluster-decimals", -1, "decimal places benchmark keys are quantized to, PTF-style fixed precision (default 3; negative values other than the -1 sentinel disable quantization)")
+
+		scalingPath    = flag.String("scaling", "", "run the GOMAXPROCS scaling sweep (shuffle, join, planner, engine tiers) and write the JSON report to this path")
+		scalingTuples  = flag.Int("scaling-tuples", 0, "per-relation input size of the scaling sweep (default 250000)")
+		scalingDims    = flag.Int("scaling-dims", 0, "number of join attributes of the scaling sweep (default 4)")
+		scalingWorkers = flag.Int("scaling-workers", 0, "simulated worker count of the scaling sweep (default 8)")
+		scalingRounds  = flag.Int("scaling-rounds", 0, "rounds per tier and procs value, fastest kept (default 3)")
+		scalingProcs   = flag.Int("scaling-procs", 0, "cap of the GOMAXPROCS sweep (default NumCPU)")
 	)
 	flag.Parse()
 
@@ -234,6 +244,12 @@ func main() {
 		if *clusterEps > 0 {
 			cfg.Eps = *clusterEps
 		}
+		if *clusterComp != "" {
+			cfg.Compression = *clusterComp
+		}
+		if *clusterDecimals != -1 {
+			cfg.KeyDecimals = *clusterDecimals
+		}
 		cfg.Seed = *seed
 		f, err := os.Create(*clusterPath)
 		if err != nil {
@@ -255,11 +271,64 @@ func main() {
 		fmt.Printf("serial %.2fs (shuffle %.2fs + join %.2fs), streaming %.2fs (shuffle %.2fs + join %.2fs)\n",
 			rep.Serial.WallSeconds, rep.Serial.ShuffleSeconds, rep.Serial.JoinSeconds,
 			rep.Streaming.WallSeconds, rep.Streaming.ShuffleSeconds, rep.Streaming.JoinSeconds)
-		fmt.Printf("shuffle wire: serial %d RPCs / %.1f MB, streaming %d RPCs / %.1f MB\n",
+		fmt.Printf("shuffle wire: serial %d RPCs / %.1f MB, streaming-off %d RPCs / %.1f MB, streaming(%s) %d RPCs / %.1f MB\n",
 			rep.Serial.ShuffleRPCs, float64(rep.Serial.ShuffleBytes)/(1<<20),
-			rep.Streaming.ShuffleRPCs, float64(rep.Streaming.ShuffleBytes)/(1<<20))
+			rep.StreamingOff.ShuffleRPCs, float64(rep.StreamingOff.ShuffleBytes)/(1<<20),
+			rep.Compression, rep.Streaming.ShuffleRPCs, float64(rep.Streaming.ShuffleBytes)/(1<<20))
+		fmt.Printf("compression %.2fx vs off (raw %.1f MB); pairs checked %d identical=%v\n",
+			rep.CompressionRatio, float64(rep.Streaming.ShuffleRawBytes)/(1<<20), rep.PairsChecked, rep.PairsIdentical)
 		fmt.Printf("end-to-end speedup %.2fx (shuffle %.2fx, join %.2fx); report written to %s\n",
 			rep.SpeedupEndToEnd, rep.SpeedupShuffle, rep.SpeedupJoin, *clusterPath)
+		return
+	}
+
+	if *scalingPath != "" {
+		cfg := bench.DefaultScalingConfig()
+		if *scalingTuples > 0 {
+			cfg.Tuples = *scalingTuples
+		}
+		if *scalingDims > 0 {
+			cfg.Dims = *scalingDims
+		}
+		if *scalingWorkers > 0 {
+			cfg.Workers = *scalingWorkers
+		}
+		if *scalingRounds > 0 {
+			cfg.Rounds = *scalingRounds
+		}
+		if *scalingProcs > 0 {
+			cfg.MaxProcs = *scalingProcs
+		}
+		cfg.Seed = *seed
+		f, err := os.Create(*scalingPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *scalingPath, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cap := cfg.MaxProcs
+		if cap <= 0 {
+			cap = runtime.NumCPU()
+		}
+		fmt.Printf("scaling sweep: %d x %d tuples, %dD, band %g, procs 1..%d...\n",
+			cfg.Tuples, cfg.Tuples, cfg.Dims, cfg.Eps, cap)
+		rep, err := bench.RunScaling(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scaling sweep failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteScalingJSON(f, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *scalingPath, err)
+			os.Exit(1)
+		}
+		for _, tier := range rep.Tiers {
+			fmt.Printf("%-8s", tier.Tier)
+			for _, pt := range tier.Points {
+				fmt.Printf("  p=%d %.3fs (%.2fx)", pt.Procs, pt.WallSeconds, pt.Speedup)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("report written to %s\n", *scalingPath)
 		return
 	}
 

@@ -128,7 +128,7 @@ func appendWorkload(cfg AppendConfig) (baseS, baseT, deltaS, deltaT *data.Relati
 	if deltaN < 1 {
 		deltaN = 1
 	}
-	fullS, fullT := selfMatchPair(cfg.Tuples+deltaN, cfg.Dims, cfg.Eps, cfg.Seed)
+	fullS, fullT := selfMatchPair(cfg.Tuples+deltaN, cfg.Dims, cfg.Eps, cfg.Seed, -1)
 	return fullS.Slice("s", 0, cfg.Tuples), fullT.Slice("t", 0, cfg.Tuples),
 		fullS.Slice("ds", cfg.Tuples, fullS.Len()), fullT.Slice("dt", cfg.Tuples, fullT.Len())
 }

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"time"
 
 	"bandjoin/internal/cluster"
@@ -47,6 +49,19 @@ type ClusterConfig struct {
 	// the join phase produces real results without dominating the data-plane
 	// comparison. When false, S and T are drawn independently.
 	SelfMatch bool
+	// KeyDecimals quantizes every generated key to this many decimal places,
+	// modelling the fixed-precision coordinates real survey data ships (the
+	// paper's PTF workload). Fixed precision is what the columnar scaled-int
+	// wire encodings are built for; full-entropy float64 mantissas are
+	// incompressible by any codec. Negative disables quantization. The
+	// self-match guarantee survives quantization as long as 10^-KeyDecimals
+	// ≤ Eps (jitter ≤ Eps/2 plus half an ulp of the grid stays in the band).
+	KeyDecimals int
+	// Compression selects the streaming plane's wire encoding ("" = auto).
+	// The benchmark always also measures the v1 packed plane
+	// (compression=off) on the same plan as the wire-size baseline and
+	// pair-level equivalence oracle.
+	Compression string
 	// Seed drives data generation and planning.
 	Seed int64
 }
@@ -60,15 +75,16 @@ type ClusterConfig struct {
 // the join work is identical on both.
 func DefaultClusterConfig() ClusterConfig {
 	return ClusterConfig{
-		Tuples:    500_000,
-		Dims:      8,
-		Eps:       0.003,
-		Workers:   2,
-		ChunkSize: 16384,
-		Window:    4,
-		Rounds:    5,
-		SelfMatch: true,
-		Seed:      1,
+		Tuples:      500_000,
+		Dims:        8,
+		Eps:         0.003,
+		Workers:     2,
+		ChunkSize:   16384,
+		Window:      4,
+		Rounds:      5,
+		SelfMatch:   true,
+		KeyDecimals: 3,
+		Seed:        1,
 	}
 }
 
@@ -83,9 +99,12 @@ type ClusterMeasurement struct {
 	ShuffleSeconds float64 `json:"shuffle_seconds"`
 	JoinSeconds    float64 `json:"join_seconds"`
 	// ShuffleBytes is wire bytes moved during the shuffle (both directions,
-	// post-gob); ShuffleRPCs is the number of Load calls.
-	ShuffleBytes int64 `json:"shuffle_bytes"`
-	ShuffleRPCs  int64 `json:"shuffle_rpcs"`
+	// post-gob); ShuffleRPCs is the number of Load calls. ShuffleRawBytes is
+	// the uncompressed row-major footprint of the same tuples — raw/wire is
+	// the effective compression ratio of the plane's encoding.
+	ShuffleBytes    int64 `json:"shuffle_bytes"`
+	ShuffleRawBytes int64 `json:"shuffle_raw_bytes"`
+	ShuffleRPCs     int64 `json:"shuffle_rpcs"`
 	// ShuffleTuplesPerSec is routed tuples (total input I) per second of
 	// shuffle time.
 	ShuffleTuplesPerSec float64 `json:"shuffle_tuples_per_sec"`
@@ -111,13 +130,32 @@ type ClusterReport struct {
 	Workers     int     `json:"workers"`
 	ChunkSize   int     `json:"chunk_size"`
 	Window      int     `json:"window"`
+	KeyDecimals int     `json:"key_decimals"`
+	Compression string  `json:"compression"`
 	Partitioner string  `json:"partitioner"`
 	Partitions  int     `json:"partitions"`
 	TotalInput  int64   `json:"total_input"`
 	Output      int64   `json:"output_pairs"`
 
-	Serial    ClusterMeasurement `json:"serial"`
-	Streaming ClusterMeasurement `json:"streaming"`
+	// Serial is the v1 tuple-at-a-time oracle plane. StreamingOff is the
+	// streaming plane with compression=off (v1 packed chunks) — the wire-size
+	// baseline. Streaming is the streaming plane under the configured
+	// compression mode.
+	Serial       ClusterMeasurement `json:"serial"`
+	StreamingOff ClusterMeasurement `json:"streaming_off"`
+	Streaming    ClusterMeasurement `json:"streaming"`
+
+	// CompressionRatio is StreamingOff.ShuffleBytes / Streaming.ShuffleBytes:
+	// how much smaller the columnar compressed shuffle is than the packed v1
+	// shuffle for the same tuples.
+	CompressionRatio float64 `json:"compression_ratio"`
+
+	// PairsChecked result pairs were compared bit-for-bit between a
+	// compression=off run and a compressed run of a subsample-sized rerun of
+	// the workload (full-size runs only compare output cardinalities, which
+	// the timed planes must also agree on).
+	PairsChecked   int  `json:"pairs_checked"`
+	PairsIdentical bool `json:"pairs_identical"`
 
 	// Speedups are serial / streaming wall-time ratios.
 	SpeedupEndToEnd float64 `json:"speedup_end_to_end"`
@@ -125,14 +163,32 @@ type ClusterReport struct {
 	SpeedupJoin     float64 `json:"speedup_join"`
 }
 
+// quantizeKeys rounds every key of r to the given number of decimal places in
+// place; negative decimals is a no-op.
+func quantizeKeys(r *data.Relation, decimals int) {
+	if decimals < 0 {
+		return
+	}
+	scale := math.Pow(10, float64(decimals))
+	keys := r.KeysRange(0, r.Len())
+	for i, k := range keys {
+		keys[i] = math.Round(k*scale) / scale
+	}
+}
+
 // selfMatchPair generates the paper's PTF-style near-duplicate workload: S is
 // Pareto-distributed and each T tuple is a jittered copy of its S counterpart
 // within the band, guaranteeing an output of at least |S| pairs at any
 // dimensionality. It is shared by the cluster data-plane and engine
-// benchmarks.
-func selfMatchPair(tuples, dims int, eps float64, seed int64) (*data.Relation, *data.Relation) {
+// benchmarks. Non-negative decimals quantize both relations to that many
+// decimal places; S is quantized before T is derived, so as long as
+// 10^-decimals ≤ eps the jitter (≤ eps/2) plus T's own rounding error
+// (≤ 10^-decimals/2) keeps every T tuple within the band of its S
+// counterpart and the output floor of |S| pairs survives.
+func selfMatchPair(tuples, dims int, eps float64, seed int64, decimals int) (*data.Relation, *data.Relation) {
 	gen := data.NewPareto(dims, 1.5)
 	s := gen.Generate("S", tuples, rand.New(rand.NewSource(seed)))
+	quantizeKeys(s, decimals)
 	rng := rand.New(rand.NewSource(seed + 1))
 	t := data.NewRelationCapacity("T", dims, s.Len())
 	key := make([]float64, dims)
@@ -143,6 +199,7 @@ func selfMatchPair(tuples, dims int, eps float64, seed int64) (*data.Relation, *
 		}
 		t.AppendKey(key)
 	}
+	quantizeKeys(t, decimals)
 	return s, t
 }
 
@@ -162,11 +219,13 @@ func RunCluster(cfg ClusterConfig) (*ClusterReport, error) {
 	band := data.Uniform(cfg.Dims, cfg.Eps)
 	var s, t *data.Relation
 	if cfg.SelfMatch {
-		s, t = selfMatchPair(cfg.Tuples, cfg.Dims, cfg.Eps, cfg.Seed)
+		s, t = selfMatchPair(cfg.Tuples, cfg.Dims, cfg.Eps, cfg.Seed, cfg.KeyDecimals)
 	} else {
 		gen := data.NewPareto(cfg.Dims, 1.5)
 		s = gen.Generate("S", cfg.Tuples, rand.New(rand.NewSource(cfg.Seed)))
 		t = gen.Generate("T", cfg.Tuples, rand.New(rand.NewSource(cfg.Seed+1)))
+		quantizeKeys(s, cfg.KeyDecimals)
+		quantizeKeys(t, cfg.KeyDecimals)
 	}
 
 	lc, err := cluster.StartLocal(cfg.Workers)
@@ -192,9 +251,14 @@ func RunCluster(cfg ClusterConfig) (*ClusterReport, error) {
 	}
 
 	serialOpts := cluster.Options{Serial: true, ChunkSize: cfg.ChunkSize}
-	streamOpts := cluster.Options{ChunkSize: cfg.ChunkSize, Window: cfg.Window}
+	offOpts := cluster.Options{ChunkSize: cfg.ChunkSize, Window: cfg.Window, Compression: "off"}
+	streamOpts := cluster.Options{ChunkSize: cfg.ChunkSize, Window: cfg.Window, Compression: cfg.Compression}
 
 	serial, serialRes, err := measureCluster(coord, plan, ctx, s, t, band, serialOpts, cfg.Rounds, "serial")
+	if err != nil {
+		return nil, err
+	}
+	off, offRes, err := measureCluster(coord, plan, ctx, s, t, band, offOpts, cfg.Rounds, "streaming-off")
 	if err != nil {
 		return nil, err
 	}
@@ -202,33 +266,118 @@ func RunCluster(cfg ClusterConfig) (*ClusterReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	if serialRes.Output != streamRes.Output || serialRes.TotalInput != streamRes.TotalInput {
-		return nil, fmt.Errorf("bench: planes disagree: serial (I=%d, out=%d) vs streaming (I=%d, out=%d)",
-			serialRes.TotalInput, serialRes.Output, streamRes.TotalInput, streamRes.Output)
+	if serialRes.Output != streamRes.Output || serialRes.TotalInput != streamRes.TotalInput ||
+		offRes.Output != streamRes.Output || offRes.TotalInput != streamRes.TotalInput {
+		return nil, fmt.Errorf("bench: planes disagree: serial (I=%d, out=%d) vs off (I=%d, out=%d) vs streaming (I=%d, out=%d)",
+			serialRes.TotalInput, serialRes.Output, offRes.TotalInput, offRes.Output, streamRes.TotalInput, streamRes.Output)
+	}
+
+	// Pair-level identity between the compression=off oracle and the
+	// compressed plane, on a subsample-sized rerun so pair collection stays
+	// tractable at benchmark scale.
+	checked, identical, err := clusterPairCheck(coord, cfg, band)
+	if err != nil {
+		return nil, err
+	}
+	if !identical {
+		return nil, fmt.Errorf("bench: compressed pairs differ from the compression=off oracle pairs")
 	}
 
 	rep := &ClusterReport{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		NumCPU:      runtime.NumCPU(),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Tuples:      cfg.Tuples,
-		Dims:        cfg.Dims,
-		Eps:         cfg.Eps,
-		Workers:     cfg.Workers,
-		ChunkSize:   cfg.ChunkSize,
-		Window:      cfg.Window,
-		Partitioner: pt.Name(),
-		Partitions:  streamRes.Partitions,
-		TotalInput:  streamRes.TotalInput,
-		Output:      streamRes.Output,
-		Serial:      serial,
-		Streaming:   stream,
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Tuples:         cfg.Tuples,
+		Dims:           cfg.Dims,
+		Eps:            cfg.Eps,
+		Workers:        cfg.Workers,
+		ChunkSize:      cfg.ChunkSize,
+		Window:         cfg.Window,
+		KeyDecimals:    cfg.KeyDecimals,
+		Compression:    compressionName(cfg.Compression),
+		Partitioner:    pt.Name(),
+		Partitions:     streamRes.Partitions,
+		TotalInput:     streamRes.TotalInput,
+		Output:         streamRes.Output,
+		Serial:         serial,
+		StreamingOff:   off,
+		Streaming:      stream,
+		PairsChecked:   checked,
+		PairsIdentical: identical,
 	}
+	rep.CompressionRatio = ratio(float64(off.ShuffleBytes), float64(stream.ShuffleBytes))
 	rep.SpeedupEndToEnd = ratio(serial.WallSeconds, stream.WallSeconds)
 	rep.SpeedupShuffle = ratio(serial.ShuffleSeconds, stream.ShuffleSeconds)
 	rep.SpeedupJoin = ratio(serial.JoinSeconds, stream.JoinSeconds)
 	return rep, nil
+}
+
+func compressionName(mode string) string {
+	if mode == "" {
+		return "auto"
+	}
+	return mode
+}
+
+// clusterPairCheck reruns the workload at a reduced size with pair collection
+// on, once under compression=off and once under the configured mode, and
+// compares the result pairs bit-for-bit (as sorted multisets — the parallel
+// worker joins do not define a global pair order).
+func clusterPairCheck(coord *cluster.Coordinator, cfg ClusterConfig, band data.Band) (int, bool, error) {
+	tuples := cfg.Tuples
+	if tuples > 50_000 {
+		tuples = 50_000
+	}
+	small := cfg
+	small.Tuples = tuples
+	var s, t *data.Relation
+	if small.SelfMatch {
+		s, t = selfMatchPair(small.Tuples, small.Dims, small.Eps, small.Seed, small.KeyDecimals)
+	} else {
+		gen := data.NewPareto(small.Dims, 1.5)
+		s = gen.Generate("S", small.Tuples, rand.New(rand.NewSource(small.Seed)))
+		t = gen.Generate("T", small.Tuples, rand.New(rand.NewSource(small.Seed+1)))
+		quantizeKeys(s, small.KeyDecimals)
+		quantizeKeys(t, small.KeyDecimals)
+	}
+	run := func(mode string) ([]exec.Pair, error) {
+		res, err := coord.Run(context.Background(), core.NewRecPartS(), s, t, band, cluster.Options{
+			ChunkSize:    small.ChunkSize,
+			Window:       small.Window,
+			Compression:  mode,
+			CollectPairs: true,
+			Seed:         small.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: pair-check run (compression=%s): %w", compressionName(mode), err)
+		}
+		pairs := res.Pairs
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].S != pairs[j].S {
+				return pairs[i].S < pairs[j].S
+			}
+			return pairs[i].T < pairs[j].T
+		})
+		return pairs, nil
+	}
+	oracle, err := run("off")
+	if err != nil {
+		return 0, false, err
+	}
+	got, err := run(cfg.Compression)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(oracle) != len(got) {
+		return len(oracle), false, nil
+	}
+	for i := range oracle {
+		if oracle[i] != got[i] {
+			return len(oracle), false, nil
+		}
+	}
+	return len(oracle), true, nil
 }
 
 // measureCluster runs RunPlan rounds times and keeps the fastest round by
@@ -236,6 +385,11 @@ func RunCluster(cfg ClusterConfig) (*ClusterReport, error) {
 func measureCluster(coord *cluster.Coordinator, plan partition.Plan, ctx *partition.Context, s, t *data.Relation, band data.Band, opts cluster.Options, rounds int, plane string) (ClusterMeasurement, *exec.Result, error) {
 	var best *exec.Result
 	var bestWall time.Duration
+	// Per-phase minima are tracked independently of the fastest end-to-end
+	// round: on loaded or single-core machines the scheduler assigns noise to
+	// shuffle in one round and join in the next, and reporting the fastest
+	// round's coupled split would amplify that noise into the phase ratios.
+	var bestShuffle, bestJoin time.Duration
 	for r := 0; r < rounds; r++ {
 		// Level the heap across rounds and planes: on small machines GC debt
 		// from a previous round otherwise bleeds into the next measurement.
@@ -249,17 +403,24 @@ func measureCluster(coord *cluster.Coordinator, plan partition.Plan, ctx *partit
 		if best == nil || wall < bestWall {
 			best, bestWall = res, wall
 		}
+		if r == 0 || res.ShuffleTime < bestShuffle {
+			bestShuffle = res.ShuffleTime
+		}
+		if r == 0 || res.JoinWallTime < bestJoin {
+			bestJoin = res.JoinWallTime
+		}
 	}
 	m := ClusterMeasurement{
-		Plane:          plane,
-		WallSeconds:    bestWall.Seconds(),
-		ShuffleSeconds: best.ShuffleTime.Seconds(),
-		JoinSeconds:    best.JoinWallTime.Seconds(),
-		ShuffleBytes:   best.ShuffleBytes,
-		ShuffleRPCs:    best.ShuffleRPCs,
-		Degraded:       best.Degraded,
-		LostWorkers:    best.LostWorkers,
-		Retries:        best.Retries,
+		Plane:           plane,
+		WallSeconds:     bestWall.Seconds(),
+		ShuffleSeconds:  bestShuffle.Seconds(),
+		JoinSeconds:     bestJoin.Seconds(),
+		ShuffleBytes:    best.ShuffleBytes,
+		ShuffleRawBytes: best.ShuffleRawBytes,
+		ShuffleRPCs:     best.ShuffleRPCs,
+		Degraded:        best.Degraded,
+		LostWorkers:     best.LostWorkers,
+		Retries:         best.Retries,
 	}
 	if m.ShuffleSeconds > 0 {
 		m.ShuffleTuplesPerSec = float64(best.TotalInput) / m.ShuffleSeconds

@@ -109,7 +109,7 @@ type EngineReport struct {
 // (each T tuple within the band of its S counterpart), shared with the
 // cluster data-plane benchmark.
 func engineWorkload(tuples, dims int, eps float64, seed int64) (*data.Relation, *data.Relation) {
-	return selfMatchPair(tuples, dims, eps, seed)
+	return selfMatchPair(tuples, dims, eps, seed, -1)
 }
 
 // RunEngine executes the engine-throughput benchmark over in-process RPC

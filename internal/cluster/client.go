@@ -226,6 +226,13 @@ type workerClient struct {
 	client     *rpc.Client
 	workerName string
 
+	// wireVer is the chunk format version the worker advertised in the Ping
+	// answered at dial time (re-negotiated on every redial, so a worker
+	// restarted with different capabilities is picked up automatically). Zero
+	// until the first successful Ping — senders treat anything below
+	// wire.Version as "use the v1 row-major format".
+	wireVer atomic.Int32
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -306,8 +313,12 @@ func (wc *workerClient) conn() (*rpc.Client, error) {
 	}
 	wc.client = cl
 	wc.workerName = pong.Worker
+	wc.wireVer.Store(int32(pong.WireVersion))
 	return cl, nil
 }
+
+// wireVersion returns the chunk format version negotiated with the worker.
+func (wc *workerClient) wireVersion() int { return int(wc.wireVer.Load()) }
 
 // dropConn closes and forgets cl if it is still the current connection,
 // aborting every call in flight on it. Concurrent callers that already hold

@@ -18,6 +18,7 @@ import (
 	"bandjoin/internal/obs"
 	"bandjoin/internal/partition"
 	"bandjoin/internal/sample"
+	"bandjoin/internal/wire"
 )
 
 // Coordinator drives a distributed band-join over a set of RPC workers: it
@@ -69,23 +70,29 @@ type Coordinator struct {
 type coordMetrics struct {
 	reg *obs.Registry
 
-	runs           *obs.Counter
-	shuffleBytes   *obs.Counter
-	shuffleRPCs    *obs.Counter
-	retries        *obs.Counter
-	failoverRounds *obs.Counter
-	workersLost    *obs.Counter
-	transUp        *obs.Counter
-	transSuspect   *obs.Counter
-	transDown      *obs.Counter
+	runs            *obs.Counter
+	shuffleBytes    *obs.Counter
+	shuffleRawBytes *obs.Counter
+	shuffleWire     *obs.Counter
+	shuffleRPCs     *obs.Counter
+	retries         *obs.Counter
+	failoverRounds  *obs.Counter
+	workersLost     *obs.Counter
+	transUp         *obs.Counter
+	transSuspect    *obs.Counter
+	transDown       *obs.Counter
 }
 
 func newCoordMetrics(c *Coordinator) *coordMetrics {
 	reg := obs.NewRegistry()
 	m := &coordMetrics{
-		reg:            reg,
-		runs:           reg.Counter("bandjoin_coord_runs_total", "Distributed queries executed."),
-		shuffleBytes:   reg.Counter("bandjoin_coord_shuffle_bytes_total", "Wire bytes moved by shuffles, including failover reshipments."),
+		reg:          reg,
+		runs:         reg.Counter("bandjoin_coord_runs_total", "Distributed queries executed."),
+		shuffleBytes: reg.Counter("bandjoin_coord_shuffle_bytes_total", "Wire bytes moved by shuffles, including failover reshipments."),
+		shuffleRawBytes: reg.Counter("bandjoin_coord_shuffle_raw_bytes_total",
+			"Row-major uncompressed bytes of the tuples shipped by shuffles (8 bytes per key value and per tuple ID)."),
+		shuffleWire: reg.Counter("bandjoin_coord_shuffle_wire_bytes_total",
+			"Wire bytes moved by shuffles; pairs with the raw counter so raw/wire is the shuffle compression ratio."),
 		shuffleRPCs:    reg.Counter("bandjoin_coord_shuffle_rpcs_total", "Load RPCs issued by shuffles."),
 		retries:        reg.Counter("bandjoin_coord_retries_total", "RPC retries and recovery escalations."),
 		failoverRounds: reg.Counter("bandjoin_coord_failover_rounds_total", "Failover rounds (shuffle, join, or retained reshipment)."),
@@ -103,6 +110,14 @@ func newCoordMetrics(c *Coordinator) *coordMetrics {
 	reg.GaugeFunc("bandjoin_coord_retained_plans", "Plan fingerprints with a sealed shipment record.", func() float64 {
 		return float64(c.RetainedPlans())
 	})
+	reg.GaugeFunc("bandjoin_coord_shuffle_compression_ratio",
+		"Cumulative raw/wire byte ratio of all shuffles (0 until bytes move).", func() float64 {
+			w := m.shuffleWire.Value()
+			if w == 0 {
+				return 0
+			}
+			return float64(m.shuffleRawBytes.Value()) / float64(w)
+		})
 	return m
 }
 
@@ -230,6 +245,15 @@ type Options struct {
 	// the streaming plane against. The serial plane has deadlines but no
 	// failover: a worker failure is a clean error, never a wrong answer.
 	Serial bool
+	// Compression selects the streaming shuffle's wire encoding
+	// (wire.ParseMode): "auto" (default; delta+varint columns, LZ4-style block
+	// compression where an entropy probe predicts a win), "delta" (varint
+	// columns only), "lz4" (always attempt block compression), or "off" (the
+	// v1 row-major PackedChunk plane, retained as the equivalence oracle).
+	// Anything but "off" requires the worker to have advertised
+	// wire.Version in its Ping reply; older workers fall back to v1 per
+	// connection. Ignored when Serial is set.
+	Compression string
 	// PlanID, when non-empty, is the plan's fingerprint and enables partition
 	// retention: the first run ships the shuffled partitions to the workers'
 	// retained registry (surviving job Reset), and every later run with the
@@ -246,6 +270,24 @@ type Options struct {
 	// already sealed plan (see LoadArgs.Delta). It is set internally on the
 	// catch-up path of a retained run and by AbsorbPlan.
 	delta bool
+	// mode is Compression parsed (withWireMode); zero value is wire.ModeAuto.
+	mode wire.Mode
+	// band, when non-empty, lets the streaming sender issue per-partition
+	// Complete markers (pipelined worker-side joins). It is set internally on
+	// the transient streaming path, where the upcoming Join's band is known at
+	// shuffle time.
+	band data.Band
+}
+
+// withWireMode parses Compression into the internal mode field; it is called
+// once at every coordinator entry point that can reach the streaming sender.
+func (o Options) withWireMode() (Options, error) {
+	mode, err := wire.ParseMode(o.Compression)
+	if err != nil {
+		return o, fmt.Errorf("cluster: %w", err)
+	}
+	o.mode = mode
+	return o, nil
 }
 
 // jobCounter disambiguates generated job IDs: two queries starting in the
@@ -295,6 +337,10 @@ type runState struct {
 	failovers  atomic.Int64
 	extraRPCs  atomic.Int64
 	extraBytes atomic.Int64
+	// rawBytes accumulates the row-major uncompressed size of every chunk the
+	// query shipped (including failover reshipments), mirroring how wire bytes
+	// are counted; it becomes Result.ShuffleRawBytes.
+	rawBytes atomic.Int64
 
 	mu       sync.Mutex
 	lost     map[int]bool
@@ -536,6 +582,10 @@ func (c *Coordinator) RunPlan(ctx context.Context, plan partition.Plan, pctx *pa
 		return nil, err
 	}
 	opts = opts.withDefaults()
+	opts, err := opts.withWireMode()
+	if err != nil {
+		return nil, err
+	}
 	rs := c.newRunState()
 	if rs.liveAtStart == 0 {
 		return nil, errNoLiveWorkers
@@ -560,6 +610,11 @@ func (c *Coordinator) runTransient(ctx context.Context, plan partition.Plan, pct
 	if opts.Serial {
 		return c.runTransientSerial(ctx, plan, pctx, s, t, band, opts, rs)
 	}
+
+	// The transient path knows the upcoming join at shuffle time, so the
+	// sender can issue per-partition Complete markers and v2 workers overlap
+	// presort/prepare with chunks still in flight.
+	opts.band = band
 
 	redistribute := redistributor(plan, pctx)
 	wireStart := c.wireBytes()
@@ -614,6 +669,7 @@ func (c *Coordinator) runTransientSerial(ctx context.Context, plan partition.Pla
 	}
 	st.duration = time.Since(shuffleStart)
 	st.bytes = c.wireBytes() - wireStart
+	rs.rawBytes.Add(st.totalInput * int64(8*(s.Dims()+1)))
 
 	joined, joinWall, err := c.runJoinsSimple(ctx, opts.JobID, false, targets, owned, band, opts, rs)
 	if err != nil {
@@ -681,7 +737,7 @@ func (c *Coordinator) shipPartitions(ctx context.Context, assignment map[int][]i
 			wg.Add(1)
 			go func(i, slot int) {
 				defer wg.Done()
-				outs[i].sent, outs[i].err = c.sendPartitions(ctx, c.workers[slot], assignment[slot], parts, opts)
+				outs[i].sent, outs[i].err = c.sendPartitions(ctx, c.workers[slot], assignment[slot], parts, opts, rs)
 			}(i, slot)
 		}
 		wg.Wait()
@@ -1105,6 +1161,7 @@ func (c *Coordinator) ensureShipped(ctx context.Context, rec *retainedPlanRec, p
 			c.evictWorkers(opts.PlanID)
 			return shuffleStats{}, nil, false, err
 		}
+		rs.rawBytes.Add(st.totalInput * int64(8*(s.Dims()+1)))
 	} else {
 		parts, totalInput, err := exec.Shuffle(ctx, plan, s, t, runtime.GOMAXPROCS(0))
 		if err != nil {
@@ -1233,7 +1290,7 @@ func (c *Coordinator) ensureFresh(ctx context.Context, rec *retainedPlanRec, pla
 		pids := assignment[slot]
 		sort.Ints(pids)
 		wc := c.workers[slot]
-		sent, err := c.sendPartitions(ctx, wc, pids, parts, opts)
+		sent, err := c.sendPartitions(ctx, wc, pids, parts, opts, rs)
 		rpcs += sent
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
@@ -1273,6 +1330,10 @@ func (c *Coordinator) ensureFresh(ctx context.Context, rec *retainedPlanRec, pla
 // be torn; the caller must evict the plan (the next query then reships cold).
 func (c *Coordinator) AbsorbPlan(ctx context.Context, plan partition.Plan, pctx *partition.Context, s, t *data.Relation, opts Options) error {
 	opts = opts.withDefaults()
+	opts, err := opts.withWireMode()
+	if err != nil {
+		return err
+	}
 	if opts.PlanID == "" {
 		return fmt.Errorf("cluster: AbsorbPlan requires a plan id")
 	}
@@ -1283,7 +1344,7 @@ func (c *Coordinator) AbsorbPlan(ctx context.Context, plan partition.Plan, pctx 
 		return nil
 	}
 	var st shuffleStats
-	err := c.ensureFresh(ctx, rec, plan, pctx, s, t, opts, c.newRunState(), &st)
+	err = c.ensureFresh(ctx, rec, plan, pctx, s, t, opts, c.newRunState(), &st)
 	if err == errStalePlanRec {
 		return nil // superseded; the fresh record ships cold with everything
 	}
@@ -1296,6 +1357,10 @@ func (c *Coordinator) AbsorbPlan(ctx context.Context, plan partition.Plan, pctx 
 // re-partitioning) while the old plan keeps serving, then swap atomically.
 func (c *Coordinator) ShipPlan(ctx context.Context, plan partition.Plan, pctx *partition.Context, s, t *data.Relation, band data.Band, opts Options) error {
 	opts = opts.withDefaults()
+	opts, err := opts.withWireMode()
+	if err != nil {
+		return err
+	}
 	if opts.PlanID == "" {
 		return fmt.Errorf("cluster: ShipPlan requires a plan id")
 	}
@@ -1372,6 +1437,7 @@ func (c *Coordinator) aggregate(joined []slotJoin, opts Options, s, t *data.Rela
 		InputT:          t.Len(),
 		TotalInput:      st.totalInput,
 		ShuffleBytes:    st.bytes + rs.extraBytes.Load(),
+		ShuffleRawBytes: rs.rawBytes.Load(),
 		ShuffleRPCs:     st.rpcs + rs.extraRPCs.Load(),
 		Retries:         int(rs.retries.Load()),
 		LostWorkers:     rs.lostCount(),
@@ -1383,6 +1449,8 @@ func (c *Coordinator) aggregate(joined []slotJoin, opts Options, s, t *data.Rela
 	res.FaultEvents = rs.eventList()
 	c.m.runs.Inc()
 	c.m.shuffleBytes.Add(res.ShuffleBytes)
+	c.m.shuffleRawBytes.Add(res.ShuffleRawBytes)
+	c.m.shuffleWire.Add(res.ShuffleBytes)
 	c.m.shuffleRPCs.Add(res.ShuffleRPCs)
 	c.m.retries.Add(int64(res.Retries))
 	c.m.failoverRounds.Add(int64(res.FailoverRounds))
@@ -1439,18 +1507,33 @@ func (c *Coordinator) aggregate(joined []slotJoin, opts Options, s, t *data.Rela
 }
 
 // sendPartitions streams one worker's partitions in fixed-size chunks, keeping
-// at most opts.Window Load RPCs in flight. Chunks travel in the packed wire
-// representation (raw key and ID bytes straight out of the shuffle arenas),
-// so the per-chunk costs are a memcpy-grade pack on each end plus the wire.
-// Each wait for a window slot is bounded by the call deadline and the query
-// context; either firing drops the connection, aborting the whole in-flight
-// window at once.
-func (c *Coordinator) sendPartitions(ctx context.Context, wc *workerClient, pids []int, parts []*exec.PartitionInput, opts Options) (int64, error) {
+// at most opts.Window Load RPCs in flight. When the worker's Ping negotiated
+// wire.Version (and compression is not off), chunks travel as v2 columnar
+// compressed payloads encoded straight out of the shuffle arenas; otherwise
+// they fall back to the v1 packed representation (raw key and ID bytes, a
+// memcpy-grade pack on each end). On transient streaming runs the sender also
+// issues a Complete marker after each partition's last chunk, letting the
+// worker begin presorting and preparing that partition's join structure while
+// later partitions are still in flight. Each wait for a window slot is bounded
+// by the call deadline and the query context; either firing drops the
+// connection, aborting the whole in-flight window at once.
+func (c *Coordinator) sendPartitions(ctx context.Context, wc *workerClient, pids []int, parts []*exec.PartitionInput, opts Options, rs *runState) (int64, error) {
 	cl, err := wc.conn()
 	if err != nil {
 		wc.markSuspect()
 		return 0, err
 	}
+	v2 := wc.wireVersion() >= wire.Version
+	var enc *wire.Encoder
+	if v2 && opts.mode != wire.ModeOff {
+		// Client.Go gob-encodes the args before returning, so one encoder's
+		// buffer can back every chunk of the stream without copies.
+		enc = wire.NewEncoder(opts.mode)
+	}
+	// Markers only apply to transient streaming runs (retained plans prepare
+	// at Seal time, deltas invalidate instead) and require a v2 worker, which
+	// knows Complete.
+	markers := v2 && !opts.retain && !opts.delta && opts.band.Dims() > 0
 	deadline := c.opts.callDeadline()
 	done := make(chan *rpc.Call, opts.Window+1)
 	inFlight := 0
@@ -1482,34 +1565,53 @@ func (c *Coordinator) sendPartitions(ctx context.Context, wc *workerClient, pids
 			}
 		}
 	}
-	send := func(pid int, side string, dims int, keys, ids []byte, total int) {
+	dispatch := func(args *LoadArgs) {
 		for inFlight >= opts.Window {
 			collect()
 			if firstErr != nil {
 				return
 			}
 		}
-		args := &LoadArgs{
-			JobID:     opts.JobID,
-			Partition: pid,
-			Side:      side,
-			Packed:    &PackedChunk{Dims: dims, Keys: keys, IDs: ids, SideTotal: total},
-			Retain:    opts.retain,
-			Delta:     opts.delta,
-		}
 		cl.Go(ServiceName+".Load", args, &LoadReply{}, done)
 		inFlight++
 		sent++
 	}
+	send := func(pid int, side string, rel *data.Relation, ids []int64, lo, hi int) {
+		dims := rel.Dims()
+		rs.rawBytes.Add(wire.RawBytes(hi-lo, dims))
+		args := &LoadArgs{
+			JobID:     opts.JobID,
+			Partition: pid,
+			Side:      side,
+			SideTotal: rel.Len(),
+			Retain:    opts.retain,
+			Delta:     opts.delta,
+		}
+		if enc != nil {
+			args.Columnar = enc.EncodeChunk(rel.KeysRange(lo, hi), dims, ids[lo:hi])
+		} else {
+			args.Packed = &PackedChunk{Dims: dims, Keys: rel.PackKeysLE(lo, hi), IDs: data.PackInt64sLE(ids[lo:hi]), SideTotal: rel.Len()}
+		}
+		dispatch(args)
+	}
 	for _, pid := range pids {
 		p := parts[pid]
 		for lo := 0; lo < p.S.Len() && firstErr == nil; lo += opts.ChunkSize {
-			hi := min(lo+opts.ChunkSize, p.S.Len())
-			send(pid, "S", p.S.Dims(), p.S.PackKeysLE(lo, hi), data.PackInt64sLE(p.SIDs[lo:hi]), p.S.Len())
+			send(pid, "S", p.S, p.SIDs, lo, min(lo+opts.ChunkSize, p.S.Len()))
 		}
 		for lo := 0; lo < p.T.Len() && firstErr == nil; lo += opts.ChunkSize {
-			hi := min(lo+opts.ChunkSize, p.T.Len())
-			send(pid, "T", p.T.Dims(), p.T.PackKeysLE(lo, hi), data.PackInt64sLE(p.TIDs[lo:hi]), p.T.Len())
+			send(pid, "T", p.T, p.TIDs, lo, min(lo+opts.ChunkSize, p.T.Len()))
+		}
+		if markers && firstErr == nil {
+			dispatch(&LoadArgs{
+				JobID:     opts.JobID,
+				Partition: pid,
+				Complete:  true,
+				ExpectS:   p.S.Len(),
+				ExpectT:   p.T.Len(),
+				Band:      opts.band,
+				Algorithm: opts.Algorithm,
+			})
 		}
 	}
 	for inFlight > 0 && firstErr == nil {

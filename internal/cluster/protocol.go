@@ -30,8 +30,35 @@ type LoadArgs struct {
 	// IDs are the original tuple indices of the chunk, used to report result
 	// pairs for verification. Set together with Chunk.
 	IDs []int64
-	// Packed is the streaming plane's compact chunk representation.
+	// Packed is the streaming plane's v1 compact chunk representation.
 	Packed *PackedChunk
+	// Columnar is the streaming plane's v2 chunk representation: a
+	// self-describing columnar compressed chunk encoded by internal/wire
+	// (per-dimension column slabs, delta+varint and optional LZ4-style block
+	// compression). Senders use it when the worker's Ping advertised
+	// WireVersion >= wire.Version and compression is not off; exactly one of
+	// Chunk, Packed, and Columnar must be set on a data-bearing Load.
+	Columnar []byte
+	// SideTotal, when positive, is the total number of tuples this
+	// (partition, side) will receive over the whole shuffle — the columnar
+	// path's counterpart of PackedChunk.SideTotal, used by the worker to
+	// reserve storage once.
+	SideTotal int
+	// Complete marks this Load as a per-partition end-of-shipment marker (it
+	// carries no data): every chunk of the partition has been issued on this
+	// connection. Once the resident tuple counts reach ExpectS/ExpectT the
+	// worker may start presorting and preparing the partition's join structure
+	// in the background, overlapping with later partitions still in flight —
+	// the streaming plane's pipelined-join path.
+	Complete bool
+	// ExpectS/ExpectT are the partition's total tuple counts per side,
+	// guarding the marker against net/rpc's out-of-order request dispatch.
+	ExpectS int
+	ExpectT int
+	// Band and Algorithm describe the upcoming Join call so the background
+	// preparation builds the right structure. Set only on marker Loads.
+	Band      data.Band
+	Algorithm string
 	// Retain stores the partition data in the worker's retained-plan registry
 	// under JobID (a plan fingerprint) instead of the transient job table:
 	// the data survives job completion, failure, and Reset, and serves later
@@ -202,10 +229,16 @@ type StatsReply struct {
 	TransientBytes int64
 	JoinInflight   int64
 
-	// Load path.
+	// Load path. LoadBytes counts payload bytes as shipped (wire form);
+	// LoadRawBytes counts what the same tuples would occupy row-major and
+	// uncompressed (8 bytes per key value and per ID), so raw/wire is the
+	// worker-observed compression ratio. DecodeNanos is total time spent
+	// decoding columnar chunks into partition arenas.
 	LoadRPCs     int64
 	LoadTuples   int64
 	LoadBytes    int64
+	LoadRawBytes int64
+	DecodeNanos  int64
 	LoadRejected int64
 	// Delta path: incremental appends into sealed retained plans
 	// (LoadArgs.Delta) and the lazy rebuilds of prepared join structures they
@@ -240,4 +273,9 @@ type PingReply struct {
 	// Draining reports that the worker is shutting down gracefully: it still
 	// answers Ping but rejects new Load/Join/Seal work.
 	Draining bool
+	// WireVersion is the newest chunk format the worker accepts (see
+	// internal/wire.Version). Coordinators fall back to the v1 row-major
+	// PackedChunk when a worker reports an older version — gob zero-fills the
+	// field for peers that predate it, so the fallback is automatic.
+	WireVersion int
 }

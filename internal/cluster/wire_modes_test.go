@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"bandjoin/internal/core"
+	"bandjoin/internal/data"
+)
+
+// decimalPair returns a Pareto pair with keys quantized to three decimals —
+// the fixed-precision shape (PTF-style) the columnar delta+varint encodings
+// are built for. Full-entropy float64 mantissas are incompressible by design.
+func decimalPair(dims, n int, seed int64) (*data.Relation, *data.Relation) {
+	s, t := data.ParetoPair(dims, 1.4, n, seed)
+	quantize := func(r *data.Relation) *data.Relation {
+		q := data.NewRelationCapacity(r.Name(), r.Dims(), r.Len())
+		k := make([]float64, r.Dims())
+		for i := 0; i < r.Len(); i++ {
+			copy(k, r.Key(i))
+			for d := range k {
+				k[d] = math.Round(k[d]*1000) / 1000
+			}
+			q.AppendKey(k)
+		}
+		return q
+	}
+	return quantize(s), quantize(t)
+}
+
+// workerLoadTotals sums the Load-path byte counters across a local cluster's
+// workers straight from their metrics.
+func workerLoadTotals(lc *LocalCluster) (wire, raw, preps int64) {
+	for _, w := range lc.Handles() {
+		wire += w.m.loadBytes.Value()
+		raw += w.m.loadRawBytes.Value()
+		preps += w.m.pipelinedPreps.Value()
+	}
+	return
+}
+
+// TestCompressionModesMatchOracle runs the same plan under every wire mode and
+// requires bit-identical pairs, with "off" (the v1 packed plane) as the
+// equivalence oracle. On decimal data the compressed modes must also move
+// measurably fewer payload bytes than the raw row-major footprint, and the
+// streaming plane must report the pipelined background preparations.
+func TestCompressionModesMatchOracle(t *testing.T) {
+	s, tt := decimalPair(3, 900, 41)
+	band := data.Symmetric(0.05, 0.05, 0.05)
+
+	lc, err := StartLocal(3)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer lc.Stop()
+	coord, err := Dial(lc.Addrs())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer coord.Close()
+
+	oracle, err := coord.Run(context.Background(), core.NewRecPartS(),
+		s, tt, band, Options{CollectPairs: true, Seed: 7, ChunkSize: 128, Compression: "off"})
+	if err != nil {
+		t.Fatalf("oracle run (off): %v", err)
+	}
+	if len(oracle.Pairs) == 0 {
+		t.Fatal("oracle produced no pairs")
+	}
+	if oracle.ShuffleRawBytes == 0 {
+		t.Error("off mode reported zero ShuffleRawBytes; raw accounting must cover the v1 plane too")
+	}
+
+	for _, mode := range []string{"", "auto", "delta", "lz4"} {
+		t.Run("mode="+mode, func(t *testing.T) {
+			wireBefore, rawBefore, _ := workerLoadTotals(lc)
+			res, err := coord.Run(context.Background(), core.NewRecPartS(),
+				s, tt, band, Options{CollectPairs: true, Seed: 7, ChunkSize: 128, Compression: mode})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			samePairs(t, "mode "+mode+" vs off", res.Pairs, oracle.Pairs)
+			if res.ShuffleRawBytes != oracle.ShuffleRawBytes {
+				t.Errorf("ShuffleRawBytes = %d, want %d (raw accounting is payload-independent)",
+					res.ShuffleRawBytes, oracle.ShuffleRawBytes)
+			}
+			wireAfter, rawAfter, preps := workerLoadTotals(lc)
+			gotWire, gotRaw := wireAfter-wireBefore, rawAfter-rawBefore
+			if gotRaw != res.ShuffleRawBytes {
+				t.Errorf("workers decoded %d raw bytes, coordinator shipped %d", gotRaw, res.ShuffleRawBytes)
+			}
+			if 2*gotWire >= gotRaw {
+				t.Errorf("mode %q moved %d payload bytes for %d raw bytes; want at least 2x compression on decimal data",
+					mode, gotWire, gotRaw)
+			}
+			if preps == 0 {
+				t.Error("no pipelined background preparations ran on a streaming transient run")
+			}
+		})
+	}
+
+	if _, err := coord.Run(context.Background(), core.NewRecPartS(),
+		s, tt, band, Options{Compression: "zstd"}); err == nil {
+		t.Fatal("unknown compression mode was accepted")
+	}
+}
+
+// TestWireVersionNegotiationFallback forces workers to advertise the v1 wire
+// format: the coordinator must fall back to packed chunks per connection (no
+// columnar decoding on the worker) and still produce the oracle's pairs. A
+// mixed cluster — one old worker among new ones — must also work.
+func TestWireVersionNegotiationFallback(t *testing.T) {
+	s, tt := decimalPair(2, 700, 43)
+	band := data.Symmetric(0.05, 0.05)
+
+	setup := func(t *testing.T, oldWorkers ...int) (*LocalCluster, *Coordinator) {
+		lc, err := StartLocal(3)
+		if err != nil {
+			t.Fatalf("StartLocal: %v", err)
+		}
+		t.Cleanup(lc.Stop)
+		for _, i := range oldWorkers {
+			lc.Handles()[i].SetWireVersion(0)
+		}
+		coord, err := Dial(lc.Addrs())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		t.Cleanup(coord.Close)
+		return lc, coord
+	}
+
+	lcNew, coordNew := setup(t)
+	oracle, err := coordNew.Run(context.Background(), core.NewRecPartS(),
+		s, tt, band, Options{CollectPairs: true, Seed: 3, ChunkSize: 128})
+	if err != nil {
+		t.Fatalf("v2 run: %v", err)
+	}
+	if decoded := decodeNanos(lcNew); decoded == 0 {
+		t.Error("v2 cluster decoded no columnar chunks")
+	}
+
+	cases := []struct {
+		name string
+		old  []int
+	}{
+		{"all-v1", []int{0, 1, 2}},
+		{"mixed", []int{1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lc, coord := setup(t, tc.old...)
+			res, err := coord.Run(context.Background(), core.NewRecPartS(),
+				s, tt, band, Options{CollectPairs: true, Seed: 3, ChunkSize: 128})
+			if err != nil {
+				t.Fatalf("run against v1 workers: %v", err)
+			}
+			samePairs(t, tc.name+" vs v2", res.Pairs, oracle.Pairs)
+			for _, i := range tc.old {
+				if n := lc.Handles()[i].m.decodeSeconds.Sum(); n != 0 {
+					t.Errorf("v1 worker %d decoded columnar chunks (%.9fs); negotiation did not fall back", i, n)
+				}
+			}
+			if res.ShuffleRawBytes == 0 {
+				t.Error("fallback run reported zero ShuffleRawBytes")
+			}
+		})
+	}
+}
+
+func decodeNanos(lc *LocalCluster) (total int64) {
+	for _, w := range lc.Handles() {
+		total += int64(w.m.decodeSeconds.Sum() * 1e9)
+	}
+	return
+}
+
+// TestCompressedDeltaAppendMatchesUncompressed ships a retained plan from base
+// prefixes and absorbs the appended suffix under compressed and uncompressed
+// wire modes: the warm results must be bit-identical, and both warm runs must
+// move zero bytes.
+func TestCompressedDeltaAppendMatchesUncompressed(t *testing.T) {
+	fullS, fullT := decimalPair(2, 800, 47)
+	band := data.Symmetric(0.05, 0.05)
+	baseS, baseT := extendPair(fullS, fullT, 550, 600)
+
+	lc, err := StartLocal(3)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer lc.Stop()
+	coord, err := Dial(lc.Addrs())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer coord.Close()
+
+	plan, pctx := retainPlanFor(t, core.NewRecPartS(), baseS, baseT, band, 3)
+	type outcome struct {
+		output int64
+		pairs  []string
+	}
+	outcomes := make(map[string]outcome)
+	for _, mode := range []string{"off", "auto"} {
+		opts := Options{PlanID: "delta-comp-" + mode, CollectPairs: true, ChunkSize: 128, Compression: mode}
+		if _, err := coord.RunPlan(context.Background(), plan, pctx, baseS, baseT, band, opts); err != nil {
+			t.Fatalf("cold RunPlan (%s): %v", mode, err)
+		}
+		if err := coord.AbsorbPlan(context.Background(), plan, pctx, fullS, fullT, opts); err != nil {
+			t.Fatalf("AbsorbPlan (%s): %v", mode, err)
+		}
+		warm, err := coord.RunPlan(context.Background(), plan, pctx, fullS, fullT, band, opts)
+		if err != nil {
+			t.Fatalf("warm RunPlan (%s): %v", mode, err)
+		}
+		if warm.ShuffleBytes != 0 || warm.ShuffleRPCs != 0 {
+			t.Errorf("warm run (%s) shuffled bytes=%d rpcs=%d, want 0/0", mode, warm.ShuffleBytes, warm.ShuffleRPCs)
+		}
+		pairs := make([]string, len(warm.Pairs))
+		for i, p := range warm.Pairs {
+			pairs[i] = fmt.Sprintf("%d|%d", p.S, p.T)
+		}
+		outcomes[mode] = outcome{output: warm.Output, pairs: pairs}
+	}
+	off, auto := outcomes["off"], outcomes["auto"]
+	if off.output != auto.output {
+		t.Fatalf("warm output differs: off=%d auto=%d", off.output, auto.output)
+	}
+	if len(off.pairs) != len(auto.pairs) {
+		t.Fatalf("warm pair count differs: off=%d auto=%d", len(off.pairs), len(auto.pairs))
+	}
+	for i := range off.pairs {
+		if off.pairs[i] != auto.pairs[i] {
+			t.Fatalf("warm pair %d differs: off=%s auto=%s", i, off.pairs[i], auto.pairs[i])
+		}
+	}
+}

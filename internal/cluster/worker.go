@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"net/rpc"
 	"runtime"
@@ -15,6 +16,7 @@ import (
 	"bandjoin/internal/exec"
 	"bandjoin/internal/localjoin"
 	"bandjoin/internal/obs"
+	"bandjoin/internal/wire"
 )
 
 // Worker is the RPC service a worker machine runs. It accumulates partition
@@ -55,7 +57,28 @@ type Worker struct {
 	draining bool
 	inflight sync.WaitGroup
 
+	// wireVersion is the chunk format version advertised in Ping replies
+	// (wire.Version by default). Tests force an older value via
+	// SetWireVersion to exercise the coordinator's v1 fallback; Load accepts
+	// every format regardless, so the knob only affects negotiation.
+	wireVersion int
+
+	// prepSem bounds the background pipelined-join preparations (partitions
+	// whose shipment completed while later partitions are still in flight)
+	// to the same width as the join pool.
+	prepSem chan struct{}
+
+	// decPool holds per-RPC columnar decode scratch (a wire.Decoder plus a
+	// column buffer), so concurrent Loads decode without per-chunk allocation.
+	decPool sync.Pool
+
 	m *workerMetrics
+}
+
+// decodeScratch is the pooled per-Load columnar decoding state.
+type decodeScratch struct {
+	dec wire.Decoder
+	col []float64
 }
 
 // workerMetrics is the worker's observability surface: data-plane counters
@@ -69,7 +92,10 @@ type workerMetrics struct {
 	loadRPCs     *obs.Counter
 	loadTuples   *obs.Counter
 	loadBytes    *obs.Counter
+	loadRawBytes *obs.Counter
 	loadRejected *obs.Counter
+
+	pipelinedPreps *obs.Counter
 
 	deltaLoads    *obs.Counter
 	deltaTuples   *obs.Counter
@@ -88,6 +114,7 @@ type workerMetrics struct {
 	partitionJoinSeconds *obs.Histogram
 	loadChunkBytes       *obs.Histogram
 	staleRebuildSeconds  *obs.Histogram
+	decodeSeconds        *obs.Histogram
 }
 
 func newWorkerMetrics(w *Worker) *workerMetrics {
@@ -96,8 +123,10 @@ func newWorkerMetrics(w *Worker) *workerMetrics {
 		reg:              reg,
 		loadRPCs:         reg.Counter("bandjoin_worker_load_rpcs_total", "Load RPCs accepted."),
 		loadTuples:       reg.Counter("bandjoin_worker_load_tuples_total", "Tuples received via Load."),
-		loadBytes:        reg.Counter("bandjoin_worker_load_bytes_total", "Payload bytes (keys+IDs) received via Load."),
+		loadBytes:        reg.Counter("bandjoin_worker_load_bytes_total", "Payload bytes (keys+IDs) received via Load, as shipped on the wire."),
+		loadRawBytes:     reg.Counter("bandjoin_worker_load_raw_bytes_total", "Bytes the received tuples would occupy row-major and uncompressed (raw/wire = compression ratio)."),
 		loadRejected:     reg.Counter("bandjoin_worker_load_rejected_total", "Data-plane RPCs rejected while draining."),
+		pipelinedPreps:   reg.Counter("bandjoin_worker_pipelined_preps_total", "Partitions presorted and prepared in the background while the shuffle was still in flight."),
 		deltaLoads:       reg.Counter("bandjoin_worker_delta_loads_total", "Delta Load RPCs appended into sealed retained plans."),
 		deltaTuples:      reg.Counter("bandjoin_worker_delta_tuples_total", "Tuples appended into sealed retained plans via delta Loads."),
 		staleRebuilds:    reg.Counter("bandjoin_worker_stale_rebuilds_total", "Prepared join structures rebuilt lazily after delta invalidation."),
@@ -115,6 +144,8 @@ func newWorkerMetrics(w *Worker) *workerMetrics {
 			"Per-Load payload size (keys+IDs).", obs.ByteBuckets()),
 		staleRebuildSeconds: reg.Histogram("bandjoin_worker_stale_rebuild_seconds",
 			"Per-partition lazy prepared-structure rebuild latency.", obs.LatencyBuckets()),
+		decodeSeconds: reg.Histogram("bandjoin_worker_decode_seconds",
+			"Per-Load columnar chunk decode latency (wire bytes to partition arenas).", obs.LatencyBuckets()),
 	}
 	reg.GaugeFunc("bandjoin_worker_jobs", "Resident transient jobs.", func() float64 {
 		w.mu.Lock()
@@ -223,12 +254,54 @@ type partitionData struct {
 	tIDs []int64
 
 	// prepared caches the local join's reusable T-side structure (ε-grid
-	// buckets or sorted rows) for retained partitions, keyed by algorithm
-	// name and band. It is prebuilt at Seal time for the plan's band and
-	// rebuilt lazily if a query asks for a different algorithm.
+	// buckets or sorted rows), keyed by algorithm name and band. For retained
+	// partitions it is prebuilt at Seal time for the plan's band and rebuilt
+	// lazily if a query asks for a different algorithm; for transient
+	// partitions the pipelined-join path builds it in the background as soon
+	// as the partition's shipment completes.
 	prepKey  string
 	prepared localjoin.PreparedT
+
+	// Pipelined-join marker state (transient jobs only). expectS/expectT are
+	// the partition's final per-side tuple counts from the coordinator's
+	// Complete marker, or -1 while no marker has arrived. Because net/rpc
+	// dispatches requests out of order, readiness is "marker seen AND counts
+	// reached", checked after every Load. preparing claims the background
+	// build so it is spawned at most once.
+	expectS, expectT int
+	markerBand       data.Band
+	markerAlg        string
+	preparing        bool
+
+	// colMin/colMax are per-dimension value ranges observed while decoding
+	// columnar chunks into this partition's arenas (both sides folded
+	// together) — decode-time sanity stats that come for free from the
+	// column codecs.
+	colMin, colMax []float64
 }
+
+// newPartitionData returns an empty partition for the given dimensionality.
+func newPartitionData(dims int) *partitionData {
+	return &partitionData{
+		s:       data.NewRelation("S-part", dims),
+		t:       data.NewRelation("T-part", dims),
+		expectS: -1,
+		expectT: -1,
+	}
+}
+
+// readyLocked reports (under p.mu) that the partition's shipment is complete
+// and no prepared structure exists or is being built yet.
+func (p *partitionData) readyLocked() bool {
+	return p.expectS >= 0 && !p.preparing && p.prepKey == "" &&
+		p.s.Len() == p.expectS && p.t.Len() == p.expectT
+}
+
+// prepCanceled marks a transient partition whose join started before the
+// queued background preparation did: spawnPrepare backs off (prepKey is no
+// longer empty) and the join runs its plain sort inline exactly once. It can
+// never collide with a real prep key (those are "name|band" strings).
+const prepCanceled = "\x00canceled"
 
 // prepKeyFor names one (algorithm, band) combination a prepared structure is
 // valid for.
@@ -268,12 +341,26 @@ func (p *partitionData) preparedFor(alg localjoin.Algorithm, band data.Band) (lo
 // NewWorker returns a worker service with the given display name.
 func NewWorker(name string) *Worker {
 	w := &Worker{
-		name:     name,
-		jobs:     make(map[string]*jobState),
-		retained: make(map[string]*retainedState),
+		name:        name,
+		jobs:        make(map[string]*jobState),
+		retained:    make(map[string]*retainedState),
+		wireVersion: wire.Version,
+		prepSem:     make(chan struct{}, runtime.GOMAXPROCS(0)),
 	}
+	w.decPool.New = func() any { return &decodeScratch{} }
 	w.m = newWorkerMetrics(w)
 	return w
+}
+
+// SetWireVersion overrides the chunk format version the worker advertises in
+// Ping replies (tests use it to force coordinators onto the v1 row-major
+// fallback). It must be called before the worker starts serving. Load accepts
+// every format regardless of the advertised version.
+func (w *Worker) SetWireVersion(v int) {
+	if v < 0 {
+		v = 0
+	}
+	w.wireVersion = v
 }
 
 // payloadBytes approximates one partition's resident key/ID footprint under
@@ -362,17 +449,29 @@ func (w *Worker) Retained() int {
 	return len(w.retained)
 }
 
-// Load implements the RPC method receiving partition input, in either the
-// reference representation (Chunk + IDs) or the streaming plane's packed one.
+// Load implements the RPC method receiving partition input, in the reference
+// representation (Chunk + IDs), the streaming plane's v1 packed form, or the
+// v2 columnar compressed form — or a per-partition Complete marker carrying
+// no data (the pipelined-join path).
 func (w *Worker) Load(args *LoadArgs, reply *LoadReply) error {
 	if err := w.beginWork(); err != nil {
 		return err
 	}
 	defer w.endWork()
+	if args.Complete {
+		return w.completeMarker(args)
+	}
+	payloads := 0
+	for _, set := range []bool{args.Packed != nil, args.Chunk != nil, len(args.Columnar) > 0} {
+		if set {
+			payloads++
+		}
+	}
+	if payloads != 1 {
+		return fmt.Errorf("cluster: worker %s: Load needs exactly one of chunk, packed, columnar; got %d", w.name, payloads)
+	}
 	var n, dims int
 	switch {
-	case args.Packed != nil && args.Chunk != nil:
-		return fmt.Errorf("cluster: worker %s received both a chunk and a packed chunk", w.name)
 	case args.Packed != nil:
 		var err error
 		if n, err = args.Packed.Tuples(); err != nil {
@@ -386,7 +485,13 @@ func (w *Worker) Load(args *LoadArgs, reply *LoadReply) error {
 		n = args.Chunk.Len()
 		dims = args.Chunk.Dims()
 	default:
-		return fmt.Errorf("cluster: worker %s received nil chunk", w.name)
+		// Parse only the header here; the column payloads are decoded
+		// straight into the partition's arenas once it is resolved.
+		var hdr wire.Decoder
+		var err error
+		if n, dims, err = hdr.Begin(args.Columnar); err != nil {
+			return fmt.Errorf("cluster: worker %s: %w", w.name, err)
+		}
 	}
 	if args.Side != "S" && args.Side != "T" {
 		return fmt.Errorf("cluster: unknown relation side %q", args.Side)
@@ -395,53 +500,25 @@ func (w *Worker) Load(args *LoadArgs, reply *LoadReply) error {
 		return fmt.Errorf("cluster: worker %s: delta load requires retain", w.name)
 	}
 
-	var job *jobState
-	w.mu.Lock()
-	if args.Retain {
-		rs, ok := w.retained[args.JobID]
-		if !ok {
-			if args.Delta {
-				// A delta targets a plan the coordinator believes this worker
-				// holds; if the plan is gone (evicted, restarted), surface the
-				// retained-miss marker so the caller falls back to a cold
-				// shuffle instead of building a partial plan from the delta.
-				w.mu.Unlock()
-				return fmt.Errorf("cluster: worker %s: %s %q", w.name, ErrUnknownRetainedPlan, args.JobID)
-			}
-			rs = &retainedState{jobState: jobState{partitions: make(map[int]*partitionData)}}
-			w.retained[args.JobID] = rs
-		} else if rs.sealed && !args.Delta {
-			w.mu.Unlock()
-			return fmt.Errorf("cluster: worker %s: retained plan %q is sealed", w.name, args.JobID)
-		}
-		job = &rs.jobState
-	} else {
-		var ok bool
-		job, ok = w.jobs[args.JobID]
-		if !ok {
-			job = &jobState{partitions: make(map[int]*partitionData)}
-			w.jobs[args.JobID] = job
-		}
+	job, err := w.jobFor(args)
+	if err != nil {
+		return err
 	}
-	w.mu.Unlock()
 
 	job.mu.Lock()
 	p, ok := job.partitions[args.Partition]
 	if !ok {
-		p = &partitionData{
-			s: data.NewRelation("S-part", dims),
-			t: data.NewRelation("T-part", dims),
-		}
+		p = newPartitionData(dims)
 		job.partitions[args.Partition] = p
 	}
 	job.mu.Unlock()
 
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	// Chunks of one partition must agree on dimensionality; without this
 	// check a mismatched packed chunk could append more keys than IDs and
 	// blow up a later join instead of failing the offending Load.
 	if dims != p.s.Dims() {
+		p.mu.Unlock()
 		return fmt.Errorf("cluster: worker %s: partition %d chunk has %d dims, want %d",
 			w.name, args.Partition, dims, p.s.Dims())
 	}
@@ -449,18 +526,32 @@ func (w *Worker) Load(args *LoadArgs, reply *LoadReply) error {
 	if args.Side == "T" {
 		rel, ids = p.t, &p.tIDs
 	}
-	if args.Packed != nil {
+	var payload int64
+	var decodeNanos int64
+	switch {
+	case args.Packed != nil:
 		if total := args.Packed.SideTotal; total > rel.Len() {
 			rel.Reserve(total - rel.Len())
 			*ids = slices.Grow(*ids, total-len(*ids))
 		}
 		if err := rel.AppendKeysLE(args.Packed.Keys); err != nil {
+			p.mu.Unlock()
 			return fmt.Errorf("cluster: worker %s: %w", w.name, err)
 		}
 		*ids = data.AppendInt64sLE(*ids, args.Packed.IDs)
-	} else {
+		payload = int64(len(args.Packed.Keys) + len(args.Packed.IDs))
+	case args.Chunk != nil:
 		rel.AppendRows(args.Chunk, 0, args.Chunk.Len())
 		*ids = append(*ids, args.IDs...)
+		payload = int64(n) * int64(dims+1) * 8
+	default:
+		start := time.Now()
+		if err := w.decodeColumnar(args, p, rel, ids, n, dims); err != nil {
+			p.mu.Unlock()
+			return fmt.Errorf("cluster: worker %s: %w", w.name, err)
+		}
+		decodeNanos = time.Since(start).Nanoseconds()
+		payload = int64(len(args.Columnar))
 	}
 	if args.Delta {
 		// The appended tail breaks the sealed presort order and any prebuilt
@@ -471,18 +562,177 @@ func (w *Worker) Load(args *LoadArgs, reply *LoadReply) error {
 		w.m.deltaLoads.Inc()
 		w.m.deltaTuples.Add(int64(n))
 	}
-	reply.Received = n
-	var payload int64
-	if args.Packed != nil {
-		payload = int64(len(args.Packed.Keys) + len(args.Packed.IDs))
-	} else {
-		payload = int64(n) * int64(dims+1) * 8
+	spawn := false
+	if !args.Retain && p.readyLocked() {
+		p.preparing = true
+		spawn = true
 	}
+	p.mu.Unlock()
+	if spawn {
+		w.spawnPrepare(p)
+	}
+
+	reply.Received = n
 	w.m.loadRPCs.Inc()
 	w.m.loadTuples.Add(int64(n))
 	w.m.loadBytes.Add(payload)
+	w.m.loadRawBytes.Add(wire.RawBytes(n, dims))
 	w.m.loadChunkBytes.Observe(float64(payload))
+	if decodeNanos > 0 {
+		w.m.decodeSeconds.Observe(float64(decodeNanos) / 1e9)
+	}
 	return nil
+}
+
+// jobFor resolves (creating if appropriate) the job or retained-plan entry a
+// Load targets.
+func (w *Worker) jobFor(args *LoadArgs) (*jobState, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if args.Retain {
+		rs, ok := w.retained[args.JobID]
+		if !ok {
+			if args.Delta {
+				// A delta targets a plan the coordinator believes this worker
+				// holds; if the plan is gone (evicted, restarted), surface the
+				// retained-miss marker so the caller falls back to a cold
+				// shuffle instead of building a partial plan from the delta.
+				return nil, fmt.Errorf("cluster: worker %s: %s %q", w.name, ErrUnknownRetainedPlan, args.JobID)
+			}
+			rs = &retainedState{jobState: jobState{partitions: make(map[int]*partitionData)}}
+			w.retained[args.JobID] = rs
+		} else if rs.sealed && !args.Delta {
+			return nil, fmt.Errorf("cluster: worker %s: retained plan %q is sealed", w.name, args.JobID)
+		}
+		return &rs.jobState, nil
+	}
+	job, ok := w.jobs[args.JobID]
+	if !ok {
+		job = &jobState{partitions: make(map[int]*partitionData)}
+		w.jobs[args.JobID] = job
+	}
+	return job, nil
+}
+
+// decodeColumnar decodes a v2 chunk straight into the partition's arenas: a
+// block of rows is reserved once, then each key column is decoded and
+// scattered with one strided pass (no row-major intermediate), and the ID
+// column is decoded directly into the grown ID slice. Per-column min/max from
+// the decoder are folded into the partition's decode-time stats. Caller holds
+// p.mu.
+func (w *Worker) decodeColumnar(args *LoadArgs, p *partitionData, rel *data.Relation, ids *[]int64, n, dims int) error {
+	if total := args.SideTotal; total > rel.Len() {
+		rel.Reserve(total - rel.Len())
+		*ids = slices.Grow(*ids, total-len(*ids))
+	}
+	sc := w.decPool.Get().(*decodeScratch)
+	defer w.decPool.Put(sc)
+	if _, _, err := sc.dec.Begin(args.Columnar); err != nil {
+		return err
+	}
+	if cap(sc.col) < n {
+		sc.col = make([]float64, n)
+	}
+	col := sc.col[:n]
+	if p.colMin == nil {
+		p.colMin = make([]float64, dims)
+		p.colMax = make([]float64, dims)
+		for d := range p.colMin {
+			p.colMin[d] = math.Inf(1)
+			p.colMax[d] = math.Inf(-1)
+		}
+	}
+	base := rel.GrowRows(n)
+	for d := 0; d < dims; d++ {
+		min, max, err := sc.dec.KeyColumn(col)
+		if err != nil {
+			return err
+		}
+		rel.SetColumn(base, d, col)
+		if n > 0 {
+			if min < p.colMin[d] {
+				p.colMin[d] = min
+			}
+			if max > p.colMax[d] {
+				p.colMax[d] = max
+			}
+		}
+	}
+	idBase := len(*ids)
+	*ids = append(*ids, make([]int64, n)...)
+	return sc.dec.IDs((*ids)[idBase:])
+}
+
+// completeMarker handles a per-partition end-of-shipment marker: it records
+// the expected per-side tuple counts and, if the partition is already fully
+// resident (markers and data race through net/rpc's per-request goroutines),
+// kicks off the background preparation.
+func (w *Worker) completeMarker(args *LoadArgs) error {
+	if args.Retain || args.Delta {
+		return fmt.Errorf("cluster: worker %s: Complete markers apply to transient jobs only", w.name)
+	}
+	if args.ExpectS < 0 || args.ExpectT < 0 || args.Band.Validate() != nil {
+		return fmt.Errorf("cluster: worker %s: malformed Complete marker for partition %d", w.name, args.Partition)
+	}
+	job, err := w.jobFor(args)
+	if err != nil {
+		return err
+	}
+	job.mu.Lock()
+	p, ok := job.partitions[args.Partition]
+	if !ok {
+		p = newPartitionData(args.Band.Dims())
+		job.partitions[args.Partition] = p
+	}
+	job.mu.Unlock()
+
+	p.mu.Lock()
+	p.expectS, p.expectT = args.ExpectS, args.ExpectT
+	p.markerBand, p.markerAlg = args.Band, args.Algorithm
+	spawn := false
+	if p.readyLocked() {
+		p.preparing = true
+		spawn = true
+	}
+	p.mu.Unlock()
+	if spawn {
+		w.spawnPrepare(p)
+	}
+	return nil
+}
+
+// spawnPrepare launches the background prepare for a partition whose shipment
+// is complete. Unlike Seal it does not presort: localjoin.Prepare is
+// self-contained over unsorted inputs (preparedFor relies on the same
+// property), and keeping arrival order means the probe emits pairs in the
+// exact order a plain per-query join would. The goroutine joins the worker's
+// inflight group so Drain waits for it; p.preparing was claimed by the caller
+// under p.mu.
+func (w *Worker) spawnPrepare(p *partitionData) {
+	w.inflight.Add(1)
+	go func() {
+		defer w.inflight.Done()
+		w.prepSem <- struct{}{}
+		defer func() { <-w.prepSem }()
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.prepKey != "" {
+			return // a join raced ahead and built it already
+		}
+		band := p.markerBand
+		if band.Validate() != nil || p.s.Dims() != band.Dims() {
+			return
+		}
+		alg := localjoin.Default()
+		if p.markerAlg != "" {
+			if a, ok := localjoin.ByName(p.markerAlg); ok {
+				alg = a
+			}
+		}
+		p.prepared = localjoin.Prepare(alg, p.s, p.t, band)
+		p.prepKey = prepKeyFor(alg, band)
+		w.m.pipelinedPreps.Inc()
+	}()
 }
 
 // Join implements the RPC method running all local joins of a job. Partitions
@@ -587,6 +837,24 @@ func (w *Worker) joinPartition(alg localjoin.Algorithm, pid int, p *partitionDat
 			w.m.staleRebuilds.Inc()
 			w.m.staleRebuildSeconds.Observe(float64(rebuildNanos) / 1e9)
 		}
+	}
+	if !retained {
+		// Pipelined-join handoff. If the background build finished (or is
+		// mid-build — the write lock waits for it), adopt its structure and
+		// probe instead of sorting. If the build is still queued behind the
+		// prep semaphore, cancel it: the join phase has started, so a late
+		// prepare could only duplicate the sort this join is about to run
+		// inline, stealing cores from the remaining joins (spawnPrepare sees
+		// prepKey set and backs off).
+		key := prepKeyFor(alg, args.Band)
+		p.mu.Lock()
+		switch p.prepKey {
+		case key:
+			prep = p.prepared
+		case "":
+			p.prepKey = prepCanceled
+		}
+		p.mu.Unlock()
 	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -749,6 +1017,7 @@ func (w *Worker) Ping(_ *PingArgs, reply *PingReply) error {
 	reply.Jobs = len(w.jobs)
 	reply.Retained = len(w.retained)
 	reply.Draining = w.draining
+	reply.WireVersion = w.wireVersion
 	return nil
 }
 
@@ -773,6 +1042,8 @@ func (w *Worker) Stats(_ *StatsArgs, reply *StatsReply) error {
 	reply.LoadRPCs = m.loadRPCs.Value()
 	reply.LoadTuples = m.loadTuples.Value()
 	reply.LoadBytes = m.loadBytes.Value()
+	reply.LoadRawBytes = m.loadRawBytes.Value()
+	reply.DecodeNanos = int64(m.decodeSeconds.Sum() * 1e9)
 	reply.LoadRejected = m.loadRejected.Value()
 	reply.DeltaLoads = m.deltaLoads.Value()
 	reply.DeltaTuples = m.deltaTuples.Value()

@@ -3,14 +3,11 @@ package data
 import (
 	"bufio"
 	"bytes"
-	"encoding/binary"
 	"encoding/csv"
 	"encoding/gob"
 	"fmt"
 	"io"
-	"math"
 	"strconv"
-	"unsafe"
 )
 
 // relationWire is the gob wire representation of a Relation. Relation keeps
@@ -50,21 +47,15 @@ func (r *Relation) GobDecode(b []byte) error {
 	return nil
 }
 
-// hostLittleEndian reports whether the host's native byte order matches the
-// packed wire format, in which case Pack/AppendKeysLE reinterpret flat
-// storage instead of converting value by value.
-var hostLittleEndian = func() bool {
-	var x uint16 = 1
-	return *(*byte)(unsafe.Pointer(&x)) == 1
-}()
-
 // PackKeysLE returns the key values of tuples [lo, hi) packed as raw
 // little-endian IEEE-754 bytes (8 per value, row-major). Packed bytes travel
 // through gob with a single copy instead of gob's per-value float encoding,
 // which is what the cluster's streaming shuffle ships; AppendKeysLE is the
 // receiving side. On little-endian hosts the result is a zero-copy view
 // aliasing the relation's storage: the caller must neither modify it nor
-// mutate the relation while the slice is live.
+// mutate the relation while the slice is live. On big-endian hosts
+// (hostLittleEndian is a per-target constant, see pack_le.go/pack_be.go) the
+// values are byte-swapped into a fresh slice so the wire format is identical.
 func (r *Relation) PackKeysLE(lo, hi int) []byte {
 	if lo < 0 || hi > r.Len() || lo > hi {
 		panic(fmt.Sprintf("data: pack range [%d,%d) out of bounds for relation of %d tuples", lo, hi, r.Len()))
@@ -74,13 +65,9 @@ func (r *Relation) PackKeysLE(lo, hi int) []byte {
 		return nil
 	}
 	if hostLittleEndian {
-		return unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals)*8)
+		return packFloatsNative(vals)
 	}
-	out := make([]byte, len(vals)*8)
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
-	}
-	return out
+	return packFloatsPortable(make([]byte, 0, len(vals)*8), vals)
 }
 
 // AppendKeysLE appends tuples packed by PackKeysLE. It returns an error (not
@@ -99,11 +86,9 @@ func (r *Relation) AppendKeysLE(raw []byte) error {
 	r.keys = append(r.keys, make([]float64, n)...)
 	dst := r.keys[base:]
 	if hostLittleEndian {
-		copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), n*8), raw)
-		return nil
-	}
-	for i := range dst {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		unpackFloatsNative(dst, raw)
+	} else {
+		unpackFloatsPortable(dst, raw)
 	}
 	return nil
 }
@@ -117,13 +102,9 @@ func PackInt64sLE(vals []int64) []byte {
 		return nil
 	}
 	if hostLittleEndian {
-		return unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals)*8)
+		return packInt64sNative(vals)
 	}
-	out := make([]byte, len(vals)*8)
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(out[i*8:], uint64(v))
-	}
-	return out
+	return packInt64sPortable(make([]byte, 0, len(vals)*8), vals)
 }
 
 // AppendInt64sLE appends values packed by PackInt64sLE to dst. Trailing bytes
@@ -137,11 +118,9 @@ func AppendInt64sLE(dst []int64, raw []byte) []int64 {
 	dst = append(dst, make([]int64, n)...)
 	out := dst[base:]
 	if hostLittleEndian {
-		copy(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), n*8), raw[:n*8])
-		return dst
-	}
-	for i := range out {
-		out[i] = int64(binary.LittleEndian.Uint64(raw[i*8:]))
+		unpackInt64sNative(out, raw[:n*8])
+	} else {
+		unpackInt64sPortable(out, raw[:n*8])
 	}
 	return dst
 }

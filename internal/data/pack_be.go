@@ -1,0 +1,28 @@
+//go:build !(386 || amd64 || amd64p32 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm)
+
+package data
+
+// hostLittleEndian is false on big-endian targets: the pack/unpack entry
+// points take the portable byte-swapping path instead of reinterpreting
+// memory, so the wire format stays little-endian everywhere.
+const hostLittleEndian = false
+
+// The native functions are never reached when hostLittleEndian is false (the
+// branches are compiled out), but they must exist to build; they delegate to
+// the portable implementations.
+
+func packFloatsNative(vals []float64) []byte {
+	return packFloatsPortable(make([]byte, 0, len(vals)*8), vals)
+}
+
+func unpackFloatsNative(dst []float64, raw []byte) {
+	unpackFloatsPortable(dst, raw)
+}
+
+func packInt64sNative(vals []int64) []byte {
+	return packInt64sPortable(make([]byte, 0, len(vals)*8), vals)
+}
+
+func unpackInt64sNative(dst []int64, raw []byte) {
+	unpackInt64sPortable(dst, raw)
+}

@@ -1,0 +1,32 @@
+//go:build 386 || amd64 || amd64p32 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm
+
+package data
+
+import "unsafe"
+
+// hostLittleEndian selects the zero-copy packing fast paths at compile time.
+// This file is built only on little-endian targets, where the wire format
+// (little-endian 64-bit values) matches memory layout exactly.
+const hostLittleEndian = true
+
+// packFloatsNative returns a zero-copy byte view of vals. The caller must
+// neither modify the result nor mutate vals while the slice is live.
+func packFloatsNative(vals []float64) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals)*8)
+}
+
+// unpackFloatsNative fills dst from raw with a single copy; len(raw) must be
+// exactly 8*len(dst).
+func unpackFloatsNative(dst []float64, raw []byte) {
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), len(dst)*8), raw)
+}
+
+// packInt64sNative is packFloatsNative for tuple-ID slices.
+func packInt64sNative(vals []int64) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals)*8)
+}
+
+// unpackInt64sNative fills dst from raw with a single copy.
+func unpackInt64sNative(dst []int64, raw []byte) {
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), len(dst)*8), raw)
+}

@@ -1,0 +1,41 @@
+package data
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Portable little-endian pack/unpack paths. These are compiled on every
+// target (and unit-tested on little-endian hosts too, see
+// TestPortablePackPaths) so big-endian builds are never the first place the
+// byte-swapping code runs.
+
+// packFloatsPortable appends vals to dst as little-endian IEEE-754 bytes.
+func packFloatsPortable(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// unpackFloatsPortable fills dst from raw; len(raw) must be >= 8*len(dst).
+func unpackFloatsPortable(dst []float64, raw []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+}
+
+// packInt64sPortable appends vals to dst as little-endian bytes.
+func packInt64sPortable(dst []byte, vals []int64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+// unpackInt64sPortable fills dst from raw; len(raw) must be >= 8*len(dst).
+func unpackInt64sPortable(dst []int64, raw []byte) {
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+}

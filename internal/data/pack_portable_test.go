@@ -1,0 +1,99 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPortablePackPaths forces the byte-swapping implementations that
+// big-endian targets rely on, independent of the host's endianness, and
+// cross-checks them against the exported (possibly zero-copy) entry points so
+// the two can never drift apart.
+func TestPortablePackPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]float64, 257)
+	ids := make([]int64, 257)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+		ids[i] = rng.Int63() - rng.Int63()
+	}
+	vals[0], vals[1], vals[2] = 0, math.Inf(1), math.NaN()
+
+	r := NewRelation("p", 1)
+	for _, v := range vals {
+		r.Append(v)
+	}
+
+	// Floats: portable pack must byte-for-byte match the exported format.
+	exported := r.PackKeysLE(0, r.Len())
+	portable := packFloatsPortable(nil, vals)
+	if len(exported) != len(portable) {
+		t.Fatalf("portable float pack length %d, exported %d", len(portable), len(exported))
+	}
+	for i := range exported {
+		if exported[i] != portable[i] {
+			t.Fatalf("float pack byte %d differs: %x vs %x", i, exported[i], portable[i])
+		}
+	}
+	back := make([]float64, len(vals))
+	unpackFloatsPortable(back, portable)
+	for i, v := range vals {
+		if math.Float64bits(back[i]) != math.Float64bits(v) {
+			t.Fatalf("float %d round-tripped to %v, want %v", i, back[i], v)
+		}
+	}
+
+	// Int64s: same contract.
+	exportedIDs := PackInt64sLE(ids)
+	portableIDs := packInt64sPortable(nil, ids)
+	if string(exportedIDs) != string(portableIDs) {
+		t.Fatal("portable int64 pack differs from exported format")
+	}
+	backIDs := make([]int64, len(ids))
+	unpackInt64sPortable(backIDs, portableIDs)
+	for i, v := range ids {
+		if backIDs[i] != v {
+			t.Fatalf("int64 %d round-tripped to %d, want %d", i, backIDs[i], v)
+		}
+	}
+
+	// And the portable unpack must accept what the native pack produced.
+	r2 := NewRelation("p2", 1)
+	if err := r2.AppendKeysLE(portable); err != nil {
+		t.Fatalf("AppendKeysLE(portable bytes): %v", err)
+	}
+	if r2.Len() != len(vals) {
+		t.Fatalf("decoded %d tuples, want %d", r2.Len(), len(vals))
+	}
+	for i, v := range vals {
+		if math.Float64bits(r2.KeyAt(i, 0)) != math.Float64bits(v) {
+			t.Fatalf("tuple %d = %v, want %v", i, r2.KeyAt(i, 0), v)
+		}
+	}
+}
+
+func TestGrowRowsSetColumn(t *testing.T) {
+	r := NewRelation("g", 3)
+	r.Append(1, 2, 3)
+	base := r.GrowRows(4)
+	if base != 1 || r.Len() != 5 {
+		t.Fatalf("GrowRows: base=%d len=%d", base, r.Len())
+	}
+	for d := 0; d < 3; d++ {
+		col := []float64{10 + float64(d), 20 + float64(d), 30 + float64(d), 40 + float64(d)}
+		r.SetColumn(base, d, col)
+	}
+	for i := 0; i < 4; i++ {
+		for d := 0; d < 3; d++ {
+			want := float64((i+1)*10 + d)
+			if got := r.KeyAt(base+i, d); got != want {
+				t.Fatalf("row %d dim %d = %v, want %v", i, d, got, want)
+			}
+		}
+	}
+	slab := r.KeysRange(1, 3)
+	if len(slab) != 6 || slab[0] != 10 || slab[5] != 22 {
+		t.Fatalf("KeysRange view wrong: %v", slab)
+	}
+}

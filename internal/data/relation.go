@@ -119,6 +119,39 @@ func (r *Relation) Reserve(n int) {
 	r.keys = grown
 }
 
+// KeysRange returns the row-major key storage of tuples [lo, hi) as a
+// zero-copy view. The caller must treat it as read-only and must not retain
+// it across Append; it is the slab the columnar wire encoder gathers from.
+func (r *Relation) KeysRange(lo, hi int) []float64 {
+	if lo < 0 || hi > r.Len() || lo > hi {
+		panic(fmt.Sprintf("data: key range [%d,%d) out of bounds for relation of %d tuples", lo, hi, r.Len()))
+	}
+	return r.keys[lo*r.dims : hi*r.dims : hi*r.dims]
+}
+
+// GrowRows appends n zeroed tuples and returns the index of the first, so
+// columnar decoders can reserve a block of rows and fill it one dimension at
+// a time with SetColumn.
+func (r *Relation) GrowRows(n int) int {
+	base := r.Len()
+	r.keys = append(r.keys, make([]float64, n*r.dims)...)
+	return base
+}
+
+// SetColumn overwrites attribute d of tuples [base, base+len(vals)) — one
+// strided scatter per decoded column, the receiving half of the columnar wire
+// format.
+func (r *Relation) SetColumn(base, d int, vals []float64) {
+	if d < 0 || d >= r.dims || base < 0 || base+len(vals) > r.Len() {
+		panic(fmt.Sprintf("data: SetColumn(base=%d, d=%d, n=%d) out of bounds for %dD relation of %d tuples",
+			base, d, len(vals), r.dims, r.Len()))
+	}
+	keys := r.keys[base*r.dims:]
+	for i, v := range vals {
+		keys[i*r.dims+d] = v
+	}
+}
+
 // SetKey overwrites the join-attribute values of tuple i. It panics if the
 // number of values does not match the relation's dimensionality. It exists for
 // owned, mutable relations (e.g. a reservoir sample being merged); relations

@@ -102,6 +102,11 @@ type Result struct {
 	// runs, which move no bytes over a network.
 	ShuffleBytes int64
 	ShuffleRPCs  int64
+	// ShuffleRawBytes is what the shipped tuples would occupy row-major and
+	// uncompressed (8 bytes per key value and per tuple ID), so
+	// ShuffleRawBytes/ShuffleBytes is the shuffle's effective compression
+	// ratio. Zero for in-process runs.
+	ShuffleRawBytes int64
 
 	// Fault-tolerance accounting, filled only by the cluster coordinator.
 	// Degraded reports that the query ran on fewer workers than the cluster

@@ -1,0 +1,169 @@
+package wire
+
+import "encoding/binary"
+
+// An LZ4-style block compressor: greedy single-hash-table LZ77 emitting the
+// LZ4 block sequence format (token byte with literal/match length nibbles,
+// 255-extension bytes, 2-byte little-endian match offsets, minimum match 4).
+// Both sides live here and are dependency-free; the encoder only keeps a
+// compressed column when it is strictly smaller than the plain payload, so the
+// compressor never needs to win — only to be correct.
+
+const (
+	lzHashLog   = 13
+	lzTableSize = 1 << lzHashLog
+	lzMinMatch  = 4
+	// lzMinInput is the smallest payload worth attempting: below this the
+	// framing overhead dominates any possible win.
+	lzMinInput = 64
+)
+
+func lzHash(v uint32) uint32 { return (v * 2654435761) >> (32 - lzHashLog) }
+
+// lz4Compress appends the compressed form of src to dst and returns it. The
+// table holds candidate positions + 1 (0 = empty) and is cleared here.
+func lz4Compress(src, dst []byte, table *[lzTableSize]int32) []byte {
+	clear(table[:])
+	n := len(src)
+	anchor, s := 0, 0
+	if n > lzMinMatch+12 {
+		limit := n - 12 // last 5 bytes stay literal; keep a search margin
+		for s < limit {
+			cur := binary.LittleEndian.Uint32(src[s:])
+			h := lzHash(cur)
+			cand := int(table[h]) - 1
+			table[h] = int32(s + 1)
+			if cand < 0 || s-cand > 0xFFFF || binary.LittleEndian.Uint32(src[cand:]) != cur {
+				s++
+				continue
+			}
+			mlen := lzMinMatch
+			maxLen := n - 5 - s
+			for mlen < maxLen && src[cand+mlen] == src[s+mlen] {
+				mlen++
+			}
+			dst = lzEmit(dst, src[anchor:s], s-cand, mlen)
+			s += mlen
+			anchor = s
+		}
+	}
+	// Final literals-only sequence (match nibble 0, no offset).
+	lits := src[anchor:]
+	tok := byte(0)
+	if len(lits) >= 15 {
+		tok = 0xF0
+	} else {
+		tok = byte(len(lits)) << 4
+	}
+	dst = append(dst, tok)
+	if len(lits) >= 15 {
+		dst = lzAppendLen(dst, len(lits)-15)
+	}
+	return append(dst, lits...)
+}
+
+// lzEmit appends one literal-run + match sequence.
+func lzEmit(dst, lits []byte, offset, mlen int) []byte {
+	ll, ml := len(lits), mlen-lzMinMatch
+	tok := byte(0)
+	if ll >= 15 {
+		tok = 0xF0
+	} else {
+		tok = byte(ll) << 4
+	}
+	if ml >= 15 {
+		tok |= 0x0F
+	} else {
+		tok |= byte(ml)
+	}
+	dst = append(dst, tok)
+	if ll >= 15 {
+		dst = lzAppendLen(dst, ll-15)
+	}
+	dst = append(dst, lits...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if ml >= 15 {
+		dst = lzAppendLen(dst, ml-15)
+	}
+	return dst
+}
+
+func lzAppendLen(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// lz4Decompress appends the decompressed form of src to dst, which must not
+// grow beyond maxLen bytes (the declared uncompressed size). Malformed input
+// returns errCorrupt; the function never panics on hostile bytes.
+func lz4Decompress(src, dst []byte, maxLen int) ([]byte, error) {
+	si := 0
+	for si < len(src) {
+		tok := src[si]
+		si++
+		ll := int(tok >> 4)
+		if ll == 15 {
+			ext, ns, ok := lzReadLen(src, si)
+			if !ok {
+				return nil, errCorrupt
+			}
+			ll += ext
+			si = ns
+		}
+		if ll > len(src)-si || len(dst)+ll > maxLen {
+			return nil, errCorrupt
+		}
+		dst = append(dst, src[si:si+ll]...)
+		si += ll
+		if si == len(src) {
+			break // final literals-only sequence
+		}
+		if len(src)-si < 2 {
+			return nil, errCorrupt
+		}
+		off := int(src[si]) | int(src[si+1])<<8
+		si += 2
+		if off == 0 || off > len(dst) {
+			return nil, errCorrupt
+		}
+		ml := int(tok & 0x0F)
+		if ml == 15 {
+			ext, ns, ok := lzReadLen(src, si)
+			if !ok {
+				return nil, errCorrupt
+			}
+			ml += ext
+			si = ns
+		}
+		ml += lzMinMatch
+		if len(dst)+ml > maxLen {
+			return nil, errCorrupt
+		}
+		// Byte-at-a-time copy: matches may overlap their own output.
+		p := len(dst) - off
+		for i := 0; i < ml; i++ {
+			dst = append(dst, dst[p+i])
+		}
+	}
+	return dst, nil
+}
+
+func lzReadLen(src []byte, si int) (v, next int, ok bool) {
+	for {
+		if si >= len(src) {
+			return 0, 0, false
+		}
+		b := src[si]
+		si++
+		v += int(b)
+		if v > 1<<30 {
+			return 0, 0, false
+		}
+		if b != 255 {
+			return v, si, true
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func lzRoundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	var table [lzTableSize]int32
+	comp := lz4Compress(src, nil, &table)
+	out, err := lz4Decompress(comp, nil, len(src))
+	if err != nil {
+		t.Fatalf("decompress(%d bytes): %v", len(src), err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(out))
+	}
+}
+
+func TestLZ4RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := [][]byte{
+		nil,
+		[]byte{0},
+		[]byte("a"),
+		bytes.Repeat([]byte("abcd"), 1000),       // long overlapping matches
+		bytes.Repeat([]byte{0}, 70000),           // run longer than a length byte chain
+		[]byte("the quick brown fox jumps over"), // short, all literals
+		append(bytes.Repeat([]byte("0123456789abcde"), 7), make([]byte, 17)...),
+	}
+	random := make([]byte, 50000)
+	rng.Read(random)
+	cases = append(cases, random)
+	// Mixed: compressible prefix, random middle, compressible suffix.
+	mixed := append(bytes.Repeat([]byte("xy"), 5000), random[:10000]...)
+	mixed = append(mixed, bytes.Repeat([]byte("zw"), 5000)...)
+	cases = append(cases, mixed)
+	for i, src := range cases {
+		t.Run("", func(t *testing.T) {
+			_ = i
+			lzRoundTrip(t, src)
+		})
+	}
+}
+
+func TestLZ4CompressesRepetitiveInput(t *testing.T) {
+	src := bytes.Repeat([]byte("bandjoin"), 4096)
+	var table [lzTableSize]int32
+	comp := lz4Compress(src, nil, &table)
+	if len(comp)*10 > len(src) {
+		t.Fatalf("repetitive input compressed to %d of %d bytes", len(comp), len(src))
+	}
+	out, err := lz4Decompress(comp, nil, len(src))
+	if err != nil || !bytes.Equal(out, src) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestLZ4DecompressRejectsHostileInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Random garbage must never panic or return more than maxLen bytes.
+	for trial := 0; trial < 2000; trial++ {
+		src := make([]byte, rng.Intn(64))
+		rng.Read(src)
+		out, err := lz4Decompress(src, nil, 256)
+		if err == nil && len(out) > 256 {
+			t.Fatalf("trial %d: decompressed %d bytes past maxLen", trial, len(out))
+		}
+	}
+	// A valid stream truncated anywhere must error or stay within bounds.
+	var table [lzTableSize]int32
+	full := lz4Compress(bytes.Repeat([]byte("abcdefgh"), 512), nil, &table)
+	for cut := 0; cut < len(full); cut++ {
+		out, err := lz4Decompress(full[:cut], nil, 8*512)
+		if err == nil && len(out) > 8*512 {
+			t.Fatalf("cut %d: overran maxLen", cut)
+		}
+	}
+}

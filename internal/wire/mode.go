@@ -1,0 +1,51 @@
+package wire
+
+import "fmt"
+
+// Mode selects how chunks are encoded on the wire.
+type Mode uint8
+
+const (
+	// ModeAuto is the default: columnar encoding with the LZ4 stage gated by
+	// an entropy probe per column.
+	ModeAuto Mode = iota
+	// ModeOff disables this package entirely; the cluster ships the v1
+	// row-major packed format. Retained as the equivalence oracle.
+	ModeOff
+	// ModeDelta uses the columnar varint/delta encodings but never attempts
+	// the LZ4 stage.
+	ModeDelta
+	// ModeLZ4 always attempts the LZ4 stage on every column (kept only when
+	// strictly smaller).
+	ModeLZ4
+)
+
+// ParseMode parses a compression knob value. The empty string means ModeAuto.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "auto":
+		return ModeAuto, nil
+	case "off":
+		return ModeOff, nil
+	case "delta":
+		return ModeDelta, nil
+	case "lz4":
+		return ModeLZ4, nil
+	}
+	return ModeAuto, fmt.Errorf("wire: unknown compression mode %q (want auto, off, delta, or lz4)", s)
+}
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeOff:
+		return "off"
+	case ModeDelta:
+		return "delta"
+	case ModeLZ4:
+		return "lz4"
+	}
+	return fmt.Sprintf("wire.Mode(%d)", uint8(m))
+}

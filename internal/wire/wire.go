@@ -1,0 +1,505 @@
+// Package wire implements the cluster's columnar compressed chunk format
+// (shuffle protocol v2). A chunk carries n tuples as dims key columns plus one
+// tuple-ID column; every column is encoded independently with the cheapest of
+// several encodings and optionally wrapped in an LZ4-style compressed block:
+//
+//	chunk   := version(1B) uvarint(n) uvarint(dims) column{dims+1}
+//	column  := tag(1B) uvarint(len(payload)) payload
+//	payload := raw64 | scaled | scaledDelta | int | intDelta
+//	          (tag bit 0x80 set: payload = uvarint(rawLen) lz4Block)
+//
+// Key columns holding fixed-decimal values (v == m/10^k exactly, the shape of
+// sensor/coordinate data such as the PTF workload) are shipped as zigzag
+// varints of the scaled integers — plain or delta-coded, whichever a fused
+// cost pass says is smaller; anything else falls back to raw little-endian
+// IEEE-754. Tuple-ID columns get the same treatment without the decimal scale
+// (IDs are monotonic per sender pass, so deltas are tiny). The selection is
+// exact, not heuristic: the encoder computes the byte cost of each candidate
+// and never produces a column larger than raw.
+//
+// Encoder and Decoder own all scratch they need; steady-state EncodeChunk and
+// column decoding perform zero allocations (pinned by TestWireSteadyStateAllocs
+// and CI's allocation-check step). Decoding is defensive: malformed input from
+// the network returns an error, never panics and never over-allocates beyond
+// the declared row count.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Version is the chunk format version this package encodes. It is also the
+// wire version advertised in cluster Ping replies; peers that report an older
+// version receive the v1 row-major packed format instead.
+const Version = 2
+
+// chunkVersion is the leading byte of every encoded chunk.
+const chunkVersion = 1
+
+// Column encoding tags. The high bit (flagLZ4) marks a payload wrapped in an
+// LZ4-style compressed block.
+const (
+	tagRaw64       = 0 // little-endian 64-bit values, 8 bytes each
+	tagScaled      = 1 // uvarint k, then zigzag varints of round(v*10^k)
+	tagScaledDelta = 2 // uvarint k, first value plain, then zigzag varint deltas
+	tagInt         = 3 // zigzag varints of int64 values
+	tagIntDelta    = 4 // first value plain, then zigzag varint deltas
+	flagLZ4        = 0x80
+)
+
+// maxScale is the largest decimal exponent the encoder probes: values with
+// more than 6 fractional decimal digits ship raw.
+const maxScale = 6
+
+var pow10 = [maxScale + 1]float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6}
+
+// maxExact is the largest magnitude at which every integer is exactly
+// representable as a float64.
+const maxExact = 1 << 53
+
+var (
+	errTruncated  = errors.New("wire: truncated chunk")
+	errCorrupt    = errors.New("wire: corrupt chunk")
+	errColumnSize = errors.New("wire: column length mismatch")
+)
+
+// RawBytes returns the number of bytes the v1 row-major format would ship for
+// a chunk of n tuples with the given dimensionality: 8 bytes per key value
+// plus 8 per tuple ID. It is the numerator of the compression-ratio metrics.
+func RawBytes(n, dims int) int64 {
+	return int64(n) * int64(dims+1) * 8
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// uvarintLen returns the encoded size of x in bytes.
+func uvarintLen(x uint64) int {
+	return (bits.Len64(x|1) + 6) / 7
+}
+
+// Encoder encodes chunks. It is not safe for concurrent use; every sender
+// goroutine owns one. All returned buffers are reused by the next call.
+type Encoder struct {
+	mode   Mode
+	buf    []byte  // finished chunk
+	col    []byte  // column payload before optional compression
+	lz     []byte  // compressed-column scratch
+	scaled []int64 // decimal-scaled or id column values
+	table  [lzTableSize]int32
+	hist   [256]int32
+}
+
+// NewEncoder returns an encoder producing chunks under the given mode, which
+// must not be ModeOff (off means "do not use this package").
+func NewEncoder(mode Mode) *Encoder {
+	if mode == ModeOff {
+		panic("wire: NewEncoder with ModeOff")
+	}
+	return &Encoder{mode: mode}
+}
+
+// EncodeChunk encodes a chunk of n = len(ids) tuples whose keys are the given
+// row-major slab (len(keys) == n*dims). The returned slice aliases the
+// encoder's internal buffer and is valid until the next call; net/rpc's gob
+// codec serializes arguments synchronously inside Go(), so senders may reuse
+// the encoder immediately after the call is issued.
+func (e *Encoder) EncodeChunk(keys []float64, dims int, ids []int64) []byte {
+	n := len(ids)
+	if len(keys) != n*dims {
+		panic(fmt.Sprintf("wire: EncodeChunk: %d key values for %d tuples x %d dims", len(keys), n, dims))
+	}
+	buf := e.buf[:0]
+	buf = append(buf, chunkVersion)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	buf = binary.AppendUvarint(buf, uint64(dims))
+	for d := 0; d < dims; d++ {
+		buf = e.appendKeyColumn(buf, keys, d, dims, n)
+	}
+	buf = e.appendIDColumn(buf, ids)
+	e.buf = buf
+	return buf
+}
+
+// appendKeyColumn encodes one key column (strided gather fused into the
+// encoding — no row-major intermediate) and appends tag+len+payload to buf.
+func (e *Encoder) appendKeyColumn(buf []byte, keys []float64, d, dims, n int) []byte {
+	tag := byte(tagRaw64)
+	col := e.col[:0]
+	if k, ok := e.scaleColumn(keys, d, dims, n); ok {
+		// Exact cost of plain vs delta varints over the scaled ints.
+		plain, delta := varintCosts(e.scaled)
+		kPrefix := uvarintLen(uint64(k))
+		if plain <= delta && kPrefix+plain < 8*n {
+			tag = tagScaled
+			col = binary.AppendUvarint(col, uint64(k))
+			for _, m := range e.scaled {
+				col = binary.AppendUvarint(col, zigzag(m))
+			}
+		} else if delta < plain && kPrefix+delta < 8*n {
+			tag = tagScaledDelta
+			col = binary.AppendUvarint(col, uint64(k))
+			col = appendDeltas(col, e.scaled)
+		}
+	}
+	if tag == tagRaw64 {
+		for i := 0; i < n; i++ {
+			col = binary.LittleEndian.AppendUint64(col, math.Float64bits(keys[i*dims+d]))
+		}
+	}
+	e.col = col
+	return e.appendColumn(buf, tag, col)
+}
+
+// appendIDColumn encodes the tuple-ID column.
+func (e *Encoder) appendIDColumn(buf []byte, ids []int64) []byte {
+	n := len(ids)
+	e.scaled = append(e.scaled[:0], ids...)
+	plain, delta := varintCosts(e.scaled)
+	tag := byte(tagRaw64)
+	col := e.col[:0]
+	switch {
+	case delta < plain && delta < 8*n:
+		tag = tagIntDelta
+		col = appendDeltas(col, e.scaled)
+	case plain <= delta && plain < 8*n:
+		tag = tagInt
+		for _, m := range e.scaled {
+			col = binary.AppendUvarint(col, zigzag(m))
+		}
+	default:
+		for _, v := range ids {
+			col = binary.LittleEndian.AppendUint64(col, uint64(v))
+		}
+	}
+	e.col = col
+	return e.appendColumn(buf, tag, col)
+}
+
+// appendColumn applies the optional LZ4 stage and appends the framed column.
+func (e *Encoder) appendColumn(buf []byte, tag byte, payload []byte) []byte {
+	if e.shouldCompress(payload) {
+		e.lz = lz4Compress(payload, e.lz[:0], &e.table)
+		wrapped := uvarintLen(uint64(len(payload))) + len(e.lz)
+		if len(e.lz) > 0 && wrapped < len(payload) {
+			buf = append(buf, tag|flagLZ4)
+			buf = binary.AppendUvarint(buf, uint64(wrapped))
+			buf = binary.AppendUvarint(buf, uint64(len(payload)))
+			return append(buf, e.lz...)
+		}
+	}
+	buf = append(buf, tag)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	return append(buf, payload...)
+}
+
+// shouldCompress gates the LZ4 attempt: never under ModeDelta, always under
+// ModeLZ4, and under ModeAuto only when a cheap byte-entropy probe suggests
+// the payload is compressible at all.
+func (e *Encoder) shouldCompress(payload []byte) bool {
+	switch e.mode {
+	case ModeDelta:
+		return false
+	case ModeLZ4:
+		return len(payload) >= lzMinInput
+	}
+	if len(payload) < lzMinInput {
+		return false
+	}
+	return e.entropyBitsPerByte(payload) < 7.2
+}
+
+// entropyBitsPerByte estimates the Shannon entropy of payload from a sample of
+// at most 4096 bytes.
+func (e *Encoder) entropyBitsPerByte(p []byte) float64 {
+	clear(e.hist[:])
+	stride := len(p)/4096 + 1
+	n := 0
+	for i := 0; i < len(p); i += stride {
+		e.hist[p[i]]++
+		n++
+	}
+	h := 0.0
+	for _, c := range e.hist {
+		if c == 0 {
+			continue
+		}
+		f := float64(c) / float64(n)
+		h -= f * math.Log2(f)
+	}
+	return h
+}
+
+// scaleColumn finds the smallest decimal scale k such that every value of
+// column d is exactly round(v*10^k)/10^k, filling e.scaled with the scaled
+// integers. It reports false when no k <= maxScale represents the column
+// exactly (the raw fallback). Negative zero is rejected so decoded bits always
+// equal encoded bits.
+func (e *Encoder) scaleColumn(keys []float64, d, dims, n int) (int, bool) {
+	if cap(e.scaled) < n {
+		e.scaled = make([]int64, 0, n)
+	}
+	for k := 0; k <= maxScale; k++ {
+		p := pow10[k]
+		scaled := e.scaled[:0]
+		ok := true
+		for i := 0; i < n; i++ {
+			v := keys[i*dims+d]
+			if v == 0 && math.Signbit(v) {
+				return 0, false
+			}
+			m := math.Round(v * p)
+			if !(m >= -maxExact && m <= maxExact) { // also rejects NaN
+				ok = false
+				break
+			}
+			mi := int64(m)
+			if float64(mi)/p != v {
+				ok = false
+				break
+			}
+			scaled = append(scaled, mi)
+		}
+		if ok {
+			e.scaled = scaled
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// varintCosts returns the encoded sizes of vals as plain zigzag varints and as
+// first-value + zigzag-delta varints.
+func varintCosts(vals []int64) (plain, delta int) {
+	prev := int64(0)
+	for i, m := range vals {
+		plain += uvarintLen(zigzag(m))
+		if i == 0 {
+			delta += uvarintLen(zigzag(m))
+		} else {
+			delta += uvarintLen(zigzag(m - prev))
+		}
+		prev = m
+	}
+	return plain, delta
+}
+
+// appendDeltas appends vals as first-value + zigzag-delta varints.
+func appendDeltas(dst []byte, vals []int64) []byte {
+	prev := int64(0)
+	for i, m := range vals {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, zigzag(m))
+		} else {
+			dst = binary.AppendUvarint(dst, zigzag(m-prev))
+		}
+		prev = m
+	}
+	return dst
+}
+
+// Decoder decodes chunks. It is not safe for concurrent use. Columns are read
+// strictly in order: Begin, then dims calls to KeyColumn, then IDs.
+type Decoder struct {
+	raw     []byte
+	pos     int
+	n, dims int
+	cols    int // columns consumed so far
+	lz      []byte
+}
+
+// Begin parses the chunk header and returns the tuple count and
+// dimensionality.
+func (d *Decoder) Begin(raw []byte) (n, dims int, err error) {
+	d.raw = raw
+	d.pos = 0
+	d.cols = 0
+	d.n, d.dims = 0, 0
+	if len(raw) < 1 {
+		return 0, 0, errTruncated
+	}
+	if raw[0] != chunkVersion {
+		return 0, 0, fmt.Errorf("wire: unsupported chunk version %d", raw[0])
+	}
+	d.pos = 1
+	un, err := d.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	ud, err := d.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if un > math.MaxInt32 || ud == 0 || ud > 4096 {
+		return 0, 0, errCorrupt
+	}
+	d.n, d.dims = int(un), int(ud)
+	return d.n, d.dims, nil
+}
+
+func (d *Decoder) uvarint() (uint64, error) {
+	v, w := binary.Uvarint(d.raw[d.pos:])
+	if w <= 0 {
+		return 0, errTruncated
+	}
+	d.pos += w
+	return v, nil
+}
+
+// nextColumn unwraps the next column's framing (and LZ4 block, if any),
+// returning the decompressed payload and the base encoding tag.
+func (d *Decoder) nextColumn() (tag byte, payload []byte, err error) {
+	if d.pos >= len(d.raw) {
+		return 0, nil, errTruncated
+	}
+	tag = d.raw[d.pos]
+	d.pos++
+	plen, err := d.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	if plen > uint64(len(d.raw)-d.pos) {
+		return 0, nil, errTruncated
+	}
+	payload = d.raw[d.pos : d.pos+int(plen)]
+	d.pos += int(plen)
+	if tag&flagLZ4 == 0 {
+		return tag, payload, nil
+	}
+	rawLen, w := binary.Uvarint(payload)
+	if w <= 0 || rawLen > uint64(d.n+1)*8+16 {
+		return 0, nil, errCorrupt
+	}
+	if cap(d.lz) < int(rawLen) {
+		d.lz = make([]byte, 0, int(rawLen))
+	}
+	out, err := lz4Decompress(payload[w:], d.lz[:0], int(rawLen))
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(out) != int(rawLen) {
+		return 0, nil, errCorrupt
+	}
+	d.lz = out
+	return tag &^ flagLZ4, out, nil
+}
+
+// KeyColumn decodes the next key column into dst (len must be the chunk's
+// tuple count) and returns the column's min and max values.
+func (d *Decoder) KeyColumn(dst []float64) (min, max float64, err error) {
+	if d.cols >= d.dims {
+		return 0, 0, errors.New("wire: KeyColumn after all key columns were read")
+	}
+	if len(dst) != d.n {
+		return 0, 0, errColumnSize
+	}
+	tag, payload, err := d.nextColumn()
+	if err != nil {
+		return 0, 0, err
+	}
+	d.cols++
+	min, max = math.Inf(1), math.Inf(-1)
+	switch tag {
+	case tagRaw64:
+		if len(payload) != 8*d.n {
+			return 0, 0, errColumnSize
+		}
+		for i := range dst {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+			dst[i] = v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	case tagScaled, tagScaledDelta:
+		uk, w := binary.Uvarint(payload)
+		if w <= 0 || uk > maxScale {
+			return 0, 0, errCorrupt
+		}
+		p := pow10[uk]
+		payload = payload[w:]
+		prev := int64(0)
+		for i := range dst {
+			u, w := binary.Uvarint(payload)
+			if w <= 0 {
+				return 0, 0, errTruncated
+			}
+			payload = payload[w:]
+			m := unzigzag(u)
+			if tag == tagScaledDelta && i > 0 {
+				m += prev
+			}
+			prev = m
+			v := float64(m) / p
+			dst[i] = v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if len(payload) != 0 {
+			return 0, 0, errColumnSize
+		}
+	default:
+		return 0, 0, fmt.Errorf("wire: unknown key column tag %d", tag)
+	}
+	if d.n == 0 {
+		return 0, 0, nil
+	}
+	return min, max, nil
+}
+
+// IDs decodes the tuple-ID column into dst (len must be the chunk's tuple
+// count). It must be called after every key column has been read.
+func (d *Decoder) IDs(dst []int64) error {
+	if d.cols != d.dims {
+		return fmt.Errorf("wire: IDs called after %d of %d key columns", d.cols, d.dims)
+	}
+	if len(dst) != d.n {
+		return errColumnSize
+	}
+	tag, payload, err := d.nextColumn()
+	if err != nil {
+		return err
+	}
+	d.cols++
+	switch tag {
+	case tagRaw64:
+		if len(payload) != 8*d.n {
+			return errColumnSize
+		}
+		for i := range dst {
+			dst[i] = int64(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+	case tagInt, tagIntDelta:
+		prev := int64(0)
+		for i := range dst {
+			u, w := binary.Uvarint(payload)
+			if w <= 0 {
+				return errTruncated
+			}
+			payload = payload[w:]
+			m := unzigzag(u)
+			if tag == tagIntDelta && i > 0 {
+				m += prev
+			}
+			prev = m
+			dst[i] = m
+		}
+		if len(payload) != 0 {
+			return errColumnSize
+		}
+	default:
+		return fmt.Errorf("wire: unknown id column tag %d", tag)
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// roundTrip encodes one chunk and decodes it back, failing on any mismatch.
+// It returns the encoded size so callers can assert compression claims.
+func roundTrip(t *testing.T, mode Mode, keys []float64, dims int, ids []int64) int {
+	t.Helper()
+	enc := NewEncoder(mode)
+	raw := enc.EncodeChunk(keys, dims, ids)
+	size := len(raw)
+
+	var dec Decoder
+	n, gotDims, err := dec.Begin(raw)
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if n != len(ids) || gotDims != dims {
+		t.Fatalf("Begin = (%d, %d), want (%d, %d)", n, gotDims, len(ids), dims)
+	}
+	col := make([]float64, n)
+	for d := 0; d < dims; d++ {
+		min, max, err := dec.KeyColumn(col)
+		if err != nil {
+			t.Fatalf("KeyColumn(%d): %v", d, err)
+		}
+		wantMin, wantMax := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			want := keys[i*dims+d]
+			if got := col[i]; math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("mode %v: column %d row %d = %v (%x), want %v (%x)",
+					mode, d, i, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+			if want < wantMin {
+				wantMin = want
+			}
+			if want > wantMax {
+				wantMax = want
+			}
+		}
+		if n > 0 && (min != wantMin || max != wantMax) {
+			t.Fatalf("mode %v: column %d stats = [%v, %v], want [%v, %v]", mode, d, min, max, wantMin, wantMax)
+		}
+	}
+	gotIDs := make([]int64, n)
+	if err := dec.IDs(gotIDs); err != nil {
+		t.Fatalf("IDs: %v", err)
+	}
+	for i, want := range ids {
+		if gotIDs[i] != want {
+			t.Fatalf("mode %v: id %d = %d, want %d", mode, i, gotIDs[i], want)
+		}
+	}
+	return size
+}
+
+func quantize(v float64, decimals int) float64 {
+	p := math.Pow(10, float64(decimals))
+	return math.Round(v*p) / p
+}
+
+// chunkShapes builds the column shapes every encoding must survive.
+func chunkShapes(rng *rand.Rand) map[string]struct {
+	keys []float64
+	dims int
+	ids  []int64
+} {
+	shapes := map[string]struct {
+		keys []float64
+		dims int
+		ids  []int64
+	}{}
+
+	shapes["empty"] = struct {
+		keys []float64
+		dims int
+		ids  []int64
+	}{nil, 3, nil}
+
+	shapes["single-row"] = struct {
+		keys []float64
+		dims int
+		ids  []int64
+	}{[]float64{1.25, -3.5, 0}, 3, []int64{42}}
+
+	// Near-sorted fixed-decimal keys with monotonic IDs: the shape RecPart
+	// routing produces, where delta coding should win.
+	n := 500
+	sorted := make([]float64, n*2)
+	sortedIDs := make([]int64, n)
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v += quantize(rng.Float64()*0.1, 3)
+		sorted[i*2] = quantize(v, 3)
+		sorted[i*2+1] = quantize(rng.Float64()*100, 2)
+		sortedIDs[i] = int64(i * 3)
+	}
+	shapes["near-sorted-decimal"] = struct {
+		keys []float64
+		dims int
+		ids  []int64
+	}{sorted, 2, sortedIDs}
+
+	// Adversarially unsorted: decimal-representable but in the worst order
+	// for delta coding, with shuffled non-monotonic IDs.
+	adv := make([]float64, n)
+	advIDs := make([]int64, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			adv[i] = quantize(float64(i)*0.001, 3)
+		} else {
+			adv[i] = quantize(1e6-float64(i), 3)
+		}
+		advIDs[i] = rng.Int63n(1 << 40)
+	}
+	shapes["adversarial-unsorted"] = struct {
+		keys []float64
+		dims int
+		ids  []int64
+	}{adv, 1, advIDs}
+
+	// Full-entropy mantissas: must take the raw path and still round-trip
+	// bit-identically. Includes negatives, tiny and huge magnitudes.
+	raw := make([]float64, n)
+	rawIDs := make([]int64, n)
+	for i := 0; i < n; i++ {
+		raw[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(60)-30))
+		rawIDs[i] = int64(i)
+	}
+	shapes["raw-entropy"] = struct {
+		keys []float64
+		dims int
+		ids  []int64
+	}{raw, 1, rawIDs}
+
+	// Special values that must never be mangled by the decimal probe.
+	shapes["specials"] = struct {
+		keys []float64
+		dims int
+		ids  []int64
+	}{[]float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(), 1e300, -1e-300, 123.456}, 1,
+		[]int64{0, 1, 2, 3, 4, 5, 6, 7}}
+
+	// Highly repetitive column: the LZ4 stage should engage under auto/lz4.
+	rep := make([]float64, n)
+	repIDs := make([]int64, n)
+	for i := 0; i < n; i++ {
+		rep[i] = float64(i % 4)
+		repIDs[i] = int64(i % 7)
+	}
+	shapes["repetitive"] = struct {
+		keys []float64
+		dims int
+		ids  []int64
+	}{rep, 1, repIDs}
+
+	return shapes
+}
+
+func TestChunkRoundTripAllModesAndShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := chunkShapes(rng)
+	for name, s := range shapes {
+		for _, mode := range []Mode{ModeAuto, ModeDelta, ModeLZ4} {
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				roundTrip(t, mode, s.keys, s.dims, s.ids)
+			})
+		}
+	}
+}
+
+func TestDecimalChunksCompress(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 4096
+	dims := 4
+	keys := make([]float64, n*dims)
+	ids := make([]int64, n)
+	base := 0.0
+	for i := 0; i < n; i++ {
+		base += quantize(rng.Float64()*0.01, 3)
+		for d := 0; d < dims; d++ {
+			keys[i*dims+d] = quantize(base+rng.Float64()*10, 3)
+		}
+		ids[i] = int64(i)
+	}
+	raw := int(RawBytes(n, dims))
+	size := roundTrip(t, ModeAuto, keys, dims, ids)
+	if size*3 > raw {
+		t.Fatalf("decimal chunk encoded to %d bytes; want at least 3x under raw %d", size, raw)
+	}
+}
+
+func TestRawChunksNeverBlowUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 2048
+	keys := make([]float64, n)
+	ids := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.NormFloat64() * 1e9
+		ids[i] = rng.Int63()
+	}
+	size := roundTrip(t, ModeLZ4, keys, 1, ids)
+	// Framing overhead must stay marginal even when nothing compresses:
+	// IDs here are random too, so the whole chunk is near-raw.
+	raw := int(RawBytes(n, 1))
+	if size > raw+raw/64+64 {
+		t.Fatalf("incompressible chunk encoded to %d bytes, raw is %d", size, raw)
+	}
+}
+
+func TestDecoderRejectsMalformedChunks(t *testing.T) {
+	enc := NewEncoder(ModeAuto)
+	keys := []float64{1.5, 2.5, 3.5, 4.5}
+	ids := []int64{1, 2, 3, 4}
+	good := append([]byte(nil), enc.EncodeChunk(keys, 1, ids)...)
+
+	var dec Decoder
+	col := make([]float64, 4)
+	idDst := make([]int64, 4)
+
+	// Truncations at every prefix length must error, never panic.
+	for cut := 0; cut < len(good); cut++ {
+		n, dims, err := dec.Begin(good[:cut])
+		if err != nil {
+			continue
+		}
+		_ = n
+		failed := false
+		for d := 0; d < dims; d++ {
+			if _, _, err := dec.KeyColumn(col); err != nil {
+				failed = true
+				break
+			}
+		}
+		if !failed {
+			if err := dec.IDs(idDst); err == nil {
+				t.Fatalf("truncated chunk (cut at %d) decoded without error", cut)
+			}
+		}
+	}
+
+	// Bit flips must either error or decode to the same row count — never
+	// panic or over-read.
+	for pos := 0; pos < len(good); pos++ {
+		mut := append([]byte(nil), good...)
+		mut[pos] ^= 0x41
+		n, dims, err := dec.Begin(mut)
+		if err != nil {
+			continue
+		}
+		if n != 4 {
+			continue // header mutated; any consistent parse is acceptable
+		}
+		for d := 0; d < dims && err == nil; d++ {
+			_, _, err = dec.KeyColumn(col)
+		}
+		if err == nil {
+			_ = dec.IDs(idDst)
+		}
+	}
+
+	// Out-of-order access is rejected.
+	if _, _, err := dec.Begin(good); err != nil {
+		t.Fatalf("Begin(good): %v", err)
+	}
+	if err := dec.IDs(idDst); err == nil {
+		t.Fatal("IDs before KeyColumn should fail")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]Mode{"": ModeAuto, "auto": ModeAuto, "off": ModeOff, "delta": ModeDelta, "lz4": ModeLZ4}
+	for s, want := range cases {
+		got, err := ParseMode(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = (%v, %v), want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseMode("zstd"); err == nil {
+		t.Fatal("ParseMode(zstd) should fail")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"bandjoin/internal/exec"
 	"bandjoin/internal/localjoin"
 	"bandjoin/internal/sample"
+	"bandjoin/internal/wire"
 )
 
 // resolved is the fully defaulted and validated form of Options. It is the
@@ -27,6 +28,7 @@ type resolved struct {
 	Window           int
 	JoinParallelism  int
 	Serial           bool
+	Compression      string
 	MaxPlanDrift     float64
 	MaxDeltaFraction float64
 }
@@ -52,6 +54,9 @@ func (o Options) resolve() (resolved, error) {
 	}
 	if o.ClusterJoinParallelism < 0 {
 		return r, fmt.Errorf("bandjoin: ClusterJoinParallelism must be >= 0, got %d", o.ClusterJoinParallelism)
+	}
+	if _, err := wire.ParseMode(o.ClusterCompression); err != nil {
+		return r, fmt.Errorf("bandjoin: %w", err)
 	}
 	if o.PlannerParallelism < 0 {
 		return r, fmt.Errorf("bandjoin: PlannerParallelism must be >= 0, got %d", o.PlannerParallelism)
@@ -99,6 +104,7 @@ func (o Options) resolve() (resolved, error) {
 	r.Window = o.ClusterWindow
 	r.JoinParallelism = o.ClusterJoinParallelism
 	r.Serial = o.ClusterSerial
+	r.Compression = o.ClusterCompression
 	r.MaxPlanDrift = o.MaxPlanDrift
 	r.MaxDeltaFraction = o.MaxDeltaFraction
 	return r, nil
