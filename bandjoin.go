@@ -112,6 +112,15 @@ type Options struct {
 	// estimates of I, Im, Om instead (useful for very high-duplication
 	// configurations).
 	EstimateOnly bool
+	// MorselRows sets the join execution grain on both planes: partitions'
+	// probe (S) sides are split into morsels of this many rows, executed by a
+	// shared worker pool draining a largest-partition-first queue, so one fat
+	// partition cannot bound query latency (skew immunity). 0 (the default)
+	// sizes morsels automatically from the partition sizes and the join
+	// parallelism; > 0 fixes the row count; < 0 disables morsels and runs the
+	// retained one-goroutine-per-partition path (the correctness oracle and
+	// skew baseline). Results are bit-identical for every setting.
+	MorselRows int
 	// PlannerParallelism bounds the worker pool of the default partitioner's
 	// parallel best-split evaluation (0 = GOMAXPROCS, 1 = inline). It applies
 	// only when Partitioner is nil; an explicit partitioner carries its own

@@ -28,9 +28,27 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"bandjoin/internal/bench"
 )
+
+// parseProcsList parses a comma-separated GOMAXPROCS list ("" → nil).
+func parseProcsList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var procs []int
+	for _, field := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("invalid procs value %q in %q", field, s)
+		}
+		procs = append(procs, p)
+	}
+	return procs, nil
+}
 
 func main() {
 	var (
@@ -83,7 +101,15 @@ func main() {
 		scalingDims    = flag.Int("scaling-dims", 0, "number of join attributes of the scaling sweep (default 4)")
 		scalingWorkers = flag.Int("scaling-workers", 0, "simulated worker count of the scaling sweep (default 8)")
 		scalingRounds  = flag.Int("scaling-rounds", 0, "rounds per tier and procs value, fastest kept (default 3)")
-		scalingProcs   = flag.Int("scaling-procs", 0, "cap of the GOMAXPROCS sweep (default NumCPU)")
+		scalingProcs   = flag.String("scaling-procs", "", "GOMAXPROCS sweep: a single value caps the doubling sweep (default NumCPU); a comma list like 1,2,4,8 forces those exact values, even above NumCPU")
+
+		skewPath    = flag.String("skew", "", "run the skewed-workload benchmark (morsel-driven vs per-partition reduce phase on a point-mass workload) and write the JSON report to this path")
+		skewTuples  = flag.Int("skew-tuples", 0, "per-relation input size of the skew benchmark (default 150000)")
+		skewMass    = flag.Float64("skew-mass", 0, "fraction of S concentrated on a single point (default 0.5)")
+		skewWorkers = flag.Int("skew-workers", 0, "simulated worker count of the skew benchmark (default 8)")
+		skewRounds  = flag.Int("skew-rounds", 0, "rounds per path and procs value, fastest kept (default 3)")
+		skewMorsel  = flag.Int("skew-morsel-rows", 0, "morsel grain of the morsel path (default 0 = auto)")
+		skewProcs   = flag.String("skew-procs", "", "comma-separated GOMAXPROCS list to measure at (default: current setting)")
 	)
 	flag.Parse()
 
@@ -296,8 +322,16 @@ func main() {
 		if *scalingRounds > 0 {
 			cfg.Rounds = *scalingRounds
 		}
-		if *scalingProcs > 0 {
-			cfg.MaxProcs = *scalingProcs
+		procs, err := parseProcsList(*scalingProcs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-scaling-procs: %v\n", err)
+			os.Exit(2)
+		}
+		switch {
+		case len(procs) == 1:
+			cfg.MaxProcs = procs[0] // back-compat: a single value caps the doubling sweep
+		case len(procs) > 1:
+			cfg.Procs = procs
 		}
 		cfg.Seed = *seed
 		f, err := os.Create(*scalingPath)
@@ -306,12 +340,17 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		cap := cfg.MaxProcs
-		if cap <= 0 {
-			cap = runtime.NumCPU()
+		if len(cfg.Procs) > 0 {
+			fmt.Printf("scaling sweep: %d x %d tuples, %dD, band %g, procs %v (forced)...\n",
+				cfg.Tuples, cfg.Tuples, cfg.Dims, cfg.Eps, cfg.Procs)
+		} else {
+			cap := cfg.MaxProcs
+			if cap <= 0 {
+				cap = runtime.NumCPU()
+			}
+			fmt.Printf("scaling sweep: %d x %d tuples, %dD, band %g, procs 1..%d...\n",
+				cfg.Tuples, cfg.Tuples, cfg.Dims, cfg.Eps, cap)
 		}
-		fmt.Printf("scaling sweep: %d x %d tuples, %dD, band %g, procs 1..%d...\n",
-			cfg.Tuples, cfg.Tuples, cfg.Dims, cfg.Eps, cap)
 		rep, err := bench.RunScaling(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "scaling sweep failed: %v\n", err)
@@ -329,6 +368,55 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Printf("report written to %s\n", *scalingPath)
+		return
+	}
+
+	if *skewPath != "" {
+		cfg := bench.DefaultSkewConfig()
+		if *skewTuples > 0 {
+			cfg.Tuples = *skewTuples
+		}
+		if *skewMass > 0 {
+			cfg.MassFraction = *skewMass
+		}
+		if *skewWorkers > 0 {
+			cfg.Workers = *skewWorkers
+		}
+		if *skewRounds > 0 {
+			cfg.Rounds = *skewRounds
+		}
+		cfg.MorselRows = *skewMorsel
+		procs, err := parseProcsList(*skewProcs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-skew-procs: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Procs = procs
+		cfg.Seed = *seed
+		f, err := os.Create(*skewPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *skewPath, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fmt.Printf("skew benchmark: %d x %d tuples, %dD, band %g, %.0f%% point mass, w=%d...\n",
+			cfg.Tuples, cfg.Tuples, cfg.Dims, cfg.Eps, 100*cfg.MassFraction, cfg.Workers)
+		rep, err := bench.RunSkew(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skew benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteSkewJSON(f, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *skewPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("straggler ratio %.2f, %d output pairs, pairs identical=%v\n",
+			rep.StragglerRatio, rep.Output, rep.PairsIdentical)
+		for _, pt := range rep.Points {
+			fmt.Printf("p=%d per-partition %.3fs, morsel %.3fs (%.2fx), %d morsels, %d steals\n",
+				pt.Procs, pt.PerPartitionSeconds, pt.MorselSeconds, pt.Speedup, pt.Morsels, pt.Steals)
+		}
+		fmt.Printf("report written to %s\n", *skewPath)
 		return
 	}
 

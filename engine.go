@@ -1327,6 +1327,7 @@ func (p *clusterPlane) execute(ctx context.Context, prep *exec.Prepared, s, t *R
 		ChunkSize:       r.ChunkSize,
 		Window:          r.Window,
 		JoinParallelism: r.JoinParallelism,
+		MorselRows:      r.MorselRows,
 		Serial:          r.Serial,
 		Compression:     r.Compression,
 		Seed:            r.Seed,
@@ -1350,6 +1351,7 @@ func (p *clusterPlane) prime(ctx context.Context, prep *exec.Prepared, s, t *Rel
 		ChunkSize:       r.ChunkSize,
 		Window:          r.Window,
 		JoinParallelism: r.JoinParallelism,
+		MorselRows:      r.MorselRows,
 		Serial:          r.Serial,
 		Compression:     r.Compression,
 		Seed:            r.Seed,

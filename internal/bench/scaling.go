@@ -32,6 +32,12 @@ type ScalingConfig struct {
 	// MaxProcs caps the sweep (0 = NumCPU). The sweep doubles from 1 and
 	// always includes the cap itself.
 	MaxProcs int
+	// Procs, when non-empty, replaces the doubling sweep with this exact
+	// GOMAXPROCS list. Values above NumCPU are allowed — GOMAXPROCS can
+	// oversubscribe the cores, which is how a 1-CPU CI runner still measures
+	// the schedule-level effect of the morsel path (more runnable goroutines
+	// sharing one core), even though wall-clock speedups need real cores.
+	Procs []int
 	// Seed drives data generation and planning.
 	Seed int64
 }
@@ -63,9 +69,11 @@ type ScalingPoint struct {
 // ScalingTier is one pipeline stage's sweep.
 type ScalingTier struct {
 	// Tier names the stage: "shuffle" (parallel two-pass routing), "join"
-	// (parallel local joins over pre-shuffled partitions), "planner" (RecPart
-	// optimization with parallel best-split evaluation), "engine" (the full
-	// in-process query: sample + plan + shuffle + join).
+	// (the morsel-driven reduce phase over pre-shuffled partitions),
+	// "join-per-partition" (the retained one-goroutine-per-partition reduce
+	// path, the skew baseline the morsel tier is compared against), "planner"
+	// (RecPart optimization with parallel best-split evaluation), "engine"
+	// (the full in-process query: sample + plan + shuffle + join).
 	Tier   string         `json:"tier"`
 	Points []ScalingPoint `json:"points"`
 }
@@ -112,11 +120,19 @@ func RunScaling(cfg ScalingConfig) (*ScalingReport, error) {
 	if cfg.Rounds <= 0 {
 		cfg.Rounds = 1
 	}
-	maxProcs := cfg.MaxProcs
-	if maxProcs <= 0 || maxProcs > runtime.NumCPU() {
-		maxProcs = runtime.NumCPU()
+	procs := cfg.Procs
+	if len(procs) == 0 {
+		maxProcs := cfg.MaxProcs
+		if maxProcs <= 0 || maxProcs > runtime.NumCPU() {
+			maxProcs = runtime.NumCPU()
+		}
+		procs = procsSweep(maxProcs)
 	}
-	procs := procsSweep(maxProcs)
+	for _, p := range procs {
+		if p < 1 {
+			return nil, fmt.Errorf("bench: invalid procs value %d in forced sweep %v", p, procs)
+		}
+	}
 
 	band := data.Uniform(cfg.Dims, cfg.Eps)
 	s, t := selfMatchPair(cfg.Tuples, cfg.Dims, cfg.Eps, cfg.Seed, 3)
@@ -152,14 +168,18 @@ func RunScaling(cfg ScalingConfig) (*ScalingReport, error) {
 		return best, nil
 	}
 
-	tiers := []ScalingTier{{Tier: "shuffle"}, {Tier: "join"}, {Tier: "planner"}, {Tier: "engine"}}
+	tiers := []ScalingTier{{Tier: "shuffle"}, {Tier: "join"}, {Tier: "join-per-partition"}, {Tier: "planner"}, {Tier: "engine"}}
+	optsPP := opts
+	optsPP.MorselRows = -1 // the per-partition baseline
 	for _, p := range procs {
 		runtime.GOMAXPROCS(p)
 
-		// Shuffle and join share each round: a fresh shuffle feeds the join
-		// measurement so the join never re-sorts partitions a previous round
-		// already prepared. Each phase keeps its own fastest round.
-		var bestShuffle, bestJoin time.Duration
+		// Shuffle and the two join variants share each round: a fresh shuffle
+		// feeds the join measurements so the joins never re-sort partitions a
+		// previous round already prepared, and the morsel and per-partition
+		// paths see identical partitions. Each phase keeps its own fastest
+		// round.
+		var bestShuffle, bestJoin, bestJoinPP time.Duration
 		for r := 0; r < cfg.Rounds; r++ {
 			runtime.GC()
 			start := time.Now()
@@ -173,11 +193,19 @@ func RunScaling(cfg ScalingConfig) (*ScalingReport, error) {
 				return nil, fmt.Errorf("bench: join at procs=%d: %w", p, err)
 			}
 			joinWall := time.Since(start)
+			start = time.Now()
+			if _, err := exec.ExecuteShuffled(context.Background(), prep.Plan, parts, total, s.Len(), t.Len(), band, optsPP); err != nil {
+				return nil, fmt.Errorf("bench: per-partition join at procs=%d: %w", p, err)
+			}
+			joinPPWall := time.Since(start)
 			if r == 0 || shuffleWall < bestShuffle {
 				bestShuffle = shuffleWall
 			}
 			if r == 0 || joinWall < bestJoin {
 				bestJoin = joinWall
+			}
+			if r == 0 || joinPPWall < bestJoinPP {
+				bestJoinPP = joinPPWall
 			}
 		}
 
@@ -197,7 +225,7 @@ func RunScaling(cfg ScalingConfig) (*ScalingReport, error) {
 			return nil, fmt.Errorf("bench: engine at procs=%d: %w", p, err)
 		}
 
-		for i, wall := range []time.Duration{bestShuffle, bestJoin, planWall, engineWall} {
+		for i, wall := range []time.Duration{bestShuffle, bestJoin, bestJoinPP, planWall, engineWall} {
 			tiers[i].Points = append(tiers[i].Points, ScalingPoint{
 				Procs:       p,
 				WallSeconds: wall.Seconds(),

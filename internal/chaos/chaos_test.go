@@ -397,3 +397,61 @@ func TestContextCancelAbortsHungQuery(t *testing.T) {
 	nodes[1].Release() // let the hung handler exit before the leak check
 	assertNoJobLeaks(t, nodes)
 }
+
+// skewedData builds the point-mass workload for the skew cases: roughly half
+// of S sits on a single point, so one partition dominates the reduce phase —
+// the shape the morsel scheduler absorbs.
+func skewedData() (*data.Relation, *data.Relation, data.Band) {
+	s, tt := data.ParetoPair(2, 1.5, 260, 7)
+	sk := data.NewRelation("S", 2)
+	for i := 0; i < s.Len(); i++ {
+		if i%2 == 0 {
+			sk.Append(0.5, 0.5)
+		} else {
+			sk.Append(s.Key(i)...)
+		}
+	}
+	return sk, tt, data.Symmetric(0.2, 0.2)
+}
+
+// TestChaosMorselSkewedEquivalence extends the chaos matrix with the morsel
+// scheduler under skew: on a point-mass workload whose dominant partition is
+// striped across workers, join-phase faults (including killing the node that
+// holds the fat partition) must still yield pairs bit-identical to the serial
+// oracle, for the morsel path and the per-partition oracle path alike, on
+// both the transient and the retained lifecycle.
+func TestChaosMorselSkewedEquivalence(t *testing.T) {
+	s, tt, band := skewedData()
+	oracle := oraclePairs(t, core.NewRecPartS(), s, tt, band)
+
+	faultCases := []struct {
+		name     string
+		faults   []chaos.Fault
+		wantLost int
+	}{
+		{"drop-join", []chaos.Fault{{Method: "Join", Call: 0, Kind: chaos.Drop}}, 0},
+		{"kill-mid-join", []chaos.Fault{{Method: "Join", Call: 0, Kind: chaos.Kill}}, 1},
+	}
+	for _, morselRows := range []int{0, 16, -1} {
+		for _, mode := range []string{"transient", "retained"} {
+			for _, fc := range faultCases {
+				t.Run(fmt.Sprintf("rows=%d/%s/%s", morselRows, mode, fc.name), func(t *testing.T) {
+					coord, nodes := startChaosCluster(t, chaos.NewSchedule(fc.faults...), testDialOptions())
+					opts := cluster.Options{CollectPairs: true, ChunkSize: 32, Window: 2, Seed: 42, MorselRows: morselRows}
+					if mode == "retained" {
+						opts.PlanID = "chaos|" + t.Name()
+					}
+					res, err := coord.Run(context.Background(), core.NewRecPartS(), s, tt, band, opts)
+					if err != nil {
+						t.Fatalf("fault %v: want recovered success, got error: %v", fc.faults, err)
+					}
+					assertPairsEqual(t, oracle, res.Pairs)
+					if res.LostWorkers != fc.wantLost {
+						t.Errorf("LostWorkers = %d, want %d", res.LostWorkers, fc.wantLost)
+					}
+					assertNoJobLeaks(t, nodes)
+				})
+			}
+		}
+	}
+}

@@ -238,6 +238,14 @@ type Options struct {
 	// concurrently; zero lets every worker use its GOMAXPROCS. Forced to 1
 	// when Serial is set.
 	JoinParallelism int
+	// MorselRows sets the workers' join execution grain (JoinArgs.MorselRows):
+	// 0 runs the morsel-driven scheduler with an automatic probe-side morsel
+	// size, > 0 fixes the morsel row count, and < 0 selects the retained
+	// one-goroutine-per-partition path (the correctness oracle and skew
+	// baseline). Forced to the per-partition path when Serial is set — the
+	// serial plane stays the strictly sequential reference. All settings
+	// produce bit-identical results.
+	MorselRows int
 	// Serial selects the retained reference data plane: tuple-at-a-time
 	// routing into per-(partition, side) buffers, one blocking Load call per
 	// chunk, and strictly sequential partition joins on every worker. It is
@@ -847,6 +855,7 @@ func (c *Coordinator) runJoinsTransient(ctx context.Context, baseJob string, own
 					Algorithm:    opts.Algorithm,
 					CollectPairs: opts.CollectPairs,
 					Parallelism:  joinParallelism,
+					MorselRows:   opts.MorselRows,
 				}
 				outs[i].err = c.workers[slot].call(ctx, ServiceName+".Join", args, &outs[i].reply,
 					c.opts.joinDeadline(), c.opts.MaxRetries, rs.retry)
@@ -936,8 +945,10 @@ func (c *Coordinator) runJoinsTransient(ctx context.Context, baseJob string, own
 // reship.
 func (c *Coordinator) runJoinsSimple(ctx context.Context, jobID string, retained bool, slots []int, expected map[int][]int, band data.Band, opts Options, rs *runState) ([]slotJoin, time.Duration, error) {
 	joinParallelism := opts.JoinParallelism
+	morselRows := opts.MorselRows
 	if opts.Serial {
 		joinParallelism = 1
+		morselRows = -1 // the serial plane stays the per-partition reference
 	}
 	joinStart := time.Now()
 	outs := make([]JoinReply, len(slots))
@@ -954,6 +965,7 @@ func (c *Coordinator) runJoinsSimple(ctx context.Context, jobID string, retained
 				CollectPairs: opts.CollectPairs,
 				Parallelism:  joinParallelism,
 				Retained:     retained,
+				MorselRows:   morselRows,
 			}
 			errs[i] = c.workers[slot].call(ctx, ServiceName+".Join", args, &outs[i],
 				c.opts.joinDeadline(), c.opts.MaxRetries, rs.retry)

@@ -134,6 +134,13 @@ type JoinArgs struct {
 	// that fingerprint (never shipped, evicted, or restarted), signalling the
 	// coordinator to fall back to a cold shuffle.
 	Retained bool
+	// MorselRows selects the worker's join execution grain: 0 (also what gob
+	// zero-fills for coordinators that predate the field) runs the
+	// morsel-driven scheduler with an automatic probe-side morsel size, > 0
+	// fixes the morsel row count, and < 0 selects the retained
+	// one-goroutine-per-partition path (the correctness oracle and skew
+	// baseline). All settings produce bit-identical replies.
+	MorselRows int
 }
 
 // ErrUnknownRetainedPlan is the error-text marker a worker includes when a
@@ -248,13 +255,19 @@ type StatsReply struct {
 	StaleRebuilds     int64
 	StaleRebuildNanos int64
 
-	// Join path.
+	// Join path. Morsels/MorselSteals/StragglerRatio are the morsel
+	// scheduler's skew accounting: probe-side morsels executed, morsels run
+	// by a pool worker other than their partition's first claimer, and the
+	// last join's max/mean partition probe-row ratio (1.0 = balanced).
 	JoinRPCs         int64
 	PartitionsJoined int64
 	PairsEmitted     int64
 	JoinNanos        int64
 	RetainedHits     int64
 	RetainedMisses   int64
+	Morsels          int64
+	MorselSteals     int64
+	StragglerRatio   float64
 
 	// Retention lifecycle.
 	Seals     int64

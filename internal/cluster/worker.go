@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -107,6 +108,9 @@ type workerMetrics struct {
 	retainedHits     *obs.Counter
 	retainedMisses   *obs.Counter
 	joinInflight     *obs.Gauge
+	morsels          *obs.Counter
+	morselSteals     *obs.Counter
+	stragglerRatio   *obs.Gauge
 
 	seals     *obs.Counter
 	evictions *obs.Counter
@@ -136,6 +140,9 @@ func newWorkerMetrics(w *Worker) *workerMetrics {
 		retainedHits:     reg.Counter("bandjoin_worker_retained_join_total", "Retained-plan join outcomes.", "outcome", "hit"),
 		retainedMisses:   reg.Counter("bandjoin_worker_retained_join_total", "Retained-plan join outcomes.", "outcome", "miss"),
 		joinInflight:     reg.Gauge("bandjoin_worker_join_pool_inflight", "Partition joins currently running."),
+		morsels:          reg.Counter("bandjoin_worker_morsels_total", "Probe-side morsels executed by the join pool's morsel scheduler."),
+		morselSteals:     reg.Counter("bandjoin_worker_morsel_steals_total", "Morsels executed by a pool worker other than their partition's first claimer."),
+		stragglerRatio:   reg.Gauge("bandjoin_worker_straggler_ratio_millis", "Max-partition / mean-partition probe rows of the last morsel join, in thousandths."),
 		seals:            reg.Counter("bandjoin_worker_seals_total", "Retained plans sealed."),
 		evictions:        reg.Counter("bandjoin_worker_evictions_total", "Retained plans evicted (explicit or cap)."),
 		partitionJoinSeconds: reg.Histogram("bandjoin_worker_partition_join_seconds",
@@ -777,14 +784,10 @@ func (w *Worker) Join(args *JoinArgs, reply *JoinReply) error {
 		return nil // no partitions were shipped here
 	}
 
-	type task struct {
-		pid int
-		p   *partitionData
-	}
 	job.mu.Lock()
-	tasks := make([]task, 0, len(job.partitions))
+	tasks := make([]joinTask, 0, len(job.partitions))
 	for pid, p := range job.partitions {
-		tasks = append(tasks, task{pid: pid, p: p})
+		tasks = append(tasks, joinTask{pid: pid, p: p})
 	}
 	job.mu.Unlock()
 	sort.Slice(tasks, func(a, b int) bool { return tasks[a].pid < tasks[b].pid })
@@ -796,13 +799,25 @@ func (w *Worker) Join(args *JoinArgs, reply *JoinReply) error {
 	if w.maxParallelism > 0 && parallelism > w.maxParallelism {
 		parallelism = w.maxParallelism
 	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+
+	// Morsel-driven by default: one shared pool drains probe-row ranges of
+	// all partitions, so one fat partition cannot bound the join phase.
+	// MorselRows < 0 selects the retained one-goroutine-per-partition path,
+	// the correctness oracle the morsel reply must stay bit-identical to.
+	if args.MorselRows >= 0 {
+		reply.Partitions = w.joinTasksMorsels(alg, tasks, args, parallelism)
+		return nil
+	}
+
 	if parallelism > len(tasks) {
 		parallelism = len(tasks)
 	}
 	if parallelism < 1 {
 		parallelism = 1
 	}
-
 	stats := make([]PartitionStats, len(tasks))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, parallelism)
@@ -876,6 +891,165 @@ func (w *Worker) joinPartition(alg localjoin.Algorithm, pid int, p *partitionDat
 	w.m.partitionsJoined.Inc()
 	w.m.pairsEmitted.Add(stats.Output)
 	w.m.partitionJoinSeconds.Observe(float64(stats.JoinNanos) / 1e9)
+	return stats
+}
+
+// joinTask is one partition of a Join call, in pid order.
+type joinTask struct {
+	pid int
+	p   *partitionData
+}
+
+// morselTaskState is one partition's resolved probe setup for the morsel join.
+type morselTaskState struct {
+	prep         localjoin.PreparedT
+	rebuildNanos int64
+	buildNanos   int64
+}
+
+// joinTasksMorsels is the worker-side morsel join: the same per-partition
+// structure resolution as joinPartition (retained prepared structures with
+// lazy rebuild, the pipelined-join handoff for transient jobs), followed by
+// one shared exec.RunMorsels pool draining probe-row ranges of all partitions
+// largest-first. Partition read locks are held across the whole morsel phase
+// — the same exclusion against late Loads the per-partition path has, just
+// wider — and each partition's pairs are concatenated in morsel order, so the
+// reply is bit-identical to the per-partition oracle path.
+func (w *Worker) joinTasksMorsels(alg localjoin.Algorithm, tasks []joinTask, args *JoinArgs, parallelism int) []PartitionStats {
+	n := len(tasks)
+	if n == 0 {
+		return []PartitionStats{}
+	}
+	w.m.joinInflight.Add(int64(n))
+	defer w.m.joinInflight.Add(int64(-n))
+
+	states := make([]morselTaskState, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, min(parallelism, n))
+	for i := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			st := &states[i]
+			p := tasks[i].p
+			if args.Retained {
+				st.prep, st.rebuildNanos = p.preparedFor(alg, args.Band)
+				if st.rebuildNanos > 0 {
+					w.m.staleRebuilds.Inc()
+					w.m.staleRebuildSeconds.Observe(float64(st.rebuildNanos) / 1e9)
+				}
+			} else {
+				// Pipelined-join handoff, as in joinPartition: adopt a finished
+				// background build, cancel a queued one.
+				key := prepKeyFor(alg, args.Band)
+				p.mu.Lock()
+				switch p.prepKey {
+				case key:
+					st.prep = p.prepared
+				case "":
+					p.prepKey = prepCanceled
+				}
+				p.mu.Unlock()
+			}
+			// Held until the morsel phase completes (released by the caller's
+			// defer below); RUnlock from another goroutine is fine.
+			p.mu.RLock()
+		}(i)
+	}
+	wg.Wait()
+	defer func() {
+		for i := range tasks {
+			tasks[i].p.mu.RUnlock()
+		}
+	}()
+
+	maxRows := 0
+	for i := range tasks {
+		if l := tasks[i].p.s.Len(); l > maxRows {
+			maxRows = l
+		}
+	}
+	rows := exec.ResolveMorselRows(args.MorselRows, parallelism, maxRows)
+
+	// Build a shared range-probe structure for each unprepared partition big
+	// enough to split — the sort/grid work its plain join would have spent
+	// inline, paid once here and then probed by every morsel.
+	for i := range tasks {
+		if states[i].prep != nil || tasks[i].p.s.Len() <= rows {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			p := tasks[i].p
+			start := time.Now()
+			states[i].prep = localjoin.Prepare(alg, p.s, p.t, args.Band)
+			states[i].buildNanos = time.Since(start).Nanoseconds()
+		}(i)
+	}
+	wg.Wait()
+
+	jobs := make([]exec.MorselJob, n)
+	for i := range tasks {
+		p := tasks[i].p
+		switch {
+		case states[i].prep != nil:
+			if rp, ok := states[i].prep.(localjoin.RangeProber); ok {
+				jobs[i] = exec.MorselJob{Rows: p.s.Len(), Run: func(lo, hi int, emit localjoin.Emit) int64 {
+					return rp.ProbeRange(p.s, lo, hi, emit)
+				}}
+			} else {
+				prep := states[i].prep
+				jobs[i] = exec.MorselJob{Rows: p.s.Len(), Single: true, Run: func(_, _ int, emit localjoin.Emit) int64 {
+					return prep.Probe(p.s, emit)
+				}}
+			}
+		case localjoin.RangeNeedsNoPrepare(alg):
+			rj := alg.(localjoin.RangeJoiner)
+			jobs[i] = exec.MorselJob{Rows: p.s.Len(), Run: func(lo, hi int, emit localjoin.Emit) int64 {
+				return rj.JoinRange(p.s, p.t, args.Band, lo, hi, emit)
+			}}
+		default:
+			jobs[i] = exec.MorselJob{Rows: p.s.Len(), Single: true, Run: func(_, _ int, emit localjoin.Emit) int64 {
+				return alg.Join(p.s, p.t, args.Band, emit)
+			}}
+		}
+	}
+	// The context never cancels (worker RPCs run to completion), so the only
+	// error path of RunMorsels is unreachable here.
+	jres, mstats, _ := exec.RunMorsels(context.Background(), jobs, rows, parallelism, args.CollectPairs)
+
+	stats := make([]PartitionStats, n)
+	for i := range tasks {
+		p := tasks[i].p
+		st := PartitionStats{
+			Partition:    tasks[i].pid,
+			InputS:       p.s.Len(),
+			InputT:       p.t.Len(),
+			Output:       jres[i].Count,
+			JoinNanos:    jres[i].Nanos + states[i].buildNanos,
+			RebuildNanos: states[i].rebuildNanos,
+		}
+		if args.CollectPairs {
+			st.PairS = make([]int64, len(jres[i].SIdx))
+			st.PairT = make([]int64, len(jres[i].SIdx))
+			for k, si := range jres[i].SIdx {
+				st.PairS[k] = p.sIDs[si]
+				st.PairT[k] = p.tIDs[jres[i].TIdx[k]]
+			}
+		}
+		stats[i] = st
+		w.m.partitionsJoined.Inc()
+		w.m.pairsEmitted.Add(st.Output)
+		w.m.partitionJoinSeconds.Observe(float64(st.JoinNanos) / 1e9)
+	}
+	w.m.morsels.Add(mstats.Morsels)
+	w.m.morselSteals.Add(mstats.Steals)
+	w.m.stragglerRatio.Set(int64(math.Round(mstats.StragglerRatio * 1000)))
 	return stats
 }
 
@@ -1055,6 +1229,9 @@ func (w *Worker) Stats(_ *StatsArgs, reply *StatsReply) error {
 	reply.JoinNanos = int64(m.partitionJoinSeconds.Sum() * 1e9)
 	reply.RetainedHits = m.retainedHits.Value()
 	reply.RetainedMisses = m.retainedMisses.Value()
+	reply.Morsels = m.morsels.Value()
+	reply.MorselSteals = m.morselSteals.Value()
+	reply.StragglerRatio = float64(m.stragglerRatio.Value()) / 1000
 	reply.Seals = m.seals.Value()
 	reply.Evictions = m.evictions.Value()
 	return nil

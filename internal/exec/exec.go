@@ -56,6 +56,13 @@ type Options struct {
 	// oracle for equivalence tests and as the pipeline benchmark's baseline;
 	// both shuffles produce bit-identical partitions.
 	SerialShuffle bool
+	// MorselRows sets the probe-side morsel size of the reduce phase's
+	// morsel-driven scheduler (see morsel.go): 0 sizes morsels automatically
+	// from the partition sizes and the parallelism, > 0 fixes the row count,
+	// and < 0 disables morsels entirely, selecting the retained
+	// one-goroutine-per-partition path (the correctness oracle and skew
+	// baseline). All settings produce bit-identical results.
+	MorselRows int
 	// Seed drives randomized plan decisions.
 	Seed int64
 }
@@ -141,6 +148,14 @@ type Result struct {
 	// query after an append and is zero afterwards.
 	DeltaAbsorbTime  time.Duration
 	StaleRebuildTime time.Duration
+
+	// Morsel-scheduler accounting (see morsel.go): morsels executed, morsels
+	// run by a worker other than their partition's first claimer, and the
+	// max/mean partition probe-row ratio the schedule absorbed. All zero on
+	// the per-partition oracle path (MorselRows < 0).
+	Morsels        int64
+	MorselSteals   int64
+	StragglerRatio float64
 
 	// Trace is the per-query structured trace, attached by the Engine (nil
 	// for direct exec/coordinator runs).
@@ -336,50 +351,20 @@ func ExecuteShuffledPrepared(ctx context.Context, plan partition.Plan, parts []*
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 
-	// --- Reduce phase: one local join per partition, run on a bounded pool.
-	type partResult struct {
-		output   int64
-		duration time.Duration
-		pairs    []Pair
-	}
-	results := make([]partResult, len(parts))
+	// --- Reduce phase: morsel-driven by default (a shared pool drains
+	// probe-row ranges of all partitions, so one fat partition cannot bound
+	// the wall time), or the retained one-goroutine-per-partition oracle when
+	// MorselRows < 0. Both produce bit-identical results.
 	joinStart := time.Now()
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, parallelism)
-	for pid, p := range parts {
-		if p == nil {
-			continue
-		}
-		// Cancellation is checked before dispatching each partition, so a
-		// cancelled query stops after the joins already in flight rather than
-		// draining the whole partition list.
-		if ctx.Err() != nil {
-			break
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(pid int, p *PartitionInput) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			start := time.Now()
-			var pairs []Pair
-			var emit localjoin.Emit
-			if opts.CollectPairs {
-				emit = func(si, ti int, _, _ []float64) {
-					pairs = append(pairs, Pair{S: p.SIDs[si], T: p.TIDs[ti]})
-				}
-			}
-			var count int64
-			if pid < len(prepared) && prepared[pid] != nil {
-				count = prepared[pid].Probe(p.S, emit)
-			} else {
-				count = alg.Join(p.S, p.T, band, emit)
-			}
-			results[pid] = partResult{output: count, duration: time.Since(start), pairs: pairs}
-		}(pid, p)
+	var results []partResult
+	var mstats MorselStats
+	var err error
+	if opts.MorselRows < 0 {
+		results, err = joinPerPartition(ctx, parts, prepared, alg, band, parallelism, opts.CollectPairs)
+	} else {
+		results, mstats, err = joinMorsels(ctx, parts, prepared, alg, band, parallelism, opts.MorselRows, opts.CollectPairs)
 	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	joinWall := time.Since(joinStart)
@@ -405,14 +390,17 @@ func ExecuteShuffledPrepared(ctx context.Context, plan partition.Plan, parts []*
 	}
 
 	res := &Result{
-		Workers:      opts.Workers,
-		Partitions:   numParts,
-		JoinWallTime: joinWall,
-		InputS:       inputS,
-		InputT:       inputT,
-		TotalInput:   totalInput,
-		WorkerInput:  make([]int64, opts.Workers),
-		WorkerOutput: make([]int64, opts.Workers),
+		Workers:        opts.Workers,
+		Partitions:     numParts,
+		JoinWallTime:   joinWall,
+		InputS:         inputS,
+		InputT:         inputT,
+		TotalInput:     totalInput,
+		Morsels:        mstats.Morsels,
+		MorselSteals:   mstats.Steals,
+		StragglerRatio: mstats.StragglerRatio,
+		WorkerInput:    make([]int64, opts.Workers),
+		WorkerOutput:   make([]int64, opts.Workers),
 	}
 	workerBusy := make([]time.Duration, opts.Workers)
 	for pid := range parts {
@@ -462,6 +450,152 @@ func ExecuteShuffledPrepared(ctx context.Context, plan partition.Plan, parts []*
 	}
 	res.Partitions = countNonEmpty(parts)
 	return res, nil
+}
+
+// partResult is one partition's reduce-phase outcome.
+type partResult struct {
+	output   int64
+	duration time.Duration
+	pairs    []Pair
+}
+
+// joinPerPartition is the retained one-goroutine-per-partition reduce phase:
+// the morsel scheduler's correctness oracle and skew baseline. One fat
+// partition bounds its wall time no matter the parallelism.
+func joinPerPartition(ctx context.Context, parts []*PartitionInput, prepared []localjoin.PreparedT, alg localjoin.Algorithm, band data.Band, parallelism int, collectPairs bool) ([]partResult, error) {
+	results := make([]partResult, len(parts))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for pid, p := range parts {
+		if p == nil {
+			continue
+		}
+		// Cancellation is checked before dispatching each partition, so a
+		// cancelled query stops after the joins already in flight rather than
+		// draining the whole partition list.
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pid int, p *PartitionInput) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			var pairs []Pair
+			var emit localjoin.Emit
+			if collectPairs {
+				emit = func(si, ti int, _, _ []float64) {
+					pairs = append(pairs, Pair{S: p.SIDs[si], T: p.TIDs[ti]})
+				}
+			}
+			var count int64
+			if pid < len(prepared) && prepared[pid] != nil {
+				count = prepared[pid].Probe(p.S, emit)
+			} else {
+				count = alg.Join(p.S, p.T, band, emit)
+			}
+			results[pid] = partResult{output: count, duration: time.Since(start), pairs: pairs}
+		}(pid, p)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// joinMorsels is the morsel-driven reduce phase. Partitions with a prepared
+// range-probe structure stripe directly over it; unprepared partitions big
+// enough to split get one built here first (bounded-parallel, largest first —
+// the same work their plain Join would have spent inline, paid once and then
+// shared by all morsels); everything else runs as a single whole-partition
+// morsel through the pooled-scratch plain join, except algorithms whose range
+// form needs no per-call build (the nested loop, and Auto's nested-loop
+// choice), which stripe directly.
+func joinMorsels(ctx context.Context, parts []*PartitionInput, prepared []localjoin.PreparedT, alg localjoin.Algorithm, band data.Band, parallelism, morselRows int, collectPairs bool) ([]partResult, MorselStats, error) {
+	maxRows := 0
+	for _, p := range parts {
+		if p != nil && p.S.Len() > maxRows {
+			maxRows = p.S.Len()
+		}
+	}
+	rows := ResolveMorselRows(morselRows, parallelism, maxRows)
+
+	local := make([]localjoin.PreparedT, len(parts))
+	copy(local, prepared[:min(len(prepared), len(parts))])
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for pid, p := range parts {
+		if p == nil || local[pid] != nil || p.S.Len() <= rows {
+			continue
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pid int, p *PartitionInput) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			local[pid] = localjoin.Prepare(alg, p.S, p.T, band)
+		}(pid, p)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, MorselStats{}, err
+	}
+
+	jobs := make([]MorselJob, len(parts))
+	for pid, p := range parts {
+		if p == nil {
+			continue
+		}
+		p := p
+		switch {
+		case local[pid] != nil:
+			if rp, ok := local[pid].(localjoin.RangeProber); ok {
+				jobs[pid] = MorselJob{Rows: p.S.Len(), Run: func(lo, hi int, emit localjoin.Emit) int64 {
+					return rp.ProbeRange(p.S, lo, hi, emit)
+				}}
+			} else {
+				prep := local[pid]
+				jobs[pid] = MorselJob{Rows: p.S.Len(), Single: true, Run: func(_, _ int, emit localjoin.Emit) int64 {
+					return prep.Probe(p.S, emit)
+				}}
+			}
+		case localjoin.RangeNeedsNoPrepare(alg):
+			// Prepare returned nil, which for these algorithms means the
+			// nested loop: no build work to repeat per range, stripe directly.
+			rj := alg.(localjoin.RangeJoiner)
+			jobs[pid] = MorselJob{Rows: p.S.Len(), Run: func(lo, hi int, emit localjoin.Emit) int64 {
+				return rj.JoinRange(p.S, p.T, band, lo, hi, emit)
+			}}
+		default:
+			jobs[pid] = MorselJob{Rows: p.S.Len(), Single: true, Run: func(_, _ int, emit localjoin.Emit) int64 {
+				return alg.Join(p.S, p.T, band, emit)
+			}}
+		}
+	}
+	jres, mstats, err := RunMorsels(ctx, jobs, rows, parallelism, collectPairs)
+	if err != nil {
+		return nil, mstats, err
+	}
+	results := make([]partResult, len(parts))
+	for pid, p := range parts {
+		if p == nil {
+			continue
+		}
+		r := partResult{output: jres[pid].Count, duration: time.Duration(jres[pid].Nanos)}
+		if collectPairs {
+			r.pairs = make([]Pair, len(jres[pid].SIdx))
+			for k := range jres[pid].SIdx {
+				r.pairs[k] = Pair{S: p.SIDs[jres[pid].SIdx[k]], T: p.TIDs[jres[pid].TIdx[k]]}
+			}
+		}
+		results[pid] = r
+	}
+	return results, mstats, nil
 }
 
 func countNonEmpty(parts []*PartitionInput) int {

@@ -1,0 +1,255 @@
+// Morsel-driven intra-partition parallelism. RecPart plans minimize the
+// *predicted* max partition load from a sample, but sampling error and drift
+// leave residual skew, and a per-partition join pool lets one fat partition
+// bound query latency no matter how many cores exist. The scheduler here
+// splits every partition's probe (S) side into fixed-size row-range morsels
+// and runs them on a shared worker pool draining one global queue ordered
+// largest-partition-first: an atomic claim cursor over that order *is* the
+// work-stealing discipline — a worker that finishes a morsel immediately
+// claims the next unclaimed one wherever it lives, so idle workers drain the
+// straggler partition instead of waiting on it, and wall time tracks
+// total-work/p instead of max-partition.
+//
+// Determinism: morsels probe a shared read-only structure
+// (localjoin.RangeProber) whose range contract guarantees that concatenating
+// consecutive ranges reproduces the sequential probe bit-identically.
+// Emission is per-S-tuple, so no pair crosses a morsel boundary; each morsel
+// buffers its own pairs and the scheduler concatenates them in (partition,
+// morsel) order, making the merged output byte-for-byte equal to the retained
+// per-partition path whatever the claim interleaving was.
+package exec
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bandjoin/internal/localjoin"
+	"bandjoin/internal/obs"
+)
+
+// Morsel sizing bounds for the auto setting (MorselRows == 0): small enough
+// that a skewed partition splits into many times the worker count (so the
+// tail is short), large enough that the per-morsel claim and the sorted
+// scan's window re-search are noise.
+const (
+	autoMorselMin = 1024
+	autoMorselMax = 65536
+	// autoMorselPerWorker is how many morsels per worker the largest
+	// partition alone should yield.
+	autoMorselPerWorker = 8
+)
+
+// ResolveMorselRows turns the MorselRows knob into a concrete morsel size for
+// a run whose largest partition probes maxRows S-rows with the given
+// parallelism. Positive values are used as-is; zero (auto) sizes from the
+// partition sizes and the parallelism. With one worker auto collapses to
+// whole-partition morsels — striping cannot help a single worker, and this
+// keeps the 1-CPU schedule identical to the per-partition path.
+func ResolveMorselRows(morselRows, parallelism, maxRows int) int {
+	if morselRows > 0 {
+		return morselRows
+	}
+	if parallelism <= 1 || maxRows == 0 {
+		return max(maxRows, 1)
+	}
+	rows := maxRows / (autoMorselPerWorker * parallelism)
+	return min(max(rows, autoMorselMin), autoMorselMax)
+}
+
+// MorselJob is one partition's probe work for RunMorsels: Rows is the probe
+// domain size (always the partition's S cardinality), and Run executes probe
+// positions [lo, hi) of the partition's own probe order, returning the pair
+// count. Single forces the job to run as one morsel regardless of size (used
+// for structures without a range probe, where only whole-job execution
+// preserves the sequential emission order).
+type MorselJob struct {
+	Rows   int
+	Single bool
+	Run    func(lo, hi int, emit localjoin.Emit) int64
+}
+
+// JobResult is one job's aggregated outcome: the pair count, the summed
+// execution time of its morsels (the partition's simulated busy time), and —
+// when pairs were collected — the emitted local (S index, T index) pairs
+// concatenated in morsel order, i.e. in exactly the sequential probe's
+// emission order.
+type JobResult struct {
+	Count int64
+	Nanos int64
+	SIdx  []int32
+	TIdx  []int32
+}
+
+// MorselStats is the scheduler's skew accounting for one run.
+type MorselStats struct {
+	// Morsels is the number of morsels executed.
+	Morsels int64
+	// Steals counts morsels executed by a worker other than the one that
+	// claimed the job's first morsel — cross-worker sharing of one
+	// partition's work, which only a skewed or striped schedule produces.
+	Steals int64
+	// StragglerRatio is max job rows / mean job rows over non-empty jobs:
+	// 1.0 for a perfectly balanced plan, ~p/2 when one partition holds half
+	// the probe work. It measures the residual skew the morsel schedule
+	// absorbs.
+	StragglerRatio float64
+}
+
+// morsel is one claimable unit: probe positions [lo, hi) of one job.
+type morsel struct {
+	job    int32
+	lo, hi int32
+}
+
+// morselSlot is one morsel's result, written only by its claiming worker.
+type morselSlot struct {
+	count int64
+	nanos int64
+	sIdx  []int32
+	tIdx  []int32
+}
+
+// RunMorsels executes the jobs' probe work on a pool of parallelism workers
+// draining a single largest-partition-first morsel queue, and returns per-job
+// results merged in deterministic (job, morsel) order. morselRows follows the
+// MorselRows knob convention (> 0 fixed, 0 auto); collect materializes the
+// emitted pairs. Cancelling ctx stops workers at the next morsel claim and
+// returns ctx.Err().
+func RunMorsels(ctx context.Context, jobs []MorselJob, morselRows, parallelism int, collect bool) ([]JobResult, MorselStats, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	maxRows, totalRows, nonEmpty := 0, 0, 0
+	for i := range jobs {
+		if jobs[i].Rows <= 0 {
+			continue
+		}
+		nonEmpty++
+		totalRows += jobs[i].Rows
+		if jobs[i].Rows > maxRows {
+			maxRows = jobs[i].Rows
+		}
+	}
+	var stats MorselStats
+	if nonEmpty > 0 {
+		stats.StragglerRatio = float64(maxRows) / (float64(totalRows) / float64(nonEmpty))
+	}
+	rows := ResolveMorselRows(morselRows, parallelism, maxRows)
+
+	// Queue order: largest probe side first (stable by job index), so the
+	// straggler partition starts draining immediately and the small tail
+	// fills the gaps.
+	order := make([]int, 0, len(jobs))
+	for i := range jobs {
+		if jobs[i].Rows > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return jobs[order[a]].Rows > jobs[order[b]].Rows })
+	var morsels []morsel
+	for _, j := range order {
+		step := rows
+		if jobs[j].Single {
+			step = jobs[j].Rows
+		}
+		for lo := 0; lo < jobs[j].Rows; lo += step {
+			hi := min(lo+step, jobs[j].Rows)
+			morsels = append(morsels, morsel{job: int32(j), lo: int32(lo), hi: int32(hi)})
+		}
+	}
+	slots := make([]morselSlot, len(morsels))
+	owners := make([]atomic.Int32, len(jobs))
+	for i := range owners {
+		owners[i].Store(-1)
+	}
+
+	var cursor atomic.Int64
+	var steals atomic.Int64
+	var canceled atomic.Bool
+	workers := min(parallelism, len(morsels))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int32) {
+			defer wg.Done()
+			for {
+				idx := cursor.Add(1) - 1
+				if idx >= int64(len(morsels)) {
+					return
+				}
+				if ctx.Err() != nil {
+					canceled.Store(true)
+					return
+				}
+				m := morsels[idx]
+				if !owners[m.job].CompareAndSwap(-1, worker) && owners[m.job].Load() != worker {
+					steals.Add(1)
+				}
+				slot := &slots[idx]
+				var emit localjoin.Emit
+				if collect {
+					emit = func(si, ti int, _, _ []float64) {
+						slot.sIdx = append(slot.sIdx, int32(si))
+						slot.tIdx = append(slot.tIdx, int32(ti))
+					}
+				}
+				start := time.Now()
+				slot.count = jobs[m.job].Run(int(m.lo), int(m.hi), emit)
+				slot.nanos = time.Since(start).Nanoseconds()
+			}
+		}(int32(w))
+	}
+	wg.Wait()
+	if canceled.Load() {
+		return nil, stats, ctx.Err()
+	}
+	stats.Morsels = int64(len(morsels))
+	stats.Steals = steals.Load()
+
+	// Deterministic merge: fold each job's morsels in queue (= probe range)
+	// order, so the concatenated emissions equal the sequential probe's.
+	results := make([]JobResult, len(jobs))
+	for idx := range morsels {
+		m := morsels[idx]
+		r := &results[m.job]
+		r.Count += slots[idx].count
+		r.Nanos += slots[idx].nanos
+		if collect {
+			r.SIdx = append(r.SIdx, slots[idx].sIdx...)
+			r.TIdx = append(r.TIdx, slots[idx].tIdx...)
+		}
+	}
+	metrics.morsels.Add(stats.Morsels)
+	metrics.steals.Add(stats.Steals)
+	metrics.straggler.Set(int64(math.Round(stats.StragglerRatio * 1000)))
+	return results, stats, nil
+}
+
+// metrics is the exec plane's process-wide morsel instrumentation, the
+// in-process counterpart of the cluster workers' bandjoin_worker_morsel_*
+// series (every in-process Engine shares one exec pipeline, so unlike the
+// per-Worker registries this one is package-level).
+var metrics = struct {
+	reg       *obs.Registry
+	morsels   *obs.Counter
+	steals    *obs.Counter
+	straggler *obs.Gauge
+}{}
+
+func init() {
+	metrics.reg = obs.NewRegistry()
+	metrics.morsels = metrics.reg.Counter("bandjoin_exec_morsels_total",
+		"Probe-side morsels executed by the in-process morsel scheduler.")
+	metrics.steals = metrics.reg.Counter("bandjoin_exec_morsel_steals_total",
+		"Morsels executed by a worker other than their partition's first claimer.")
+	metrics.straggler = metrics.reg.Gauge("bandjoin_exec_straggler_ratio_millis",
+		"Max-partition / mean-partition probe rows of the last morsel run, in thousandths.")
+}
+
+// Metrics returns the exec plane's morsel-scheduler registry for exposition
+// alongside an engine's own registry.
+func Metrics() *obs.Registry { return metrics.reg }

@@ -1,0 +1,215 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"bandjoin/internal/core"
+	"bandjoin/internal/data"
+	"bandjoin/internal/localjoin"
+)
+
+// skewedInputs builds a point-mass workload: roughly half of S sits on one
+// point, so any spatial partitioner routes it to a single partition — the
+// dominant-partition shape the morsel scheduler is for.
+func skewedInputs(n int, seed int64) (*data.Relation, *data.Relation, data.Band) {
+	s, t := data.ParetoPair(2, 1.5, n, seed)
+	sk := data.NewRelation("S", 2)
+	for i := 0; i < s.Len(); i++ {
+		if i%2 == 0 {
+			sk.Append(0.5, 0.5)
+		} else {
+			sk.Append(s.Key(i)...)
+		}
+	}
+	return sk, t, data.Symmetric(0.2, 0.2)
+}
+
+// TestMorselMatchesPerPartitionOracle pins the tentpole acceptance criterion:
+// for every morsel granularity — auto, pathological 1-row morsels, and fixed
+// sizes — the morsel-driven reduce phase produces output bit-identical to the
+// retained per-partition path (MorselRows < 0), on uniform and point-mass
+// skewed inputs, across the local algorithms.
+func TestMorselMatchesPerPartitionOracle(t *testing.T) {
+	type inputs struct {
+		s, t *data.Relation
+		band data.Band
+	}
+	cases := map[string]inputs{}
+	{
+		s, tt, band := testInputs(600, 11)
+		cases["pareto"] = inputs{s, tt, band}
+		s, tt, band = skewedInputs(700, 17)
+		cases["skewed"] = inputs{s, tt, band}
+	}
+	for caseName, in := range cases {
+		for _, alg := range []localjoin.Algorithm{nil, localjoin.SortProbe{}, localjoin.GridSortScan{}, localjoin.NestedLoop{}} {
+			algName := "auto"
+			if alg != nil {
+				algName = alg.Name()
+			}
+			t.Run(fmt.Sprintf("%s/%s", caseName, algName), func(t *testing.T) {
+				opts := DefaultOptions(4)
+				opts.CollectPairs = true
+				opts.Algorithm = alg
+				opts.Seed = 3
+				opts.MorselRows = -1 // the per-partition oracle
+				oracle, err := Run(core.NewRecPartS(), in.s, in.t, in.band, opts)
+				if err != nil {
+					t.Fatalf("oracle Run: %v", err)
+				}
+				if oracle.Output == 0 {
+					t.Fatal("oracle produced no pairs; widen the band")
+				}
+				for _, rows := range []int{0, 1, 7, 64} {
+					opts.MorselRows = rows
+					got, err := Run(core.NewRecPartS(), in.s, in.t, in.band, opts)
+					if err != nil {
+						t.Fatalf("morsel Run (rows=%d): %v", rows, err)
+					}
+					if got.Output != oracle.Output || got.TotalInput != oracle.TotalInput ||
+						got.Im != oracle.Im || got.Om != oracle.Om {
+						t.Fatalf("rows=%d: accounting (out=%d I=%d Im=%d Om=%d) differs from oracle (out=%d I=%d Im=%d Om=%d)",
+							rows, got.Output, got.TotalInput, got.Im, got.Om,
+							oracle.Output, oracle.TotalInput, oracle.Im, oracle.Om)
+					}
+					if len(got.Pairs) != len(oracle.Pairs) {
+						t.Fatalf("rows=%d: %d pairs, oracle %d", rows, len(got.Pairs), len(oracle.Pairs))
+					}
+					for i := range oracle.Pairs {
+						if got.Pairs[i] != oracle.Pairs[i] {
+							t.Fatalf("rows=%d: pair %d = %v, oracle %v", rows, i, got.Pairs[i], oracle.Pairs[i])
+						}
+					}
+					if rows >= 0 && got.Morsels == 0 {
+						t.Errorf("rows=%d: morsel path reported zero morsels", rows)
+					}
+					if got.StragglerRatio < 1.0 {
+						t.Errorf("rows=%d: straggler ratio %f < 1", rows, got.StragglerRatio)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestResolveMorselRows pins the knob convention and the auto-sizing bounds.
+func TestResolveMorselRows(t *testing.T) {
+	if got := ResolveMorselRows(128, 8, 1_000_000); got != 128 {
+		t.Errorf("explicit size not honored: got %d", got)
+	}
+	// One worker: striping cannot help, auto collapses to whole partitions.
+	if got := ResolveMorselRows(0, 1, 50_000); got != 50_000 {
+		t.Errorf("parallelism 1 should yield whole-partition morsels, got %d", got)
+	}
+	// Auto is clamped to [autoMorselMin, autoMorselMax].
+	if got := ResolveMorselRows(0, 4, 2_000); got != autoMorselMin {
+		t.Errorf("small partitions should clamp to %d, got %d", autoMorselMin, got)
+	}
+	if got := ResolveMorselRows(0, 2, 100_000_000); got != autoMorselMax {
+		t.Errorf("huge partitions should clamp to %d, got %d", autoMorselMax, got)
+	}
+	// The largest partition alone should split into ~8 morsels per worker.
+	if got := ResolveMorselRows(0, 4, 1_000_000); got != 1_000_000/(autoMorselPerWorker*4) {
+		t.Errorf("auto sizing off: got %d", got)
+	}
+	if got := ResolveMorselRows(0, 4, 0); got < 1 {
+		t.Errorf("empty input must still yield a positive size, got %d", got)
+	}
+}
+
+// TestRunMorselsStealAccounting forces a deterministic steal: one job split
+// into two morsels where the first claimer blocks until the second morsel has
+// run, so the second morsel is necessarily executed by the other worker.
+func TestRunMorselsStealAccounting(t *testing.T) {
+	release := make(chan struct{})
+	jobs := []MorselJob{{
+		Rows: 2,
+		Run: func(lo, hi int, emit localjoin.Emit) int64 {
+			if lo == 0 {
+				<-release // hold the first morsel until the second finishes
+			} else {
+				close(release)
+			}
+			return int64(hi - lo)
+		},
+	}}
+	res, stats, err := RunMorsels(context.Background(), jobs, 1, 2, false)
+	if err != nil {
+		t.Fatalf("RunMorsels: %v", err)
+	}
+	if res[0].Count != 2 {
+		t.Errorf("count = %d, want 2", res[0].Count)
+	}
+	if stats.Morsels != 2 {
+		t.Errorf("morsels = %d, want 2", stats.Morsels)
+	}
+	if stats.Steals != 1 {
+		t.Errorf("steals = %d, want exactly 1 (two workers had to share the job)", stats.Steals)
+	}
+	if stats.StragglerRatio != 1.0 {
+		t.Errorf("single-job straggler ratio = %f, want 1", stats.StragglerRatio)
+	}
+}
+
+// TestRunMorselsStragglerRatio checks the skew gauge: one 300-row job among
+// three 100-row jobs gives max/mean = 300/150 = 2.
+func TestRunMorselsStragglerRatio(t *testing.T) {
+	run := func(lo, hi int, _ localjoin.Emit) int64 { return int64(hi - lo) }
+	jobs := []MorselJob{{Rows: 300, Run: run}, {Rows: 100, Run: run}, {Rows: 100, Run: run}, {Rows: 100, Run: run}, {Rows: 0, Run: run}}
+	_, stats, err := RunMorsels(context.Background(), jobs, 50, 2, false)
+	if err != nil {
+		t.Fatalf("RunMorsels: %v", err)
+	}
+	if stats.StragglerRatio != 2.0 {
+		t.Errorf("straggler ratio = %f, want 2 (empty jobs excluded from the mean)", stats.StragglerRatio)
+	}
+	if stats.Morsels != 12 {
+		t.Errorf("morsels = %d, want 12", stats.Morsels)
+	}
+}
+
+// TestRunMorselsCancel: a canceled context stops the schedule at the next
+// claim and surfaces the context error.
+func TestRunMorselsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := []MorselJob{{Rows: 1000, Run: func(lo, hi int, _ localjoin.Emit) int64 { return 0 }}}
+	if _, _, err := RunMorsels(ctx, jobs, 10, 2, false); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMorselSteadyStateAllocs asserts the CI allocation criterion for the
+// morsel hot path: after the prepared structure's scratch pools are warm, the
+// per-morsel cost of a count-only schedule is allocation-free — the fixed
+// per-RunMorsels setup (queue, slots, worker goroutines) amortizes to ~0 over
+// the morsels of a realistic partition.
+func TestMorselSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; steady state not observable")
+	}
+	s, tt := data.ParetoPair(3, 1.5, 20_000, 42)
+	band := data.Uniform(3, 0.001)
+	prep := localjoin.Prepare(localjoin.SortProbe{}, s, tt, band)
+	rp := prep.(localjoin.RangeProber)
+	jobs := []MorselJob{{
+		Rows: s.Len(),
+		Run:  func(lo, hi int, emit localjoin.Emit) int64 { return rp.ProbeRange(s, lo, hi, emit) },
+	}}
+	const rows = 64
+	nMorsels := (s.Len() + rows - 1) / rows
+	run := func() {
+		if _, _, err := RunMorsels(context.Background(), jobs, rows, 4, false); err != nil {
+			t.Fatalf("RunMorsels: %v", err)
+		}
+	}
+	run() // warm the scratch pools
+	perRun := testing.AllocsPerRun(5, run)
+	perMorsel := perRun / float64(nMorsels)
+	if perMorsel > 0.1 {
+		t.Errorf("morsel hot path allocates %.3f per morsel (%.0f per run over %d morsels), want ~0",
+			perMorsel, perRun, nMorsels)
+	}
+}

@@ -175,8 +175,15 @@ func (g *gridState) build(t *data.Relation, w0, w1 float64) {
 // probe scans, for every S-tuple, the cells its band region [s−Low, s+High]
 // can intersect, verifying all dimensions per candidate.
 func (g *gridState) probe(s *data.Relation, dims int, band data.Band, w0, w1 float64, emit Emit) int64 {
+	return g.probeRange(s, dims, band, w0, w1, 0, s.Len(), emit)
+}
+
+// probeRange is probe restricted to S indices [sLo, sHi). Each S-tuple's cell
+// walk is independent, so a range runs exactly the iterations the full loop
+// would run for those indices.
+func (g *gridState) probeRange(s *data.Relation, dims int, band data.Band, w0, w1 float64, sLo, sHi int, emit Emit) int64 {
 	var count int64
-	for i := 0; i < s.Len(); i++ {
+	for i := sLo; i < sHi; i++ {
 		sk := s.Key(i)
 		cl0 := int64(math.Floor((sk[0] - band.Low[0]) / w0))
 		ch0 := int64(math.Floor((sk[0] + band.High[0]) / w0))
@@ -220,6 +227,29 @@ func (EpsGrid) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
 	g := &sc.grid
 	g.build(t, w0, w1)
 	count := g.probe(s, dims, band, w0, w1, emit)
+	scratchPool.Put(sc)
+	return count
+}
+
+// JoinRange implements RangeJoiner: the cell-walk loop restricted to S
+// indices [lo, hi) (or the sorted-scan fallback's range form when the grid is
+// undefined). The grid is rebuilt per call; when several ranges of the same
+// partition run, Prepare the structure once and use ProbeRange instead.
+func (EpsGrid) JoinRange(s, t *data.Relation, band data.Band, lo, hi int, emit Emit) int64 {
+	ns, nt := s.Len(), t.Len()
+	if ns == 0 || nt == 0 || lo >= hi {
+		return 0
+	}
+	dims := t.Dims()
+	w0, w1, ok := epsGridWidths(dims, band)
+	if !ok {
+		return GridSortScan{}.JoinRange(s, t, band, lo, hi, emit)
+	}
+
+	sc := scratchPool.Get().(*scratch)
+	g := &sc.grid
+	g.build(t, w0, w1)
+	count := g.probeRange(s, dims, band, w0, w1, lo, hi, emit)
 	scratchPool.Put(sc)
 	return count
 }

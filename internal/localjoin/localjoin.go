@@ -44,6 +44,21 @@ type Algorithm interface {
 	Join(s, t *data.Relation, band data.Band, emit Emit) int64
 }
 
+// RangeJoiner is an Algorithm whose probe loop can be restricted to a
+// contiguous range of its own probe order. JoinRange(s, t, band, lo, hi, emit)
+// runs positions [lo, hi) of the exact probe sequence Join(s, t, band, emit)
+// would run: concatenating the emissions of consecutive ranges covering
+// [0, probe-domain) reproduces Join's output bit-identically, which is what
+// lets the morsel scheduler stripe one partition across workers and still
+// merge a deterministic result. The probe domain is S — raw S indices for the
+// probe-style algorithms, dim-0-sorted S positions for the sorted scan — so
+// the domain size is always s.Len(). Emission is per-S-tuple; no pair crosses
+// a range boundary.
+type RangeJoiner interface {
+	Algorithm
+	JoinRange(s, t *data.Relation, band data.Band, lo, hi int, emit Emit) int64
+}
+
 // ---------------------------------------------------------------------------
 // Block nested loop (reference implementation)
 
@@ -57,8 +72,14 @@ func (NestedLoop) Name() string { return "nested-loop" }
 
 // Join implements Algorithm.
 func (NestedLoop) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
+	return NestedLoop{}.JoinRange(s, t, band, 0, s.Len(), emit)
+}
+
+// JoinRange implements RangeJoiner: the outer loop restricted to S indices
+// [lo, hi).
+func (NestedLoop) JoinRange(s, t *data.Relation, band data.Band, lo, hi int, emit Emit) int64 {
 	var count int64
-	for i := 0; i < s.Len(); i++ {
+	for i := lo; i < hi; i++ {
 		sk := s.Key(i)
 		for j := 0; j < t.Len(); j++ {
 			tk := t.Key(j)
@@ -212,9 +233,16 @@ func (SortProbe) Name() string { return "sort-probe" }
 // (rows/perm as produced by sortedRel.build). It is shared by the one-shot
 // Join and the prepared (cached T side) form.
 func probeSortedT(rows []float64, perm []int32, n, dims int, s *data.Relation, band data.Band, emit Emit) int64 {
+	return probeSortedTRange(rows, perm, n, dims, s, 0, s.Len(), band, emit)
+}
+
+// probeSortedTRange is probeSortedT restricted to S indices [sLo, sHi). Each
+// S-tuple's probe is independent, so a range runs exactly the iterations the
+// full loop would run for those indices.
+func probeSortedTRange(rows []float64, perm []int32, n, dims int, s *data.Relation, sLo, sHi int, band data.Band, emit Emit) int64 {
 	var count int64
 	countOnly1D := emit == nil && dims == 1
-	for i := 0; i < s.Len(); i++ {
+	for i := sLo; i < sHi; i++ {
 		sk := s.Key(i)
 		lo := sk[0] - band.Low[0]
 		hi := sk[0] + band.High[0]
@@ -256,6 +284,22 @@ func (SortProbe) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
 	return count
 }
 
+// JoinRange implements RangeJoiner: the probe loop restricted to S indices
+// [lo, hi). The T side is rebuilt per call; when several ranges of the same
+// partition run, Prepare the structure once and use ProbeRange instead.
+func (SortProbe) JoinRange(s, t *data.Relation, band data.Band, lo, hi int, emit Emit) int64 {
+	n := t.Len()
+	if n == 0 || lo >= hi {
+		return 0
+	}
+	dims := t.Dims()
+	sc := scratchPool.Get().(*scratch)
+	sc.t.build(sc, t)
+	count := probeSortedTRange(sc.t.rows, sc.t.perm, n, dims, s, lo, hi, band, emit)
+	scratchPool.Put(sc)
+	return count
+}
+
 // ---------------------------------------------------------------------------
 // Grid sorted scan (the Grid-ε local algorithm from Section 6.1)
 
@@ -271,9 +315,23 @@ func (GridSortScan) Name() string { return "grid-sort-scan" }
 // scanSortedWindow runs the sliding-window scan of a dim-0-sorted S against a
 // dim-0-sorted T. It is shared by the one-shot Join and the prepared form.
 func scanSortedWindow(sRows []float64, sPerm []int32, ns int, tRows []float64, tPerm []int32, nt, dims int, band data.Band, emit Emit) int64 {
+	return scanSortedWindowRange(sRows, sPerm, tRows, tPerm, nt, dims, 0, ns, band, emit)
+}
+
+// scanSortedWindowRange is scanSortedWindow restricted to sorted-S positions
+// [sLo, sHi). The sequential scan's window start is monotone: winLo stops at
+// the first T position with key >= (sKey - band.Low[0]), and that bound is
+// nondecreasing in sorted-S order, so winLo at any position equals the binary
+// search for it — recomputing it at sLo puts a range on the exact state the
+// sequential scan would have there, and the emissions of consecutive ranges
+// concatenate to the full scan bit-identically.
+func scanSortedWindowRange(sRows []float64, sPerm []int32, tRows []float64, tPerm []int32, nt, dims, sLo, sHi int, band data.Band, emit Emit) int64 {
 	var count int64
-	winLo := 0
-	for spos := 0; spos < ns; spos++ {
+	if sLo >= sHi {
+		return 0
+	}
+	winLo := searchRowsGE(tRows, dims, nt, sRows[sLo*dims]-band.Low[0])
+	for spos := sLo; spos < sHi; spos++ {
 		sk := sRows[spos*dims : (spos+1)*dims]
 		lo := sk[0] - band.Low[0]
 		hi := sk[0] + band.High[0]
@@ -312,6 +370,24 @@ func (GridSortScan) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
 	return count
 }
 
+// JoinRange implements RangeJoiner. The probe domain is dim-0-sorted S
+// positions, not raw S indices: [lo, hi) of the sorted scan order. Both sides
+// are rebuilt per call; when several ranges of the same partition run,
+// Prepare the structure once and use ProbeRange instead.
+func (GridSortScan) JoinRange(s, t *data.Relation, band data.Band, lo, hi int, emit Emit) int64 {
+	ns, nt := s.Len(), t.Len()
+	if ns == 0 || nt == 0 || lo >= hi {
+		return 0
+	}
+	dims := t.Dims()
+	sc := scratchPool.Get().(*scratch)
+	sc.s.build(sc, s)
+	sc.t.build(sc, t)
+	count := scanSortedWindowRange(sc.s.rows, sc.s.perm, sc.t.rows, sc.t.perm, nt, dims, lo, hi, band, emit)
+	scratchPool.Put(sc)
+	return count
+}
+
 // ---------------------------------------------------------------------------
 // Adaptive selection
 
@@ -342,8 +418,36 @@ func (Auto) Join(s, t *data.Relation, band data.Band, emit Emit) int64 {
 	return EpsGrid{}.Join(s, t, band, emit)
 }
 
+// JoinRange implements RangeJoiner, dispatching exactly like Join (the
+// selection consults only sizes and dimensionality, never the range).
+func (Auto) JoinRange(s, t *data.Relation, band data.Band, lo, hi int, emit Emit) int64 {
+	if s.Len() <= autoNestedLoopMax || t.Len() <= autoNestedLoopMax {
+		return NestedLoop{}.JoinRange(s, t, band, lo, hi, emit)
+	}
+	if t.Dims() == 1 {
+		return SortProbe{}.JoinRange(s, t, band, lo, hi, emit)
+	}
+	return EpsGrid{}.JoinRange(s, t, band, lo, hi, emit)
+}
+
 // Default returns the algorithm the executor uses when none is specified.
 func Default() Algorithm { return Auto{} }
+
+// RangeNeedsNoPrepare reports whether alg's JoinRange repeats no build work
+// per range, so a partition without a prepared structure can be striped
+// through it directly. True only for the nested loop — including Auto, whose
+// Prepare returns nil exactly when it would pick the nested loop — whose
+// probe has no T-side structure to rebuild. The sort- and grid-based
+// algorithms rebuild their structure per JoinRange call; stripe those through
+// Prepare + ProbeRange instead.
+func RangeNeedsNoPrepare(alg Algorithm) bool {
+	switch alg.(type) {
+	case NestedLoop, Auto:
+		return true
+	default:
+		return false
+	}
+}
 
 // ByName returns the algorithm with the given name, or false if unknown.
 func ByName(name string) (Algorithm, bool) {

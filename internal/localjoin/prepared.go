@@ -27,6 +27,19 @@ type PreparedT interface {
 	Probe(s *data.Relation, emit Emit) int64
 }
 
+// RangeProber is a PreparedT whose probe can be restricted to a contiguous
+// range [lo, hi) of its own probe order (raw S indices for the probe-style
+// structures, dim-0-sorted S positions for the sorted scan; the domain size
+// is always s.Len()). Concatenating the emissions of consecutive ranges
+// covering [0, s.Len()) reproduces Probe's output bit-identically, and since
+// the structure is immutable, any number of ProbeRange calls may run
+// concurrently over the same receiver — this is the morsel scheduler's
+// contract. All structures returned by Prepare implement it.
+type RangeProber interface {
+	PreparedT
+	ProbeRange(s *data.Relation, lo, hi int, emit Emit) int64
+}
+
 // Prepare builds the reusable T-side structure the algorithm would otherwise
 // rebuild on every Join of the same (s, t, band), dispatching exactly like
 // the algorithm's own Join (including Auto's per-partition selection, which
@@ -60,8 +73,11 @@ func Prepare(alg Algorithm, s, t *data.Relation, band data.Band) PreparedT {
 		sr := buildSortedStandalone(t)
 		return &preparedSortProbe{t: sr, n: t.Len(), dims: t.Dims(), band: band}
 	case GridSortScan:
-		sr := buildSortedStandalone(t)
-		return &preparedGridSortScan{t: sr, nt: t.Len(), dims: t.Dims(), band: band}
+		return &preparedGridSortScan{
+			s: buildSortedStandalone(s), ns: s.Len(),
+			t: buildSortedStandalone(t), nt: t.Len(),
+			dims: t.Dims(), band: band,
+		}
 	default:
 		return nil
 	}
@@ -122,18 +138,24 @@ func (p *preparedEpsGrid) resolveCells(s *data.Relation) {
 }
 
 func (p *preparedEpsGrid) Probe(s *data.Relation, emit Emit) int64 {
+	return p.ProbeRange(s, 0, s.Len(), emit)
+}
+
+// ProbeRange implements RangeProber: the probe restricted to S indices
+// [lo, hi).
+func (p *preparedEpsGrid) ProbeRange(s *data.Relation, lo, hi int, emit Emit) int64 {
 	ns := s.Len()
-	if ns == 0 {
+	if ns == 0 || lo >= hi {
 		return 0
 	}
 	if len(p.sStarts) != ns+1 {
 		// Not the S side this structure was prepared for; fall back to the
 		// hash-lookup probe, which only assumes the T side.
-		return p.g.probe(s, p.dims, p.band, p.w0, p.w1, emit)
+		return p.g.probeRange(s, p.dims, p.band, p.w0, p.w1, lo, hi, emit)
 	}
 	g, dims, band := p.g, p.dims, p.band
 	var count int64
-	for i := 0; i < ns; i++ {
+	for i := lo; i < hi; i++ {
 		sk := s.Key(i)
 		for ci := p.sStarts[i]; ci < p.sStarts[i+1]; ci++ {
 			id := p.sCells[ci]
@@ -162,17 +184,29 @@ type preparedSortProbe struct {
 }
 
 func (p *preparedSortProbe) Probe(s *data.Relation, emit Emit) int64 {
-	if s.Len() == 0 {
-		return 0
-	}
-	return probeSortedT(p.t.rows, p.t.perm, p.n, p.dims, s, p.band, emit)
+	return p.ProbeRange(s, 0, s.Len(), emit)
 }
 
-// preparedGridSortScan caches T's dim-0-sorted rows; the S side is sorted per
-// probe with pooled scratch (retained partitions are presorted at seal time
-// and re-presorted when a delta append dirties them, so that sort finds
-// sorted input and is linear).
+// ProbeRange implements RangeProber: the probe restricted to S indices
+// [lo, hi).
+func (p *preparedSortProbe) ProbeRange(s *data.Relation, lo, hi int, emit Emit) int64 {
+	if s.Len() == 0 || lo >= hi {
+		return 0
+	}
+	return probeSortedTRange(p.t.rows, p.t.perm, p.n, p.dims, s, lo, hi, p.band, emit)
+}
+
+// preparedGridSortScan caches the dim-0-sorted rows of both sides: T's, and —
+// because the S side of a prepared partition is pinned too — S's, so that
+// concurrent range probes share one read-only sorted copy instead of each
+// re-sorting S. When Probe is handed a different S than the one prepared for
+// (same fallback contract as preparedEpsGrid), the S side is sorted per call
+// with pooled scratch (retained partitions are presorted at seal time and
+// re-presorted when a delta append dirties them, so that sort finds sorted
+// input and is linear).
 type preparedGridSortScan struct {
+	s    *sortedRel
+	ns   int
 	t    *sortedRel
 	nt   int
 	dims int
@@ -180,13 +214,24 @@ type preparedGridSortScan struct {
 }
 
 func (p *preparedGridSortScan) Probe(s *data.Relation, emit Emit) int64 {
+	return p.ProbeRange(s, 0, s.Len(), emit)
+}
+
+// ProbeRange implements RangeProber: the sliding-window scan restricted to
+// dim-0-sorted S positions [lo, hi), with the window start recovered by
+// binary search (see scanSortedWindowRange).
+func (p *preparedGridSortScan) ProbeRange(s *data.Relation, lo, hi int, emit Emit) int64 {
 	ns := s.Len()
-	if ns == 0 {
+	if ns == 0 || lo >= hi {
 		return 0
 	}
+	if ns == p.ns {
+		return scanSortedWindowRange(p.s.rows, p.s.perm, p.t.rows, p.t.perm, p.nt, p.dims, lo, hi, p.band, emit)
+	}
+	// Not the S side this structure was prepared for; sort it per call.
 	sc := scratchPool.Get().(*scratch)
 	sc.s.build(sc, s)
-	count := scanSortedWindow(sc.s.rows, sc.s.perm, ns, p.t.rows, p.t.perm, p.nt, p.dims, p.band, emit)
+	count := scanSortedWindowRange(sc.s.rows, sc.s.perm, p.t.rows, p.t.perm, p.nt, p.dims, lo, hi, p.band, emit)
 	scratchPool.Put(sc)
 	return count
 }

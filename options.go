@@ -27,6 +27,7 @@ type resolved struct {
 	ChunkSize        int
 	Window           int
 	JoinParallelism  int
+	MorselRows       int
 	Serial           bool
 	Compression      string
 	MaxPlanDrift     float64
@@ -103,6 +104,7 @@ func (o Options) resolve() (resolved, error) {
 	r.ChunkSize = o.ClusterChunkSize
 	r.Window = o.ClusterWindow
 	r.JoinParallelism = o.ClusterJoinParallelism
+	r.MorselRows = o.MorselRows // negative is meaningful: the per-partition oracle path
 	r.Serial = o.ClusterSerial
 	r.Compression = o.ClusterCompression
 	r.MaxPlanDrift = o.MaxPlanDrift
@@ -119,6 +121,7 @@ func (r resolved) execOptions() exec.Options {
 		Model:        r.Model,
 		Sampling:     r.Sampling,
 		CollectPairs: r.CollectPairs,
+		MorselRows:   r.MorselRows,
 		Seed:         r.Seed,
 	}
 }
